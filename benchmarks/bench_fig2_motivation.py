@@ -1,0 +1,89 @@
+"""Fig. 2 — motivation: no single library wins everywhere.
+
+Reproduces the four panels: latency and bandwidth, intra-node and
+inter-node, on Perlmutter and LUMI, for native CUDA-aware MPI, NCCL/RCCL,
+and device-side NVSHMEM (N/A on LUMI). Prints the series the paper plots
+and verifies the crossover structure the paper's argument rests on.
+"""
+
+from benchmarks._common import osu_config
+from repro.apps.osu import run_bandwidth, run_latency
+from repro.bench import banner, fmt_gbps, fmt_size, fmt_us, save_json, series_table, shape_check
+
+VARIANTS = {
+    "MPI": "mpi-native",
+    "NCCL/RCCL": "gpuccl-native",
+    "NVSHMEM-dev": "gpushmem-device-native",
+}
+
+
+def _sweep(machine: str, inter: bool, cfg):
+    lat, bw = {}, {}
+    for label, variant in VARIANTS.items():
+        if machine == "lumi" and "gpushmem" in variant:
+            continue  # Table I: GPUSHMEM N/A on LUMI
+        lat[label] = run_latency(variant, cfg, machine=machine, inter_node=inter)
+        bw[label] = run_bandwidth(variant, cfg, machine=machine, inter_node=inter) \
+            if "device" not in variant else None
+    # Device bandwidth benchmark exists too; run it where available.
+    if machine != "lumi":
+        bw["NVSHMEM-dev"] = run_bandwidth("gpushmem-device-native", cfg,
+                                          machine=machine, inter_node=inter)
+    return lat, {k: v for k, v in bw.items() if v is not None}
+
+
+def run_fig2():
+    cfg = osu_config()
+    results = {}
+    for machine in ("perlmutter", "lumi"):
+        for inter in (False, True):
+            where = "inter" if inter else "intra"
+            lat, bw = _sweep(machine, inter, cfg)
+            results[f"{machine}-{where}"] = {"latency_s": lat, "bandwidth_Bps": bw}
+            banner(f"Fig.2 {machine} {where}-node latency (us, lower is better)")
+            series_table(cfg.sizes, lat, row_fmt=fmt_size, val_fmt=fmt_us)
+            banner(f"Fig.2 {machine} {where}-node bandwidth (GB/s, higher is better)")
+            series_table(cfg.sizes, bw, row_fmt=fmt_size, val_fmt=fmt_gbps)
+
+    banner("Fig.2 shape checks (paper Section II-C)")
+    small, large = cfg.sizes[1], cfg.sizes[-1]
+    pi = results["perlmutter-intra"]["latency_s"]
+    pe = results["perlmutter-inter"]["latency_s"]
+    li = results["lumi-intra"]["latency_s"]
+    checks = [
+        shape_check(
+            "intra-node small msgs: NVSHMEM-dev < MPI < NCCL",
+            pi["NVSHMEM-dev"][small] < pi["MPI"][small] < pi["NCCL/RCCL"][small],
+        ),
+        shape_check(
+            "inter-node small msgs: MPI fastest (eager CPU path)",
+            pe["MPI"][small] < pe["NCCL/RCCL"][small]
+            and pe["MPI"][small] < pe["NVSHMEM-dev"][small],
+        ),
+        shape_check(
+            "LUMI RCCL small-message latency >> Perlmutter NCCL",
+            li["NCCL/RCCL"][small] > 1.5 * pi["NCCL/RCCL"][small],
+        ),
+        shape_check(
+            "large intra-node bandwidth: all libraries near link rate",
+            all(results["perlmutter-intra"]["bandwidth_Bps"][v][large] > 40e9
+                for v in ("MPI", "NCCL/RCCL")),
+        ),
+        shape_check(
+            "no single winner: intra-node small-msg winner != inter-node winner",
+            min(pi, key=lambda v: pi[v][small]) != min(pe, key=lambda v: pe[v][small]),
+            f"intra: {min(pi, key=lambda v: pi[v][small])}, "
+            f"inter: {min(pe, key=lambda v: pe[v][small])}",
+        ),
+    ]
+    save_json("fig2_motivation", results)
+    assert all(checks)
+    return results
+
+
+def test_fig2_motivation(benchmark):
+    benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    run_fig2()

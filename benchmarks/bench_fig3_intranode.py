@@ -1,0 +1,96 @@
+"""Fig. 3 — intra-node latency/bandwidth: native vs Uniconn per backend,
+on all three machines, with the percentage-difference inset.
+
+Paper's claims to hold: host-API overhead at most a few percent on average
+(worst on MPI), GPUCCL within ~1%, device API within ~0.1%.
+"""
+
+from benchmarks._common import osu_config
+from repro.apps.osu import run_bandwidth, run_latency
+from repro.bench import banner, fmt_size, fmt_us, paper_mean, percent_diff, save_json, series_table, shape_check
+
+PAIRS = [
+    ("MPI", "mpi-native", "uniconn:mpi"),
+    ("GPUCCL", "gpuccl-native", "uniconn:gpuccl"),
+    ("GPUSHMEM-host", "gpushmem-host-native", "uniconn:gpushmem"),
+    ("GPUSHMEM-dev", "gpushmem-device-native", "uniconn:gpushmem-device"),
+]
+
+MACHINES = ("perlmutter", "lumi", "marenostrum5")
+
+
+def _pairs_for(machine: str):
+    for label, native, uni in PAIRS:
+        if machine == "lumi" and "GPUSHMEM" in label:
+            continue
+        yield label, native, uni
+
+
+def sweep(inter_node: bool, json_name: str, run_bw_device: bool = False):
+    cfg = osu_config()
+    results = {}
+    for machine in MACHINES:
+        series_lat, series_bw, insets = {}, {}, {}
+        for label, native, uni in _pairs_for(machine):
+            nat_lat = run_latency(native, cfg, machine=machine, inter_node=inter_node)
+            uni_lat = run_latency(uni, cfg, machine=machine, inter_node=inter_node)
+            series_lat[f"{label}:Native"] = nat_lat
+            series_lat[f"{label}:Uniconn"] = uni_lat
+            diffs = [percent_diff(uni_lat[s], nat_lat[s]) for s in cfg.sizes]
+            insets[label] = {"mean_pct": paper_mean(diffs), "max_pct": max(diffs)}
+            nat_bw = run_bandwidth(native, cfg, machine=machine, inter_node=inter_node)
+            uni_bw = run_bandwidth(uni, cfg, machine=machine, inter_node=inter_node)
+            series_bw[f"{label}:Native"] = nat_bw
+            series_bw[f"{label}:Uniconn"] = uni_bw
+        where = "inter" if inter_node else "intra"
+        banner(f"Fig.{'4' if inter_node else '3'} {machine} {where}-node latency (us)")
+        series_table(cfg.sizes, series_lat, row_fmt=fmt_size, val_fmt=fmt_us)
+        banner(f"{machine} {where}-node Uniconn-vs-native latency difference (%)")
+        for label, inset in insets.items():
+            print(f"  {label:15s} mean {inset['mean_pct']:+6.2f}%   worst {inset['max_pct']:+6.2f}%")
+        results[machine] = {
+            "latency_s": series_lat,
+            "bandwidth_Bps": series_bw,
+            "pct_inset": insets,
+        }
+    save_json(json_name, results)
+    return results
+
+
+def check_overhead_bands(results, bound_mpi, bound_ccl, bound_dev):
+    checks = []
+    for machine, data in results.items():
+        insets = data["pct_inset"]
+        checks.append(shape_check(
+            f"{machine}: MPI host-API mean overhead below {bound_mpi}%",
+            abs(insets["MPI"]["mean_pct"]) < bound_mpi,
+            f"mean {insets['MPI']['mean_pct']:+.2f}%",
+        ))
+        checks.append(shape_check(
+            f"{machine}: GPUCCL mean overhead ~<{bound_ccl}%",
+            abs(insets["GPUCCL"]["mean_pct"]) < bound_ccl,
+            f"mean {insets['GPUCCL']['mean_pct']:+.2f}%",
+        ))
+        if "GPUSHMEM-dev" in insets:
+            checks.append(shape_check(
+                f"{machine}: device API overhead ~<{bound_dev}%",
+                abs(insets["GPUSHMEM-dev"]["mean_pct"]) < bound_dev,
+                f"mean {insets['GPUSHMEM-dev']['mean_pct']:+.2f}%",
+            ))
+    return checks
+
+
+def run_fig3():
+    results = sweep(inter_node=False, json_name="fig3_intranode")
+    banner("Fig.3 shape checks (paper: <=7% worst, GPUCCL ~1%, device ~0.08%)")
+    checks = check_overhead_bands(results, bound_mpi=10.0, bound_ccl=2.0, bound_dev=0.5)
+    assert all(checks)
+    return results
+
+
+def test_fig3_intranode(benchmark):
+    benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    run_fig3()

@@ -1,0 +1,24 @@
+"""Fig. 4 — inter-node latency/bandwidth: native vs Uniconn per backend.
+
+Same structure as Fig. 3 across the NIC/fabric path; the paper reports at
+most ~3% average host-API difference inter-node.
+"""
+
+from benchmarks.bench_fig3_intranode import check_overhead_bands, sweep
+from repro.bench import banner
+
+
+def run_fig4():
+    results = sweep(inter_node=True, json_name="fig4_internode")
+    banner("Fig.4 shape checks (paper: <=3% average inter-node)")
+    checks = check_overhead_bands(results, bound_mpi=6.0, bound_ccl=2.0, bound_dev=0.5)
+    assert all(checks)
+    return results
+
+
+def test_fig4_internode(benchmark):
+    benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    run_fig4()

@@ -1,0 +1,80 @@
+"""Fig. 5 — Jacobi 2D strong scaling, 4..64 GPUs, three machines.
+
+For every machine and every available backend, runs the native variant and
+the Uniconn variant and prints runtime vs GPU count plus the percentage
+difference; the paper's claim is <1% average difference at every count.
+"""
+
+from benchmarks._common import jacobi_dims, jacobi_gpu_counts
+from repro.apps.jacobi import JacobiConfig, launch_variant
+from repro.bench import banner, paper_mean, percent_diff, save_json, series_table, shape_check
+
+PAIRS = {
+    "perlmutter": [
+        ("MPI", "mpi-native", "uniconn:mpi"),
+        ("GPUCCL", "gpuccl-native", "uniconn:gpuccl"),
+        ("GPUSHMEM-host", "gpushmem-host-native", "uniconn:gpushmem"),
+        ("GPUSHMEM-dev", "gpushmem-device-native", "uniconn:gpushmem:PureDevice"),
+    ],
+    "lumi": [
+        ("MPI", "mpi-native", "uniconn:mpi"),
+        ("RCCL", "gpuccl-native", "uniconn:gpuccl"),
+    ],
+    "marenostrum5": [
+        ("MPI", "mpi-native", "uniconn:mpi"),
+        ("GPUCCL", "gpuccl-native", "uniconn:gpuccl"),
+        ("GPUSHMEM-host", "gpushmem-host-native", "uniconn:gpushmem"),
+        ("GPUSHMEM-dev", "gpushmem-device-native", "uniconn:gpushmem:PureDevice"),
+    ],
+}
+
+
+def _job_time(results) -> float:
+    return max(r.total_time for r in results)
+
+
+def run_fig5():
+    nx, ny, iters, warmup = jacobi_dims()
+    cfg = JacobiConfig(nx=nx, ny=ny, iters=iters, warmup=warmup)
+    counts = jacobi_gpu_counts()
+    all_results = {}
+    checks = []
+    for machine, pairs in PAIRS.items():
+        series = {}
+        insets = {}
+        for label, native, uni in pairs:
+            nat = {n: _job_time(launch_variant(native, cfg, n, machine=machine)) for n in counts}
+            unc = {n: _job_time(launch_variant(uni, cfg, n, machine=machine)) for n in counts}
+            series[f"{label}:Native"] = nat
+            series[f"{label}:Uniconn"] = unc
+            diffs = [percent_diff(unc[n], nat[n]) for n in counts]
+            insets[label] = {"mean_pct": paper_mean(diffs), "max_pct": max(diffs, key=abs)}
+        banner(f"Fig.5 {machine}: Jacobi total runtime (s) vs GPUs (lower is better)")
+        series_table(counts, series, row_header="gpus", val_fmt=lambda v: f"{v * 1e3:.3f}ms")
+        print()
+        for label, inset in insets.items():
+            print(f"  {label:15s} Uniconn-vs-native mean {inset['mean_pct']:+6.2f}%  "
+                  f"worst {inset['max_pct']:+6.2f}%")
+        all_results[machine] = {"runtime_s": series, "pct_inset": insets}
+
+        checks.append(shape_check(
+            f"{machine}: runtime decreases with GPU count (strong scaling)",
+            all(min(s[counts[-1]] for s in series.values())
+                < max(s[counts[0]] for s in series.values()) for _ in (0,)),
+        ))
+        checks.append(shape_check(
+            f"{machine}: Uniconn within ~1% of native on average",
+            all(abs(i["mean_pct"]) < 1.5 for i in insets.values()),
+            ", ".join(f"{k} {v['mean_pct']:+.2f}%" for k, v in insets.items()),
+        ))
+    save_json("fig5_jacobi", all_results)
+    assert all(checks)
+    return all_results
+
+
+def test_fig5_jacobi(benchmark):
+    benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    run_fig5()

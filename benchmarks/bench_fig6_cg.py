@@ -1,0 +1,89 @@
+"""Fig. 6 — Conjugate Gradient on 8 GPUs (2 nodes), Serena- and
+Queen-like matrices, Perlmutter and LUMI.
+
+Paper's shapes: Uniconn within ~1% of each native (GPUSHMEM device on
+Serena up to ~3%); MPI (native AND Uniconn) far slower than the others,
+caused by the AllGatherv collective.
+"""
+
+from benchmarks._common import cg_iters, cg_sizes
+from repro.apps.cg import CgConfig, launch_variant, make_problem
+from repro.bench import banner, percent_diff, save_json, series_table, shape_check
+
+PAIRS = {
+    "perlmutter": [
+        ("MPI", "mpi-native", "uniconn:mpi"),
+        ("GPUCCL", "gpuccl-native", "uniconn:gpuccl"),
+        ("GPUSHMEM-host", "gpushmem-host-native", "uniconn:gpushmem"),
+        ("GPUSHMEM-dev", "gpushmem-device-native", "uniconn:gpushmem:PureDevice"),
+    ],
+    "lumi": [
+        ("MPI", "mpi-native", "uniconn:mpi"),
+        ("RCCL", "gpuccl-native", "uniconn:gpuccl"),
+    ],
+}
+
+NRANKS = 8
+
+
+def run_fig6():
+    iters = cg_iters()
+    all_results = {}
+    checks = []
+    for mat_name, (n, nnz) in cg_sizes().items():
+        cfg = CgConfig(n=n, nnz_per_row=nnz, iters=iters, seed=7)
+        problem = make_problem(cfg)
+        for machine, pairs in PAIRS.items():
+            rows = {}
+            for label, native, uni in pairs:
+                t_nat = max(r.total_time for r in
+                            launch_variant(native, cfg, NRANKS, machine=machine, problem=problem))
+                t_uni = max(r.total_time for r in
+                            launch_variant(uni, cfg, NRANKS, machine=machine, problem=problem))
+                rows[label] = {
+                    "native_s": t_nat,
+                    "uniconn_s": t_uni,
+                    "diff_pct": percent_diff(t_uni, t_nat),
+                }
+            banner(f"Fig.6 {machine} / {mat_name} (n={n}, ~{nnz} nnz/row, "
+                   f"{iters} iters, 8 GPUs) — total runtime")
+            series_table(
+                list(rows),
+                {
+                    "Native(ms)": {k: rows[k]["native_s"] * 1e3 for k in rows},
+                    "Uniconn(ms)": {k: rows[k]["uniconn_s"] * 1e3 for k in rows},
+                    "diff(%)": {k: rows[k]["diff_pct"] for k in rows},
+                },
+                row_header="backend",
+                val_fmt=lambda v: f"{v:.3f}",
+            )
+            all_results[f"{machine}/{mat_name}"] = rows
+
+            non_mpi = [v["native_s"] for k, v in rows.items() if k != "MPI"]
+            checks.append(shape_check(
+                f"{machine}/{mat_name}: MPI native much slower than every "
+                f"other version (AllGatherv)",
+                rows["MPI"]["native_s"] > 1.3 * max(non_mpi),
+                f"MPI {rows['MPI']['native_s'] * 1e3:.2f}ms vs others up to "
+                f"{max(non_mpi) * 1e3:.2f}ms",
+            ))
+            checks.append(shape_check(
+                f"{machine}/{mat_name}: Uniconn MPI also slow (inherits the collective)",
+                rows["MPI"]["uniconn_s"] > 1.3 * max(v["uniconn_s"] for k, v in rows.items() if k != "MPI"),
+            ))
+            checks.append(shape_check(
+                f"{machine}/{mat_name}: Uniconn within a few % of native",
+                all(abs(v["diff_pct"]) < 4.0 for v in rows.values()),
+                ", ".join(f"{k} {v['diff_pct']:+.2f}%" for k, v in rows.items()),
+            ))
+    save_json("fig6_cg", all_results)
+    assert all(checks)
+    return all_results
+
+
+def test_fig6_cg(benchmark):
+    benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    run_fig6()

@@ -1,0 +1,56 @@
+"""Table I — the machine models used by every experiment.
+
+Prints the encoded hardware/software characteristics next to the paper's
+values so divergences in the substitution are visible at a glance.
+"""
+
+from repro.bench import banner, save_json, shape_check
+from repro.hardware import MACHINES, get_machine
+
+PAPER = {
+    "perlmutter": dict(gpus=4, gpu="A100", intra="NVLink 3.0 (100 GB/s)",
+                       net="4x200Gb/s Slingshot 11", shmem=True),
+    "lumi": dict(gpus=8, gpu="MI250X", intra="Infinity Fabric (50 GB/s/link)",
+                 net="4x200Gb/s Slingshot 11", shmem=False),
+    "marenostrum5": dict(gpus=4, gpu="H100", intra="NVLink 4.0 (150 GB/s)",
+                         net="4x200Gb/s NDR InfiniBand", shmem=True),
+}
+
+
+def run_table1():
+    banner("Table I — machine models")
+    rows = {}
+    for name in MACHINES:
+        m = get_machine(name)
+        rows[name] = {
+            "gpus_per_node": m.gpus_per_node,
+            "gpu": m.gpu.name,
+            "intra_GBps": m.intra_bandwidth / 1e9,
+            "intra_latency_us": m.intra_latency * 1e6,
+            "nic_GBps": m.nic_bandwidth / 1e9,
+            "gpushmem": m.has_gpushmem(),
+            "software": list(m.notes),
+        }
+        print(f"{name:14s} {m.gpus_per_node} x {m.gpu.name:24s} "
+              f"intra {m.intra_bandwidth / 1e9:6.1f} GB/s   "
+              f"NIC {m.nic_bandwidth / 1e9:5.1f} GB/s   "
+              f"GPUSHMEM {'yes' if m.has_gpushmem() else 'N/A':3s}   "
+              f"[{', '.join(m.notes)}]")
+    checks = [
+        shape_check(f"{n}: GPU count and GPUSHMEM availability match Table I",
+                    rows[n]["gpus_per_node"] == PAPER[n]["gpus"]
+                    and rows[n]["gpushmem"] == PAPER[n]["shmem"]
+                    and PAPER[n]["gpu"] in rows[n]["gpu"])
+        for n in PAPER
+    ]
+    save_json("table1_machines", rows)
+    assert all(checks)
+    return rows
+
+
+def test_table1_machines(benchmark):
+    benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    run_table1()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Performance-guided automatic backend selection (paper §VII future work).
+
+Tunes a selection table once per machine by probing every backend through
+Uniconn's own API, prints the crossover structure, then uses the table to
+pick the backend for two very different workloads: a latency-bound halo
+exchange and a bandwidth-bound bulk transfer.
+
+Usage:  python examples/auto_backend.py [machine]
+"""
+
+import sys
+
+from repro.core.selection import SelectionTable
+from repro.hardware import get_machine
+
+machine = sys.argv[1] if len(sys.argv) > 1 else "perlmutter"
+
+
+def main():
+    print(f"tuning backend-selection table for {machine} "
+          f"(probes every backend, both localities)...")
+    table = SelectionTable.tune(machine, probe_sizes=(8, 512, 32768, 1 << 20), iters=12)
+
+    for inter in (False, True):
+        loc = "inter-node" if inter else "intra-node"
+        print(f"\n{loc} winners by message size:")
+        for size, winner in table.crossover_sizes(inter_node=inter):
+            print(f"  from {size:>8d} B  ->  {winner}")
+
+    print("\nworkload-driven choices:")
+    halo_bytes = 2048  # one Jacobi halo row
+    bulk_bytes = 1 << 20  # a CG direction-vector block
+    for name, nbytes in (("halo exchange (2KiB)", halo_bytes),
+                         ("bulk transfer (1MiB)", bulk_bytes)):
+        intra = table.best(nbytes, inter_node=False)
+        inter = table.best(nbytes, inter_node=True)
+        host = table.best(nbytes, inter_node=False, host_api_only=True)
+        print(f"  {name:22s} intra -> {intra:18s} inter -> {inter:18s} "
+              f"(host-API only: {host})")
+
+    print("\nThe table serializes to JSON (SelectionTable.save/load) so one "
+          "tuning run per machine is reused across application runs.")
+
+
+if __name__ == "__main__":
+    main()

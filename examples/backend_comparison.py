@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Which backend is fastest for which message size? (the paper's Fig. 2
+motivation, seen through Uniconn's own API)
+
+Sweeps message sizes over the Uniconn host API for every backend (and the
+device API where available), intra-node and inter-node, then prints the
+winner per regime — showing why a portability layer that can switch
+backends per system/workload matters.
+
+Usage:  python examples/backend_comparison.py [machine]
+"""
+
+import sys
+
+from repro.apps.osu import OsuConfig, run_latency
+from repro.bench import fmt_size, fmt_us
+from repro.hardware import get_machine
+
+machine = sys.argv[1] if len(sys.argv) > 1 else "perlmutter"
+
+
+def main():
+    spec = get_machine(machine)
+    cfg = OsuConfig(sizes=(8, 256, 4096, 65536, 1 << 20),
+                    iters_small=20, warmup_small=2,
+                    iters_large=6, warmup_large=1, repeats=3)
+    variants = ["uniconn:mpi", "uniconn:gpuccl"]
+    if spec.has_gpushmem():
+        variants += ["uniconn:gpushmem", "uniconn:gpushmem-device"]
+
+    for inter in (False, True):
+        where = "inter-node" if inter else "intra-node"
+        print(f"\n=== {machine} {where} one-way latency (us) via Uniconn ===")
+        table = {v: run_latency(v, cfg, machine=machine, inter_node=inter) for v in variants}
+        header = f"{'size':>8s}" + "".join(f"{v.split(':', 1)[1]:>18s}" for v in variants)
+        print(header + f"{'winner':>18s}")
+        for size in cfg.sizes:
+            row = f"{fmt_size(size):>8s}"
+            best = min(variants, key=lambda v: table[v][size])
+            for v in variants:
+                row += f"{fmt_us(table[v][size]):>18s}"
+            print(row + f"{best.split(':', 1)[1]:>18s}")
+    print("\nNo single backend wins everywhere — switch them per "
+          "system/workload with one constructor argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP 660
+editable installs (which must build a wheel) fail. This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` via pip's legacy fallback) work offline.
+"""
+
+from setuptools import setup
+
+setup()

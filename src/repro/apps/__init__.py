@@ -1,0 +1,3 @@
+"""The paper's evaluation applications: Jacobi 2D, Conjugate Gradient, and
+OSU-style network microbenchmarks — each in native per-library variants and
+one Uniconn variant that runs on every backend."""

@@ -1,0 +1,56 @@
+"""Conjugate Gradient solver: native variants + one Uniconn variant."""
+
+from __future__ import annotations
+
+from ...launcher import RankContext, launch
+from . import native_gpuccl, native_gpushmem_device, native_gpushmem_host, native_mpi, uniconn
+from .harness import CgResult, assemble_x
+from .matrices import MATRICES, queen_like, serena_like, synthetic_spd
+from .solver import CgConfig, CgProblem, CgState, final_residual, make_problem, row_partition, serial_cg
+
+__all__ = [
+    "CgConfig",
+    "CgProblem",
+    "CgResult",
+    "CgState",
+    "NATIVE_VARIANTS",
+    "run_variant",
+    "launch_variant",
+    "assemble_x",
+    "final_residual",
+    "make_problem",
+    "row_partition",
+    "serial_cg",
+    "synthetic_spd",
+    "serena_like",
+    "queen_like",
+    "MATRICES",
+]
+
+NATIVE_VARIANTS = {
+    "mpi-native": native_mpi.run,
+    "gpuccl-native": native_gpuccl.run,
+    "gpushmem-host-native": native_gpushmem_host.run,
+    "gpushmem-device-native": native_gpushmem_device.run,
+}
+
+
+def run_variant(rank_ctx: RankContext, variant: str, cfg: CgConfig, problem: CgProblem,
+                collect: bool = False) -> CgResult:
+    """Dispatch one rank's CG run by variant name (same scheme as Jacobi)."""
+    if variant in NATIVE_VARIANTS:
+        return NATIVE_VARIANTS[variant](rank_ctx, cfg, problem, collect=collect)
+    parts = variant.split(":")
+    if parts[0] != "uniconn" or len(parts) not in (2, 3):
+        raise ValueError(f"unknown cg variant {variant!r}")
+    backend = parts[1]
+    mode = parts[2] if len(parts) == 3 else "PureHost"
+    return uniconn.run(rank_ctx, cfg, problem, backend=backend, launch_mode=mode, collect=collect)
+
+
+def launch_variant(variant: str, cfg: CgConfig, nranks: int, machine="perlmutter",
+                   problem: CgProblem = None, collect: bool = False):
+    """Launch a whole CG job for one variant; returns per-rank results."""
+    if problem is None:
+        problem = make_problem(cfg)
+    return launch(run_variant, nranks, machine=machine, args=(variant, cfg, problem, collect))

@@ -1,0 +1,67 @@
+"""Native GPUCCL CG: grouped-P2P AllGatherv + native AllReduce on stream.
+
+GPUCCL has no allgatherv, so the exchange is composed from grouped
+send/recv (one fused kernel); everything is stream-ordered, the host never
+blocks inside the loop — scalars (alpha/beta) stay in device memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...backends import gpuccl
+from ...backends.gpuccl import GpucclComm, get_unique_id
+from ...backends.mpi import MpiContext
+from ...gpu import dim3
+from ...launcher import RankContext
+from .harness import CgResult, measure_cg, setup_state
+from .solver import CgConfig, CgProblem, k_dot_pq, k_pupdate, k_spmv, k_update
+
+
+def run(rank_ctx: RankContext, cfg: CgConfig, problem: CgProblem, collect: bool = False) -> CgResult:
+    """Run the native GPUCCL CG on this rank."""
+    rank_ctx.set_device(rank_ctx.node_rank)
+    mpi = MpiContext(rank_ctx)
+    uid_token = np.zeros(1, np.int64)
+    if rank_ctx.rank == 0:
+        uid_token[0] = get_unique_id().value
+    mpi.comm_world.bcast(uid_token, 1, root=0)
+    uid = gpuccl.GpucclUniqueId.__new__(gpuccl.GpucclUniqueId)
+    uid.value = int(uid_token[0])
+    comm = GpucclComm(rank_ctx, uid, rank_ctx.world_size, rank_ctx.rank)
+
+    device = rank_ctx.require_device()
+    stream = device.create_stream()
+    state = setup_state(rank_ctx, problem, alloc_comm=lambda n: device.malloc(n, np.float64))
+    grid, block = dim3(max(1, state.n_local // 256)), dim3(256)
+    p = comm.size
+
+    comm.all_reduce(state.rs, state.rs, 1, "sum", stream)
+
+    def allgatherv() -> None:
+        gpuccl.group_start()
+        my_seg = state.p_full.offset(state.my_offset, state.n_local)
+        for dst in range(p):
+            comm.send(my_seg, state.n_local, dst, stream)
+        for src in range(p):
+            view = state.p_full.offset(state.displs[src], state.counts[src])
+            comm.recv(view, state.counts[src], src, stream)
+        gpuccl.group_end()
+
+    def iteration() -> None:
+        allgatherv()
+        device.launch(k_spmv, grid, block, args=(state,), stream=stream)
+        device.launch(k_dot_pq, grid, block, args=(state,), stream=stream)
+        comm.all_reduce(state.pq, state.pq, 1, "sum", stream)
+        device.launch(k_update, grid, block, args=(state,), stream=stream)
+        comm.all_reduce(state.rs_new, state.rs_new, 1, "sum", stream)
+        device.launch(k_pupdate, grid, block, args=(state,), stream=stream)
+
+    def barrier() -> None:
+        token = np.zeros(1, np.float32)
+        comm.all_reduce(token, token, 1, "sum", stream)
+        stream.synchronize()
+
+    result = measure_cg(rank_ctx, cfg, stream, iteration, barrier, collect, state)
+    mpi.finalize()
+    return result

@@ -1,0 +1,63 @@
+"""Native GPUSHMEM CG, device API: one resident kernel per iteration does
+the whole step — device puts for the p exchange, device barrier, SpMV and
+vector updates, device-side AllReduce for both dot products. The CPU only
+launches and swaps nothing (following the CPU-free scheme of [37])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...backends.gpushmem import ShmemContext
+from ...gpu import dim3
+from ...gpu.kernel import device_kernel
+from ...launcher import RankContext
+from .harness import CgResult, measure_cg, setup_state
+from .solver import CgConfig, CgProblem, CgState, _spmv_cost, _vec_cost_factory
+
+
+@device_kernel(name="cg_dev_step")
+def _cg_dev_step(ctx, state: CgState, p: int, me: int) -> None:
+    shmem = ctx.shmem
+    # AllGatherv of the search direction: put my window to every PE.
+    window = state.p_full.offset_by(state.my_offset, state.n_local)
+    for shift in range(p):
+        pe = (me + shift) % p
+        shmem.put_nbi(window, window, state.n_local, pe, group="block")
+    shmem.quiet()
+    shmem.barrier_all()
+    # SpMV + first dot.
+    ctx.compute(_spmv_cost(ctx, state))
+    state.q.data[:] = state.a_local @ state.p_full.data
+    state.pq.data[0] = float(state.p_local_view() @ state.q.data)
+    shmem.allreduce(state.pq, state.pq, 1, "sum")
+    # alpha update + second dot.
+    ctx.compute(_vec_cost_factory(6)(ctx, state))
+    alpha = state.rs.data[0] / state.pq.data[0]
+    state.x.data[:] += alpha * state.p_local_view()
+    state.r.data[:] -= alpha * state.q.data
+    state.rs_new.data[0] = float(state.r.data @ state.r.data)
+    shmem.allreduce(state.rs_new, state.rs_new, 1, "sum")
+    # beta update.
+    ctx.compute(_vec_cost_factory(4)(ctx, state))
+    beta = state.rs_new.data[0] / state.rs.data[0]
+    p_local = state.p_local_view()
+    p_local[:] = state.r.data + beta * p_local
+    state.rs.data[0] = state.rs_new.data[0]
+
+
+def run(rank_ctx: RankContext, cfg: CgConfig, problem: CgProblem, collect: bool = False) -> CgResult:
+    """Run the native GPUSHMEM device-API CG on this rank."""
+    rank_ctx.set_device(rank_ctx.node_rank)
+    shmem = ShmemContext(rank_ctx)
+    device = rank_ctx.require_device()
+    stream = device.create_stream()
+    state = setup_state(rank_ctx, problem, alloc_comm=lambda n: shmem.malloc(n, np.float64))
+    grid, block = dim3(min(32, max(1, state.n_local // 256))), dim3(256)
+
+    shmem.allreduce(state.rs, state.rs, 1, "sum")
+
+    def iteration() -> None:
+        shmem.collective_launch(_cg_dev_step, grid, block,
+                                args=(state, shmem.n_pes, shmem.my_pe), stream=stream)
+
+    return measure_cg(rank_ctx, cfg, stream, iteration, shmem.barrier_all, collect, state)

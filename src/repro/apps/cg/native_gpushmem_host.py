@@ -1,0 +1,44 @@
+"""Native GPUSHMEM CG, host/stream API: put-composed AllGatherv + team
+AllReduce, all stream-ordered (paper Section V-A: collectives without a
+native mapping are emulated with puts plus barriers)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...backends.gpushmem import ShmemContext
+from ...gpu import dim3
+from ...launcher import RankContext
+from .harness import CgResult, measure_cg, setup_state
+from .solver import CgConfig, CgProblem, k_dot_pq, k_pupdate, k_spmv, k_update
+
+
+def run(rank_ctx: RankContext, cfg: CgConfig, problem: CgProblem, collect: bool = False) -> CgResult:
+    """Run the native GPUSHMEM host-API CG on this rank."""
+    rank_ctx.set_device(rank_ctx.node_rank)
+    shmem = ShmemContext(rank_ctx)
+    device = rank_ctx.require_device()
+    stream = device.create_stream()
+    state = setup_state(rank_ctx, problem, alloc_comm=lambda n: shmem.malloc(n, np.float64))
+    grid, block = dim3(max(1, state.n_local // 256)), dim3(256)
+    p, me = shmem.n_pes, shmem.my_pe
+
+    shmem.allreduce(state.rs, state.rs, 1, "sum")
+
+    def allgatherv() -> None:
+        window = state.p_full.offset_by(state.my_offset, state.n_local)
+        for shift in range(p):
+            pe = (me + shift) % p
+            shmem.put_on_stream(window, window, state.n_local, pe, stream)
+        shmem.barrier_all_on_stream(stream)
+
+    def iteration() -> None:
+        allgatherv()
+        device.launch(k_spmv, grid, block, args=(state,), stream=stream)
+        device.launch(k_dot_pq, grid, block, args=(state,), stream=stream)
+        shmem.allreduce(state.pq, state.pq, 1, "sum", stream=stream)
+        device.launch(k_update, grid, block, args=(state,), stream=stream)
+        shmem.allreduce(state.rs_new, state.rs_new, 1, "sum", stream=stream)
+        device.launch(k_pupdate, grid, block, args=(state,), stream=stream)
+
+    return measure_cg(rank_ctx, cfg, stream, iteration, shmem.barrier_all, collect, state)

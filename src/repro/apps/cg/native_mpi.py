@@ -1,0 +1,48 @@
+"""Native GPU-aware-MPI CG: host-blocking AllGatherv + AllReduce.
+
+MPI has no stream integration, so every communication step drains the
+stream first — the structural cost the paper's Fig. 6 shows (on top of the
+allgatherv algorithm itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...backends.mpi import MpiContext
+from ...gpu import dim3
+from ...launcher import RankContext
+from .harness import CgResult, measure_cg, setup_state
+from .solver import CgConfig, CgProblem, k_dot_pq, k_pupdate, k_spmv, k_update
+
+
+def run(rank_ctx: RankContext, cfg: CgConfig, problem: CgProblem, collect: bool = False) -> CgResult:
+    """Run the native MPI CG on this rank."""
+    rank_ctx.set_device(rank_ctx.node_rank)
+    mpi = MpiContext(rank_ctx)
+    comm = mpi.comm_world
+    device = rank_ctx.require_device()
+    stream = device.create_stream()
+    state = setup_state(rank_ctx, problem, alloc_comm=lambda n: device.malloc(n, np.float64))
+    grid, block = dim3(max(1, state.n_local // 256)), dim3(256)
+
+    # Initial global <r, r>.
+    comm.allreduce(state.rs, state.rs, 1, "sum")
+
+    def iteration() -> None:
+        stream.synchronize()
+        comm.allgatherv(
+            state.p_local_view(), state.n_local, state.p_full, state.counts, state.displs
+        )
+        device.launch(k_spmv, grid, block, args=(state,), stream=stream)
+        device.launch(k_dot_pq, grid, block, args=(state,), stream=stream)
+        stream.synchronize()
+        comm.allreduce(state.pq, state.pq, 1, "sum")
+        device.launch(k_update, grid, block, args=(state,), stream=stream)
+        stream.synchronize()
+        comm.allreduce(state.rs_new, state.rs_new, 1, "sum")
+        device.launch(k_pupdate, grid, block, args=(state,), stream=stream)
+
+    result = measure_cg(rank_ctx, cfg, stream, iteration, comm.barrier, collect, state)
+    mpi.finalize()
+    return result

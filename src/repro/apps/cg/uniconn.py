@@ -1,0 +1,106 @@
+"""Uniconn CG: ONE implementation across backends and launch modes.
+
+Host modes use ``Coordinator.all_gather_v`` + ``all_reduce`` (the paper's
+CG uses exactly these two primitives); PureDevice binds a kernel that runs
+a whole iteration on-device through the Uniconn device API.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ...core import Communicator, Coordinator, Environment, IN_PLACE, LaunchMode, Memory
+from ...gpu import dim3
+from ...gpu.kernel import device_kernel
+from ...launcher import RankContext
+from .harness import CgResult, measure_cg, setup_state
+from .solver import (
+    CgConfig,
+    CgProblem,
+    CgState,
+    _spmv_cost,
+    _vec_cost_factory,
+    k_dot_pq,
+    k_pupdate,
+    k_spmv,
+    k_update,
+)
+
+
+@device_kernel(name="cg_uniconn_dev_step")
+def _cg_dev_step(ctx, state: CgState, comm_d) -> None:
+    u = ctx.uniconn
+    p, me = comm_d.size, comm_d.rank
+    window = state.p_full.offset_by(state.my_offset, state.n_local)
+    for shift in range(p):
+        pe = (me + shift) % p
+        u.post(window, window, state.n_local, None, 0, pe, comm_d)
+    u.quiet()
+    u.barrier(comm_d)
+    ctx.compute(_spmv_cost(ctx, state))
+    state.q.data[:] = state.a_local @ state.p_full.data
+    state.pq.data[0] = float(state.p_local_view() @ state.q.data)
+    u.all_reduce(state.pq, state.pq, 1, "sum", comm_d)
+    ctx.compute(_vec_cost_factory(6)(ctx, state))
+    alpha = state.rs.data[0] / state.pq.data[0]
+    state.x.data[:] += alpha * state.p_local_view()
+    state.r.data[:] -= alpha * state.q.data
+    state.rs_new.data[0] = float(state.r.data @ state.r.data)
+    u.all_reduce(state.rs_new, state.rs_new, 1, "sum", comm_d)
+    ctx.compute(_vec_cost_factory(4)(ctx, state))
+    beta = state.rs_new.data[0] / state.rs.data[0]
+    p_local = state.p_local_view()
+    p_local[:] = state.r.data + beta * p_local
+    state.rs.data[0] = state.rs_new.data[0]
+
+
+def run(
+    rank_ctx: RankContext,
+    cfg: CgConfig,
+    problem: CgProblem,
+    backend: Union[str, type, None] = None,
+    launch_mode: Union[str, LaunchMode, None] = None,
+    collect: bool = False,
+) -> CgResult:
+    """Run the Uniconn CG on this rank for any backend/launch mode."""
+    env = Environment(backend, rank_ctx)
+    env.set_device(env.node_rank())
+    comm = Communicator(env)
+    device = env.device
+    stream = device.create_stream()
+    coord = Coordinator(env, stream, launch_mode=launch_mode)
+    mode = coord.launch_mode
+
+    state = setup_state(rank_ctx, problem, alloc_comm=lambda n: Memory.alloc(env, n, np.float64))
+    grid, block = dim3(max(1, state.n_local // 256)), dim3(256)
+
+    coord.all_reduce(IN_PLACE, state.rs, 1, "sum", comm)
+    stream.synchronize()
+
+    if mode is LaunchMode.PureDevice:
+        comm_d = comm.to_device()
+        d_grid = dim3(min(32, max(1, state.n_local // 256)))
+        coord.bind_kernel(LaunchMode.PureDevice, _cg_dev_step, d_grid, block,
+                          args=(state, comm_d))
+
+        def iteration() -> None:
+            coord.launch_kernel()
+
+    else:
+        def iteration() -> None:
+            coord.all_gather_v(
+                state.p_full.offset_by(state.my_offset, state.n_local),
+                state.n_local, state.p_full, state.counts, state.displs, comm,
+            )
+            device.launch(k_spmv, grid, block, args=(state,), stream=stream)
+            device.launch(k_dot_pq, grid, block, args=(state,), stream=stream)
+            coord.all_reduce(IN_PLACE, state.pq, 1, "sum", comm)
+            device.launch(k_update, grid, block, args=(state,), stream=stream)
+            coord.all_reduce(IN_PLACE, state.rs_new, 1, "sum", comm)
+            device.launch(k_pupdate, grid, block, args=(state,), stream=stream)
+
+    result = measure_cg(rank_ctx, cfg, stream, iteration, lambda: comm.barrier(stream), collect, state)
+    env.close()
+    return result

@@ -1,0 +1,58 @@
+"""Jacobi 2D solver: native per-library variants plus one Uniconn variant.
+
+Variant registry keys match the paper's legend:
+``mpi-native``, ``gpuccl-native``, ``gpushmem-host-native``,
+``gpushmem-device-native``, and ``uniconn:<backend>[:<mode>]`` via
+:func:`run_variant`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...launcher import RankContext, launch
+from . import native_gpuccl, native_gpushmem_device, native_gpushmem_host, native_mpi, uniconn
+from .domain import JacobiConfig, init_global, partition_rows, serial_jacobi
+from .harness import JacobiResult, assemble
+from .kernels import JacobiState
+
+__all__ = [
+    "JacobiConfig",
+    "JacobiResult",
+    "JacobiState",
+    "NATIVE_VARIANTS",
+    "run_variant",
+    "launch_variant",
+    "serial_jacobi",
+    "init_global",
+    "partition_rows",
+    "assemble",
+]
+
+NATIVE_VARIANTS = {
+    "mpi-native": native_mpi.run,
+    "gpuccl-native": native_gpuccl.run,
+    "gpushmem-host-native": native_gpushmem_host.run,
+    "gpushmem-device-native": native_gpushmem_device.run,
+}
+
+
+def run_variant(rank_ctx: RankContext, variant: str, cfg: JacobiConfig, collect: bool = False) -> JacobiResult:
+    """Dispatch one rank's Jacobi run by variant name.
+
+    Uniconn variants are named ``uniconn:<backend>`` (host mode) or
+    ``uniconn:gpushmem:<PureHost|PartialDevice|PureDevice>``.
+    """
+    if variant in NATIVE_VARIANTS:
+        return NATIVE_VARIANTS[variant](rank_ctx, cfg, collect=collect)
+    parts = variant.split(":")
+    if parts[0] != "uniconn" or len(parts) not in (2, 3):
+        raise ValueError(f"unknown jacobi variant {variant!r}")
+    backend = parts[1]
+    mode = parts[2] if len(parts) == 3 else "PureHost"
+    return uniconn.run(rank_ctx, cfg, backend=backend, launch_mode=mode, collect=collect)
+
+
+def launch_variant(variant: str, cfg: JacobiConfig, nranks: int, machine="perlmutter", collect=False):
+    """Launch a whole Jacobi job for one variant; returns per-rank results."""
+    return launch(run_variant, nranks, machine=machine, args=(variant, cfg, collect))

@@ -1,0 +1,71 @@
+"""Native GPUCCL (NCCL/RCCL) Jacobi (the paper's Listing 2).
+
+Per iteration: launch the compute kernel, then a grouped send/recv halo
+exchange on the same stream — the host never blocks inside the loop; the
+stream ordering carries the dependency into the next kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...backends import gpuccl
+from ...backends.gpuccl import GpucclComm, get_unique_id
+from ...backends.mpi import MpiContext
+from ...launcher import RankContext
+from .domain import JacobiConfig
+from .harness import JacobiResult, collect_interior, launch_dims, make_state, measure_loop
+from .kernels import jacobi_kernel
+
+
+def run(rank_ctx: RankContext, cfg: JacobiConfig, collect: bool = False) -> JacobiResult:
+    """Run the native GPUCCL Jacobi on this rank."""
+    rank_ctx.set_device(rank_ctx.node_rank)
+    # GPUCCL bootstraps its unique id over MPI, as real applications do.
+    mpi = MpiContext(rank_ctx)
+    uid_token = np.zeros(1, np.int64)
+    if rank_ctx.rank == 0:
+        uid_token[0] = get_unique_id().value
+    mpi.comm_world.bcast(uid_token, 1, root=0)
+    uid = gpuccl.GpucclUniqueId.__new__(gpuccl.GpucclUniqueId)
+    uid.value = int(uid_token[0])
+    comm = GpucclComm(rank_ctx, uid, rank_ctx.world_size, rank_ctx.rank)
+
+    device = rank_ctx.require_device()
+    stream = device.create_stream()
+    state = make_state(rank_ctx, cfg, alloc_comm=lambda n: device.malloc(n, np.float32))
+    part = state.part
+    nx = cfg.nx
+    grid, block = launch_dims(part)
+
+    def step() -> None:
+        device.launch(jacobi_kernel, grid, block, args=(state.freeze(),), stream=stream)
+        nxt = (state.it + 1) % 2
+        halo = state.halo_in[nxt]
+        out = state.bound_out
+        gpuccl.group_start()
+        if part.has_top:
+            comm.send(out.offset(0, nx), nx, part.top, stream)
+            comm.recv(halo.offset(0, nx), nx, part.top, stream)
+        if part.has_bottom:
+            comm.send(out.offset(nx, nx), nx, part.bottom, stream)
+            comm.recv(halo.offset(nx, nx), nx, part.bottom, stream)
+        gpuccl.group_end()
+        state.swap()
+
+    def barrier() -> None:
+        token = np.zeros(1, np.float32)
+        comm.all_reduce(token, token, 1, "sum", stream)
+        stream.synchronize()
+
+    total, per_iter = measure_loop(rank_ctx, cfg, stream, step, barrier)
+    stream.synchronize()
+    result = JacobiResult(
+        rank=rank_ctx.rank,
+        nranks=rank_ctx.world_size,
+        total_time=total,
+        time_per_iter=per_iter,
+        interior=collect_interior(state) if collect else None,
+    )
+    mpi.finalize()
+    return result

@@ -1,0 +1,75 @@
+"""Native GPUSHMEM Jacobi, device API variant (the paper's Listing 3).
+
+Each iteration launches one cooperative kernel that computes the update,
+issues block-granularity ``put_signal_nbi`` for both halo rows, and spins
+on ``signal_wait_until`` — the CPU only launches and swaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...backends.gpushmem import ShmemContext
+from ...gpu.kernel import device_kernel
+from ...launcher import RankContext
+from .domain import JacobiConfig, stencil_cost
+from .harness import JacobiResult, collect_interior, coop_launch_dims, make_state, measure_loop
+from .kernels import JacobiState, unpack_compute_pack
+
+
+@device_kernel(name="jacobi_shmem_dev")
+def _jacobi_dev(ctx, state: JacobiState) -> None:
+    shmem = ctx.shmem
+    part = state.part
+    nx = part.nx
+    ctx.compute(stencil_cost(part.chunk, nx))
+    unpack_compute_pack(state)
+    nxt = (state.it + 1) % 2
+    val = state.it + 1
+    halo = state.halo_in[nxt]
+    out = state.bound_out
+    sig = state.sig
+    if part.has_top:
+        shmem.put_signal_nbi(
+            halo.offset_by(nx, nx), out.offset_by(0, nx), nx,
+            sig.offset_by(2 * nxt + 1, 1), val, part.top, group="block",
+        )
+    if part.has_bottom:
+        shmem.put_signal_nbi(
+            halo.offset_by(0, nx), out.offset_by(nx, nx), nx,
+            sig.offset_by(2 * nxt + 0, 1), val, part.bottom, group="block",
+        )
+    if part.has_top:
+        shmem.signal_wait_until(sig.offset_by(2 * nxt + 0, 1), "ge", val)
+    if part.has_bottom:
+        shmem.signal_wait_until(sig.offset_by(2 * nxt + 1, 1), "ge", val)
+
+
+def run(rank_ctx: RankContext, cfg: JacobiConfig, collect: bool = False) -> JacobiResult:
+    """Run the native GPUSHMEM device-API Jacobi on this rank."""
+    rank_ctx.set_device(rank_ctx.node_rank)
+    shmem = ShmemContext(rank_ctx)
+    device = rank_ctx.require_device()
+    stream = device.create_stream()
+
+    state = make_state(
+        rank_ctx,
+        cfg,
+        alloc_comm=lambda n: shmem.malloc(n, np.float32),
+        alloc_sig=lambda n: shmem.malloc(n, np.uint64),
+    )
+    grid, block = coop_launch_dims(state.part, device)
+
+    def step() -> None:
+        shmem.collective_launch(_jacobi_dev, grid, block, args=(state.freeze(),), stream=stream)
+        state.swap()
+
+    total, per_iter = measure_loop(rank_ctx, cfg, stream, step, shmem.barrier_all)
+    stream.synchronize()
+    return JacobiResult(
+        rank=rank_ctx.rank,
+        nranks=rank_ctx.world_size,
+        total_time=total,
+        time_per_iter=per_iter,
+        interior=collect_interior(state) if collect else None,
+    )

@@ -1,0 +1,69 @@
+"""Native GPUSHMEM Jacobi, host/stream API variant.
+
+Per iteration: compute kernel, then one-sided put-with-signal of each
+boundary row into the neighbour's staging buffer and a stream-ordered
+signal wait for this iteration's incoming halos — no host blocking inside
+the loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...backends.gpushmem import ShmemContext
+from ...launcher import RankContext
+from .domain import JacobiConfig
+from .harness import JacobiResult, collect_interior, launch_dims, make_state, measure_loop
+from .kernels import jacobi_kernel
+
+
+def run(rank_ctx: RankContext, cfg: JacobiConfig, collect: bool = False) -> JacobiResult:
+    """Run the native GPUSHMEM host-API Jacobi on this rank."""
+    rank_ctx.set_device(rank_ctx.node_rank)
+    shmem = ShmemContext(rank_ctx)
+    device = rank_ctx.require_device()
+    stream = device.create_stream()
+
+    state = make_state(
+        rank_ctx,
+        cfg,
+        alloc_comm=lambda n: shmem.malloc(n, np.float32),
+        alloc_sig=lambda n: shmem.malloc(n, np.uint64),
+    )
+    part = state.part
+    nx = cfg.nx
+    grid, block = launch_dims(part)
+
+    def step() -> None:
+        device.launch(jacobi_kernel, grid, block, args=(state.freeze(),), stream=stream)
+        nxt = (state.it + 1) % 2
+        val = state.it + 1
+        halo = state.halo_in[nxt]
+        out = state.bound_out
+        sig = state.sig
+        if part.has_top:
+            # My top row lands in the top neighbour's "from bottom" slot.
+            shmem.put_signal_on_stream(
+                halo.offset_by(nx, nx), out.offset_by(0, nx), nx,
+                sig.offset_by(2 * nxt + 1, 1), val, part.top, stream,
+            )
+        if part.has_bottom:
+            shmem.put_signal_on_stream(
+                halo.offset_by(0, nx), out.offset_by(nx, nx), nx,
+                sig.offset_by(2 * nxt + 0, 1), val, part.bottom, stream,
+            )
+        if part.has_top:
+            shmem.signal_wait_until_on_stream(sig.offset_by(2 * nxt + 0, 1), "ge", val, stream)
+        if part.has_bottom:
+            shmem.signal_wait_until_on_stream(sig.offset_by(2 * nxt + 1, 1), "ge", val, stream)
+        state.swap()
+
+    total, per_iter = measure_loop(rank_ctx, cfg, stream, step, shmem.barrier_all)
+    stream.synchronize()
+    return JacobiResult(
+        rank=rank_ctx.rank,
+        nranks=rank_ctx.world_size,
+        total_time=total,
+        time_per_iter=per_iter,
+        interior=collect_interior(state) if collect else None,
+    )

@@ -1,0 +1,151 @@
+"""Uniconn Jacobi: ONE implementation for every backend and launch mode.
+
+This is the paper's Listing 4, line for line: Environment -> SetDevice ->
+Communicator -> Memory -> Coordinator with three BindKernel calls (one per
+LaunchMode) -> time loop of LaunchKernel / CommStart / Post x2 /
+Acknowledge x2 / CommEnd / swap. Switching backend or launch mode changes
+only the two constructor arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ...core import Communicator, Coordinator, Environment, LaunchMode, Memory, ThreadGroup
+from ...gpu.kernel import device_kernel
+from ...launcher import RankContext
+from .domain import JacobiConfig, stencil_cost
+from .harness import (
+    JacobiResult,
+    collect_interior,
+    coop_launch_dims,
+    launch_dims,
+    make_state,
+    measure_loop,
+)
+from .kernels import JacobiState, jacobi_kernel, unpack_compute_pack
+
+
+@device_kernel(name="jacobi_p_dev")
+def _jacobi_p_dev(ctx, state: JacobiState, comm_d) -> None:
+    """PartialDevice kernel (Listing 6): compute, then device-initiated
+    payload puts with no signal; the host's Post/Acknowledge complete the
+    iteration's synchronization."""
+    u = ctx.uniconn
+    part = state.part
+    nx = part.nx
+    ctx.compute(stencil_cost(part.chunk, nx))
+    unpack_compute_pack(state)
+    nxt = (state.it + 1) % 2
+    halo, out = state.halo_in[nxt], state.bound_out
+    if part.has_top:
+        u.post(out.offset_by(0, nx), halo.offset_by(nx, nx), nx,
+               None, 0, part.top, comm_d, group=ThreadGroup.BLOCK)
+    if part.has_bottom:
+        u.post(out.offset_by(nx, nx), halo.offset_by(0, nx), nx,
+               None, 0, part.bottom, comm_d, group=ThreadGroup.BLOCK)
+
+
+@device_kernel(name="jacobi_f_dev")
+def _jacobi_f_dev(ctx, state: JacobiState, comm_d) -> None:
+    """PureDevice kernel (Listing 5): compute and complete the whole halo
+    exchange inside the kernel via the Uniconn device API."""
+    u = ctx.uniconn
+    part = state.part
+    nx = part.nx
+    ctx.compute(stencil_cost(part.chunk, nx))
+    unpack_compute_pack(state)
+    nxt = (state.it + 1) % 2
+    val = state.it + 1
+    halo, out, sig = state.halo_in[nxt], state.bound_out, state.sig
+    if part.has_top:
+        u.post(out.offset_by(0, nx), halo.offset_by(nx, nx), nx,
+               sig.offset_by(2 * nxt + 1, 1), val, part.top, comm_d)
+    if part.has_bottom:
+        u.post(out.offset_by(nx, nx), halo.offset_by(0, nx), nx,
+               sig.offset_by(2 * nxt + 0, 1), val, part.bottom, comm_d)
+    if part.has_top:
+        u.acknowledge(halo.offset_by(0, nx), nx, sig.offset_by(2 * nxt + 0, 1), val, part.top, comm_d)
+    if part.has_bottom:
+        u.acknowledge(halo.offset_by(nx, nx), nx, sig.offset_by(2 * nxt + 1, 1), val, part.bottom, comm_d)
+
+
+def run(
+    rank_ctx: RankContext,
+    cfg: JacobiConfig,
+    backend: Union[str, type, None] = None,
+    launch_mode: Union[str, LaunchMode, None] = None,
+    collect: bool = False,
+) -> JacobiResult:
+    # --- Setup phase (Listing 4, lines 1-29) -------------------------- #
+    """Run the Uniconn Jacobi on this rank for any backend/launch mode."""
+    env = Environment(backend, rank_ctx)
+    env.set_device(env.node_rank())
+    comm = Communicator(env)
+    device = env.device
+    stream = device.create_stream()
+    coord = Coordinator(env, stream, launch_mode=launch_mode)
+    mode = coord.launch_mode
+
+    needs_sig = coord.uses_signals
+    state = make_state(
+        rank_ctx,
+        cfg,
+        alloc_comm=lambda n: Memory.alloc(env, n, np.float32),
+        alloc_sig=(lambda n: Memory.alloc(env, n, np.uint64)) if needs_sig else None,
+    )
+    part = state.part
+    nx = cfg.nx
+
+    comm_d = comm.to_device() if mode.uses_device_api else None
+    h_grid, h_block = launch_dims(part)
+    coord.bind_kernel(LaunchMode.PureHost, jacobi_kernel, h_grid, h_block,
+                      args=lambda: (state.freeze(),))
+    if mode.uses_device_api:
+        d_grid, d_block = coop_launch_dims(part, device)
+        coord.bind_kernel(LaunchMode.PartialDevice, _jacobi_p_dev, d_grid, d_block,
+                          args=lambda: (state.freeze(), comm_d))
+        coord.bind_kernel(LaunchMode.PureDevice, _jacobi_f_dev, d_grid, d_block,
+                          args=lambda: (state.freeze(), comm_d))
+    comm.barrier(stream)
+
+    # --- Progression: the time loop (Listing 4, lines 30-41) ---------- #
+    def step() -> None:
+        coord.launch_kernel()
+        nxt = (state.it + 1) % 2
+        val = state.it + 1
+        halo, out = state.halo_in[nxt], state.bound_out
+        sig = state.sig
+        # Signal slots: [2*parity + 0] = halo from top, [+1] = from bottom.
+        sig_from_top = sig.offset_by(2 * nxt + 0, 1) if sig is not None else None
+        sig_from_bot = sig.offset_by(2 * nxt + 1, 1) if sig is not None else None
+        coord.comm_start()
+        if part.has_top:
+            # My top row -> top neighbour's "from bottom" slot.
+            coord.post(out.offset_by(0, nx), halo.offset_by(nx, nx), nx,
+                       sig_from_bot, val, part.top, comm)
+        if part.has_bottom:
+            coord.post(out.offset_by(nx, nx), halo.offset_by(0, nx), nx,
+                       sig_from_top, val, part.bottom, comm)
+        if part.has_top:
+            coord.acknowledge(halo.offset_by(0, nx), nx, sig_from_top, val, part.top, comm)
+        if part.has_bottom:
+            coord.acknowledge(halo.offset_by(nx, nx), nx, sig_from_bot, val, part.bottom, comm)
+        coord.comm_end()
+        state.swap()
+
+    total, per_iter = measure_loop(rank_ctx, cfg, stream, step, lambda: comm.barrier(stream))
+    stream.synchronize()
+
+    # --- Termination (Listing 4, lines 42-49; Environment is RAII) ---- #
+    result = JacobiResult(
+        rank=rank_ctx.rank,
+        nranks=rank_ctx.world_size,
+        total_time=total,
+        time_per_iter=per_iter,
+        interior=collect_interior(state) if collect else None,
+    )
+    env.close()
+    return result

@@ -1,0 +1,122 @@
+"""2D checkerboard partitioning for the Jacobi extension app."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Grid2D", "Tile", "make_grid"]
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """A py x px process grid over an ny x nx domain."""
+
+    nx: int
+    ny: int
+    px: int
+    py: int
+
+    @property
+    def size(self) -> int:
+        """Total ranks in the process grid."""
+        return self.px * self.py
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        """(tile row, tile column) of a rank (row-major layout)."""
+        return rank // self.px, rank % self.px
+
+    def rank_at(self, ty: int, tx: int) -> Optional[int]:
+        """Rank at tile coordinates, or None outside the grid."""
+        if 0 <= ty < self.py and 0 <= tx < self.px:
+            return ty * self.px + tx
+        return None
+
+
+def make_grid(nx: int, ny: int, nranks: int) -> Grid2D:
+    """Choose the most square px x py factorization of ``nranks``."""
+    best = None
+    for py in range(1, nranks + 1):
+        if nranks % py:
+            continue
+        px = nranks // py
+        if px > nx - 2 or py > ny - 2:
+            continue
+        score = abs(math.log(px / py))
+        if best is None or score < best[0]:
+            best = (score, px, py)
+    if best is None:
+        raise ValueError(f"cannot factor {nranks} ranks over a {ny}x{nx} grid")
+    return Grid2D(nx=nx, ny=ny, px=best[1], py=best[2])
+
+
+def _split(n_interior: int, parts: int, index: int) -> Tuple[int, int]:
+    base, extra = divmod(n_interior, parts)
+    start = 1 + index * base + min(index, extra)
+    return start, start + base + (1 if index < extra else 0)
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One rank's tile: interior rows [y0, y1) x columns [x0, x1)."""
+
+    grid: Grid2D
+    rank: int
+    y0: int
+    y1: int
+    x0: int
+    x1: int
+
+    @classmethod
+    def of(cls, grid: Grid2D, rank: int) -> "Tile":
+        """Build the tile owned by one rank."""
+        ty, tx = grid.coords(rank)
+        y0, y1 = _split(grid.ny - 2, grid.py, ty)
+        x0, x1 = _split(grid.nx - 2, grid.px, tx)
+        return cls(grid, rank, y0, y1, x0, x1)
+
+    @property
+    def height(self) -> int:
+        """Interior rows of the tile."""
+        return self.y1 - self.y0
+
+    @property
+    def width(self) -> int:
+        """Interior columns of the tile."""
+        return self.x1 - self.x0
+
+    # Neighbour ranks (None at physical boundaries).
+    @property
+    def up(self) -> Optional[int]:
+        """Rank of the tile above, or None at the boundary."""
+        ty, tx = self.grid.coords(self.rank)
+        return self.grid.rank_at(ty - 1, tx)
+
+    @property
+    def down(self) -> Optional[int]:
+        """Rank of the tile below, or None at the boundary."""
+        ty, tx = self.grid.coords(self.rank)
+        return self.grid.rank_at(ty + 1, tx)
+
+    @property
+    def left(self) -> Optional[int]:
+        """Rank of the tile to the left, or None at the boundary."""
+        ty, tx = self.grid.coords(self.rank)
+        return self.grid.rank_at(ty, tx - 1)
+
+    @property
+    def right(self) -> Optional[int]:
+        """Rank of the tile to the right, or None at the boundary."""
+        ty, tx = self.grid.coords(self.rank)
+        return self.grid.rank_at(ty, tx + 1)
+
+    def local_shape(self) -> Tuple[int, int]:
+        """(height+2, width+2): the tile plus one halo ring."""
+        return self.height + 2, self.width + 2
+
+    def init_local(self, full: np.ndarray) -> np.ndarray:
+        """The tile plus halo ring cut from the initial global grid."""
+        return full[self.y0 - 1 : self.y1 + 1, self.x0 - 1 : self.x1 + 1].copy()

@@ -1,0 +1,14 @@
+"""OSU-style network microbenchmarks (latency + windowed bandwidth)."""
+
+from .bandwidth import BANDWIDTH_VARIANTS, run_bandwidth
+from .config import OsuConfig, default_sizes
+from .latency import LATENCY_VARIANTS, run_latency
+
+__all__ = [
+    "BANDWIDTH_VARIANTS",
+    "run_bandwidth",
+    "OsuConfig",
+    "default_sizes",
+    "LATENCY_VARIANTS",
+    "run_latency",
+]

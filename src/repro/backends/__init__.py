@@ -1,0 +1,6 @@
+"""The three simulated communication libraries Uniconn runs over.
+
+- :mod:`repro.backends.mpi` — GPU-aware MPI (two-sided, host-driven);
+- :mod:`repro.backends.gpuccl` — NCCL/RCCL-like (two-sided, stream-ordered);
+- :mod:`repro.backends.gpushmem` — NVSHMEM-like (one-sided, host+device APIs).
+"""

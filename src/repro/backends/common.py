@@ -1,0 +1,60 @@
+"""Helpers shared by the backend libraries: buffer coercion, reductions."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import BackendError
+from ..gpu.buffer import DeviceBuffer
+
+__all__ = ["BufferLike", "as_array", "nbytes_of", "REDUCE_OPS", "apply_reduce"]
+
+BufferLike = Union[DeviceBuffer, np.ndarray]
+
+
+def _storage(buf: BufferLike) -> np.ndarray:
+    # DeviceBuffer and SymBuffer both expose live storage through ``.data``.
+    data = getattr(buf, "data", None)
+    if isinstance(data, np.ndarray):
+        return data
+    return np.asarray(buf)
+
+
+def as_array(buf: BufferLike, count: int = None) -> np.ndarray:
+    """The live storage behind a device/symmetric buffer or host array."""
+    arr = _storage(buf).reshape(-1)
+    if count is not None:
+        if count > arr.size:
+            raise BackendError(f"count {count} exceeds buffer size {arr.size}")
+        arr = arr[:count]
+    return arr
+
+
+def nbytes_of(buf: BufferLike, count: int = None) -> int:
+    """Byte size of count elements (or the whole buffer)."""
+    arr = _storage(buf)
+    itemsize = arr.dtype.itemsize
+    return int((arr.size if count is None else count) * itemsize)
+
+
+def _sum(a, b):
+    return a + b
+
+
+REDUCE_OPS = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+
+def apply_reduce(op: str, acc: np.ndarray, update: np.ndarray) -> None:
+    """In-place ``acc = acc <op> update``."""
+    try:
+        ufunc = REDUCE_OPS[op]
+    except KeyError:
+        raise BackendError(f"unknown reduction op {op!r}; known: {sorted(REDUCE_OPS)}") from None
+    ufunc(acc, update, out=acc)

@@ -1,0 +1,18 @@
+"""Simulated GPUCCL (NCCL/RCCL): stream-ordered collectives and P2P.
+
+Usage, mirroring the paper's native-GPUCCL applications::
+
+    uid = gpuccl.get_unique_id() if rank == 0 else None
+    # ... broadcast uid over MPI ...
+    comm = gpuccl.GpucclComm(rank_ctx, uid, nranks, rank)
+    gpuccl.group_start()
+    comm.send(a_view, nx, top, stream)
+    comm.recv(b_view, nx, bottom, stream)
+    gpuccl.group_end()
+    comm.all_reduce(x, y, n, "sum", stream)
+    stream.synchronize()
+"""
+
+from .comm import GpucclComm, GpucclUniqueId, get_unique_id, group_end, group_start
+
+__all__ = ["GpucclComm", "GpucclUniqueId", "get_unique_id", "group_end", "group_start"]

@@ -1,0 +1,285 @@
+"""GPUCCL communicators: stream-ordered two-sided P2P with group fusion.
+
+Semantics follow NCCL/RCCL:
+
+- every operation is enqueued on a GPU stream and runs as a kernel; the
+  host never blocks (synchronize the stream to await results);
+- send and recv are matched per ordered (src, dst) pair, FIFO, no tags;
+- a send (or recv) op occupies its stream until the peer's matching op is
+  also running — so un-grouped bidirectional exchanges deadlock, exactly
+  like NCCL without ``ncclGroupStart/End``;
+- grouping fuses many P2P ops into a single kernel launch, paying the
+  launch overhead once plus a small per-op cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import GpucclError
+from ...gpu.stream import ExternalOp, Stream
+from ...launcher import RankContext
+from ..common import BufferLike, as_array
+from ..rendezvous import RendezvousBoard
+from .rings import RingModel
+
+__all__ = ["GpucclComm", "GpucclUniqueId", "get_unique_id", "group_start", "group_end"]
+
+
+class GpucclUniqueId:
+    """Opaque bootstrap token (ncclUniqueId): create once, share via MPI."""
+
+    _counter = 0
+
+    def __init__(self) -> None:
+        GpucclUniqueId._counter += 1
+        self.value = GpucclUniqueId._counter
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<GpucclUniqueId {self.value}>"
+
+
+def get_unique_id() -> GpucclUniqueId:
+    """ncclGetUniqueId: called by one rank, broadcast out-of-band."""
+    return GpucclUniqueId()
+
+
+# --------------------------------------------------------------------- #
+# P2P matching.
+# --------------------------------------------------------------------- #
+
+
+class _P2PEntry:
+    __slots__ = ("kind", "buf", "count", "nbytes", "src", "dst", "parent")
+
+    def __init__(self, kind: str, buf: BufferLike, count: int, src: int, dst: int):
+        self.kind = kind
+        self.buf = buf
+        self.count = count
+        self.nbytes = int(count * as_array(buf).dtype.itemsize)
+        self.src = src
+        self.dst = dst
+        self.parent: Optional["_FusedOp"] = None
+
+
+class _FusedOp(ExternalOp):
+    """One communication kernel carrying one or more P2P operations."""
+
+    def __init__(self, comm: "GpucclComm", stream: Stream, entries: List[_P2PEntry]):
+        name = f"gpuccl-p2p[r{comm.rank} x{len(entries)}]"
+        super().__init__(comm.engine, name, on_start=self._launch)
+        self.comm = comm
+        self.entries = entries
+        self._remaining = len(entries)
+        for e in entries:
+            e.parent = self
+
+    def _launch(self, _op: ExternalOp) -> None:
+        profile = self.comm.profile
+        delay = profile.comm_launch_overhead + profile.per_op_overhead * len(self.entries)
+
+        def register() -> None:
+            shared = self.comm.shared
+            for entry in self.entries:
+                shared.register(entry)
+
+        self.engine.schedule(delay, register)
+
+    def entry_done(self) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.finish()
+
+
+class _CommShared:
+    """State shared by all ranks of one communicator (the 'NCCL comm')."""
+
+    def __init__(self, engine, cluster, profile, nranks: int):
+        self.engine = engine
+        self.cluster = cluster
+        self.profile = profile
+        self.nranks = nranks
+        self.gpu_ids: Dict[int, int] = {}
+        self.board = RendezvousBoard(engine)
+        self._queues: Dict[Tuple[int, int], Tuple[List[_P2PEntry], List[_P2PEntry]]] = {}
+        self.coll_slots: Dict[int, object] = {}
+        self._ring: Optional[RingModel] = None
+
+    @property
+    def ring(self) -> RingModel:
+        if self._ring is None:
+            gpus = [self.gpu_ids[r] for r in range(self.nranks)]
+            self._ring = RingModel(self.cluster, self.profile, gpus)
+        return self._ring
+
+    def register(self, entry: _P2PEntry) -> None:
+        key = (entry.src, entry.dst)
+        sends, recvs = self._queues.setdefault(key, ([], []))
+        (sends if entry.kind == "send" else recvs).append(entry)
+        while sends and recvs:
+            self._fire(sends.pop(0), recvs.pop(0))
+
+    def _fire(self, send: _P2PEntry, recv: _P2PEntry) -> None:
+        if recv.count < send.count:
+            raise GpucclError(
+                f"gpuccl p2p size mismatch: send {send.count} > recv {recv.count} "
+                f"({send.src}->{send.dst})"
+            )
+        path = self.cluster.path(self.gpu_ids[send.src], self.gpu_ids[send.dst])
+        transfer = path.reserve(self.engine.now + self.profile.protocol_overhead, send.nbytes)
+        payload = as_array(send.buf, send.count).copy()
+
+        def deliver() -> None:
+            as_array(recv.buf)[: send.count] = payload
+            send.parent.entry_done()
+            recv.parent.entry_done()
+
+        self.engine.schedule(max(0.0, transfer.delivered - self.engine.now), deliver)
+
+
+# --------------------------------------------------------------------- #
+# Group semantics (thread-local in NCCL; per simulated task here).
+# --------------------------------------------------------------------- #
+
+
+class _Group:
+    __slots__ = ("depth", "pending")
+
+    def __init__(self) -> None:
+        self.depth = 1
+        self.pending: List[Tuple["GpucclComm", Stream, _P2PEntry]] = []
+
+
+_active_groups: Dict[object, _Group] = {}
+
+
+def _current_task():
+    from ...sim import current_engine
+
+    engine = current_engine()
+    return engine.current_task
+
+
+def group_start() -> None:
+    """ncclGroupStart: begin aggregating P2P calls (nestable)."""
+    task = _current_task()
+    group = _active_groups.get(task)
+    if group is None:
+        _active_groups[task] = _Group()
+    else:
+        group.depth += 1
+
+
+def group_end() -> None:
+    """ncclGroupEnd: launch the aggregated operations as fused kernels."""
+    task = _current_task()
+    group = _active_groups.get(task)
+    if group is None:
+        raise GpucclError("group_end without group_start")
+    group.depth -= 1
+    if group.depth > 0:
+        return
+    del _active_groups[task]
+    # One fused kernel per (communicator, stream), preserving call order.
+    buckets: Dict[Tuple[int, int], Tuple["GpucclComm", Stream, List[_P2PEntry]]] = {}
+    for comm, stream, entry in group.pending:
+        key = (id(comm.shared), id(stream))
+        if key not in buckets:
+            buckets[key] = (comm, stream, [])
+        buckets[key][2].append(entry)
+    for comm, stream, entries in buckets.values():
+        stream.enqueue(_FusedOp(comm, stream, entries))
+
+
+# --------------------------------------------------------------------- #
+
+
+class GpucclComm:
+    """One rank's handle on a GPUCCL communicator (ncclComm_t)."""
+
+    def __init__(self, rank_ctx: RankContext, unique_id: GpucclUniqueId, nranks: int, rank: int):
+        """ncclCommInitRank: collective across all ranks of the comm."""
+        if not 0 <= rank < nranks:
+            raise GpucclError(f"rank {rank} out of range [0,{nranks})")
+        device = rank_ctx.device
+        if device is None:
+            raise GpucclError("gpuccl requires a selected GPU before comm init")
+        self.rank_ctx = rank_ctx
+        self.engine = rank_ctx.engine
+        self.rank = rank
+        self.size = nranks
+        self.device = device
+        self.profile = rank_ctx.cluster.machine.gpuccl
+        self.shared: _CommShared = rank_ctx.job.shared_state(
+            ("gpuccl_comm", unique_id.value),
+            lambda: _CommShared(self.engine, rank_ctx.cluster, self.profile, nranks),
+        )
+        if self.shared.nranks != nranks:
+            raise GpucclError("inconsistent nranks across comm_init_rank calls")
+        self.shared.gpu_ids[rank] = device.gpu_id
+        self._coll_seq = 0
+        self._destroyed = False
+        # Bootstrap: all ranks must arrive before any communication.
+        self.shared.board.gather("init", rank, nranks)
+        self.engine.sleep(self.profile.bootstrap_overhead)
+
+    # ------------------------------------------------------------------ #
+
+    def _check(self, peer: int) -> None:
+        if self._destroyed:
+            raise GpucclError("use of destroyed gpuccl communicator")
+        if not 0 <= peer < self.size:
+            raise GpucclError(f"peer {peer} out of range [0,{self.size})")
+
+    def _submit(self, entry: _P2PEntry, stream: Stream) -> None:
+        task = _current_task()
+        group = _active_groups.get(task)
+        if group is not None:
+            group.pending.append((self, stream, entry))
+        else:
+            stream.enqueue(_FusedOp(self, stream, [entry]))
+
+    def send(self, buf: BufferLike, count: int, peer: int, stream: Stream) -> None:
+        """ncclSend: stream-ordered; blocks the stream until matched."""
+        self._check(peer)
+        self._submit(_P2PEntry("send", buf, count, self.rank, peer), stream)
+
+    def recv(self, buf: BufferLike, count: int, peer: int, stream: Stream) -> None:
+        """ncclRecv: stream-ordered; blocks the stream until matched."""
+        self._check(peer)
+        self._submit(_P2PEntry("recv", buf, count, peer, self.rank), stream)
+
+    # Collectives live in collectives.py; bound here for a flat API.
+    from .collectives import (  # noqa: E402  (methods-by-import idiom)
+        all_gather as all_gather,
+        all_reduce as all_reduce,
+        broadcast as broadcast,
+        reduce as reduce,
+        reduce_scatter as reduce_scatter,
+    )
+
+    # ------------------------------------------------------------------ #
+
+    def split(self, color: int, key: int = 0) -> "GpucclComm":
+        """ncclCommSplit: collective over every member of this comm."""
+        self._coll_seq += 1
+        slot = ("gpuccl_split", self._coll_seq)
+        payloads = self.shared.board.gather(slot, self.rank, self.size, (color, key, self.rank))
+        uid = self.shared.board.once(
+            ("split_ids", self._coll_seq),
+            lambda: {c: GpucclUniqueId() for c in sorted({p[0] for p in payloads.values()})},
+        )
+        group = sorted((p for p in payloads.values() if p[0] == color), key=lambda p: (p[1], p[2]))
+        new_rank = [g for _, _, g in group].index(self.rank)
+        return GpucclComm(self.rank_ctx, uid[color], len(group), new_rank)
+
+    def destroy(self) -> None:
+        """ncclCommDestroy."""
+        if self._destroyed:
+            raise GpucclError("gpuccl communicator destroyed twice")
+        self._destroyed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<GpucclComm rank={self.rank}/{self.size} gpu={self.device.gpu_id}>"

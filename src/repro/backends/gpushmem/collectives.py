@@ -1,0 +1,228 @@
+"""GPUSHMEM teams and collectives.
+
+Where NVSHMEM lacks a native algorithm, it composes collectives from
+put/get plus barriers (paper Section V-A); the cost model here reflects
+that: log2(p) tree rounds of puts over the team's slowest path, plus
+barrier costs. Collectives exist in three call flavours sharing one
+rendezvous slot: blocking task calls (host API), stream-ordered ops
+(``*_on_stream``), and device calls from inside kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...errors import GpushmemError
+from ...gpu.stream import ExternalOp, Stream
+from ..common import BufferLike, apply_reduce, as_array
+
+__all__ = ["ShmemTeam", "TeamModel"]
+
+
+class TeamModel:
+    """Analytic timing for put/get-composed collectives on one team."""
+
+    def __init__(self, world, member_pes: List[int]):
+        self.profile = world.profile
+        self.p = len(member_pes)
+        if self.p > 1:
+            paths = [
+                world.cluster.path(world.gpu_of(member_pes[i]), world.gpu_of(member_pes[(i + 1) % self.p]))
+                for i in range(self.p)
+            ]
+            self.hop_latency = max(p.latency for p in paths)
+            self.bandwidth = min(p.bandwidth for p in paths)
+        else:
+            self.hop_latency = 0.0
+            self.bandwidth = float("inf")
+        self.rounds = max(1, math.ceil(math.log2(max(self.p, 2))))
+
+    def barrier_time(self) -> float:
+        """Modelled duration of one team barrier."""
+        return self.rounds * (self.hop_latency + self.profile.barrier_overhead)
+
+    def _tree(self, nbytes: float) -> float:
+        per_round = self.hop_latency + nbytes / self.bandwidth + self.profile.host_post_overhead
+        return self.rounds * per_round + self.barrier_time()
+
+    def collective_time(self, kind: str, nbytes: int) -> float:
+        """Modelled duration of one collective of a given kind/size."""
+        if self.p == 1:
+            return self.profile.host_post_overhead
+        if kind == "barrier":
+            return self.barrier_time()
+        if kind in ("broadcast", "reduce", "allreduce"):
+            return self._tree(nbytes)
+        if kind in ("fcollect", "alltoall"):
+            # p-1 put rounds of one block each, plus the closing barrier.
+            per_round = self.hop_latency + nbytes / self.bandwidth
+            return (self.p - 1) * per_round + self.barrier_time()
+        raise GpushmemError(f"unknown collective kind {kind!r}")
+
+
+class _Slot:
+    """Rendezvous for one collective invocation on one team."""
+
+    def __init__(self, world, team: "ShmemTeam", kind: str, count: int, op: Optional[str], root: Optional[int]):
+        self.world = world
+        self.team = team
+        self.kind = kind
+        self.count = count
+        self.op = op
+        self.root = root
+        self.records: Dict[int, tuple] = {}
+        self.finishers: List = []
+        from ...sim import SimEvent
+
+        self.done = SimEvent(world.engine, name=f"shmem-{kind}")
+
+    def arrive(self, team_pe: int, snapshot: Optional[np.ndarray], recv_target, finish_cb=None) -> None:
+        if (team_pe in self.records):
+            raise GpushmemError(f"PE {team_pe} joined {self.kind} twice")
+        self.records[team_pe] = (snapshot, recv_target)
+        if finish_cb is not None:
+            self.finishers.append(finish_cb)
+        if len(self.records) == self.team.size:
+            self._fire()
+
+    def check(self, kind: str, count: int, op: Optional[str], root: Optional[int]) -> None:
+        if (kind, count, op, root) != (self.kind, self.count, self.op, self.root):
+            raise GpushmemError(
+                f"mismatched team collective: {kind}(count={count}, op={op}, root={root}) vs "
+                f"{self.kind}(count={self.count}, op={self.op}, root={self.root})"
+            )
+
+    def _fire(self) -> None:
+        itemsize = 1
+        for snap, _ in self.records.values():
+            if snap is not None:
+                itemsize = snap.dtype.itemsize
+                break
+        duration = self.team.model.collective_time(self.kind, self.count * itemsize)
+
+        def complete() -> None:
+            self._apply()
+            self.done.set()
+            for cb in self.finishers:
+                cb()
+
+        self.world.engine.schedule(duration, complete)
+
+    def _apply(self) -> None:
+        kind, count, p = self.kind, self.count, self.team.size
+        if kind == "barrier":
+            return
+        if kind in ("reduce", "allreduce"):
+            total = self.records[0][0].copy()
+            for r in range(1, p):
+                apply_reduce(self.op, total, self.records[r][0])
+            targets = self.records.items() if kind == "allreduce" else [(self.root, self.records[self.root])]
+            for _, (_, recv) in targets:
+                if recv is not None:
+                    as_array(recv)[:count] = total
+        elif kind == "broadcast":
+            payload = self.records[self.root][0]
+            for pe, (_, recv) in self.records.items():
+                if recv is not None:
+                    as_array(recv)[:count] = payload
+        elif kind == "fcollect":
+            gathered = np.concatenate([self.records[r][0] for r in range(p)])
+            for _, (_, recv) in self.records.items():
+                as_array(recv)[: count * p] = gathered
+        elif kind == "alltoall":
+            for dst in range(p):
+                out = np.concatenate([self.records[src][0][dst * count : (dst + 1) * count] for src in range(p)])
+                recv = self.records[dst][1]
+                as_array(recv)[: count * p] = out
+        else:  # pragma: no cover - guarded by TeamModel
+            raise GpushmemError(f"unknown collective kind {kind}")
+
+
+class ShmemTeam:
+    """A set of PEs (OpenSHMEM team). PE ids inside the team are dense."""
+
+    def __init__(self, world, members: List[int], my_world_pe: int, team_key):
+        self.world = world
+        self.members = members
+        try:
+            self.my_pe = members.index(my_world_pe)
+        except ValueError:
+            raise GpushmemError(f"PE {my_world_pe} not in team") from None
+        self.size = len(members)
+        self.team_key = team_key
+        self._seq = 0
+        self._shared = world.board.once(("team_shared", team_key), dict)
+        self._model: Optional[TeamModel] = None
+
+    @property
+    def model(self) -> TeamModel:
+        """Lazily-built shared timing model for this team."""
+        if self._model is None:
+            self._model = self.world.board.once(
+                ("team_model", self.team_key), lambda: TeamModel(self.world, self.members)
+            )
+        return self._model
+
+    def translate(self, team_pe: int) -> int:
+        """Team PE id -> world PE id."""
+        if not 0 <= team_pe < self.size:
+            raise GpushmemError(f"team PE {team_pe} out of range [0,{self.size})")
+        return self.members[team_pe]
+
+    # ------------------------------------------------------------------ #
+
+    def _slot(self, kind: str, count: int, op: Optional[str], root: Optional[int]) -> _Slot:
+        self._seq += 1
+        slot = self._shared.get(self._seq)
+        if slot is None:
+            slot = _Slot(self.world, self, kind, count, op, root)
+            self._shared[self._seq] = slot
+        else:
+            slot.check(kind, count, op, root)
+        return slot
+
+    def run_collective(
+        self,
+        kind: str,
+        send: Optional[BufferLike],
+        recv,
+        count: int,
+        op: Optional[str] = None,
+        root: Optional[int] = None,
+        *,
+        stream: Optional[Stream] = None,
+        snapshot_count: Optional[int] = None,
+    ):
+        """Join a collective; blocks the task, or enqueues on ``stream``."""
+        slot = self._slot(kind, count, op, root)
+        n_snap = count if snapshot_count is None else snapshot_count
+        team_pe = self.my_pe
+
+        if stream is None:
+            snapshot = None if send is None else as_array(send, n_snap).copy()
+            slot.arrive(team_pe, snapshot, recv)
+            slot.done.wait()
+            return None
+
+        def on_start(op_handle: ExternalOp) -> None:
+            def register() -> None:
+                snapshot = None if send is None else as_array(send, n_snap).copy()
+                slot.arrive(team_pe, snapshot, recv, finish_cb=op_handle.finish)
+
+            self.world.engine.schedule(self.world.profile.host_post_overhead, register)
+
+        stream.enqueue(ExternalOp(self.world.engine, f"shmem-{kind}[pe{team_pe}]", on_start))
+        return None
+
+    def split(self, color: int, key: int = 0) -> "ShmemTeam":
+        """Split into sub-teams (generalization of team_split_strided)."""
+        self._seq += 1
+        slot_key = ("team_split", self.team_key, self._seq)
+        my_world = self.members[self.my_pe]
+        payloads = self.world.board.gather(slot_key, self.my_pe, self.size, (color, key, my_world))
+        group = sorted((p for p in payloads.values() if p[0] == color), key=lambda p: (p[1], p[2]))
+        members = [g for _, _, g in group]
+        return ShmemTeam(self.world, members, my_world, (slot_key, color))

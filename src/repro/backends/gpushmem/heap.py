@@ -1,0 +1,170 @@
+"""The symmetric heap: same allocations, same order, on every PE.
+
+``shmem_malloc`` is collective; the n-th allocation on every PE refers to
+the same *symmetric object*, so a PE can name remote memory by its own local
+handle plus a PE number (the OpenSHMEM addressing model). A
+:class:`SymBuffer` is one PE's handle: it knows its offset inside the
+symmetric object, so slices (`sync_arr + 1` style pointer arithmetic)
+translate correctly to every peer.
+
+Waiting is built in: every symmetric object carries an update broadcast and
+a watcher list, which is what ``signal_wait_until`` (device/task side) and
+``signal_wait_until_on_stream`` (host side) hang off.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import GpushmemError
+from ...gpu.buffer import DeviceBuffer
+from ...sim import Broadcast
+
+__all__ = ["SymObject", "SymBuffer", "SIGNAL_SET", "SIGNAL_ADD", "CMP"]
+
+SIGNAL_SET = "set"
+SIGNAL_ADD = "add"
+
+CMP = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+}
+
+
+class SymObject:
+    """One collective allocation, with per-PE backing storage."""
+
+    def __init__(self, engine, index: int, count: int, dtype: np.dtype, npes: int):
+        self.index = index
+        self.count = count
+        self.dtype = np.dtype(dtype)
+        self.npes = npes
+        self.per_pe: Dict[int, DeviceBuffer] = {}
+        self.updated = Broadcast(engine, f"sym{index}")
+        self._watchers: List[Tuple[Callable[[], bool], Callable[[], None]]] = []
+
+    def attach(self, pe: int, buf: DeviceBuffer) -> None:
+        """Register one PE's local storage for this symmetric object."""
+        if pe in self.per_pe:
+            raise GpushmemError(f"PE {pe} allocated symmetric object {self.index} twice")
+        self.per_pe[pe] = buf
+
+    def check_symmetric(self, count: int, dtype) -> None:
+        """Validate that an allocation matches the other PEs' shape."""
+        if count != self.count or np.dtype(dtype) != self.dtype:
+            raise GpushmemError(
+                f"asymmetric allocation #{self.index}: "
+                f"{count}x{np.dtype(dtype)} vs {self.count}x{self.dtype} on other PEs"
+            )
+
+    def storage(self, pe: int) -> DeviceBuffer:
+        """The backing device buffer of this object on one PE."""
+        buf = self.per_pe.get(pe)
+        if buf is None:
+            raise GpushmemError(f"PE {pe} has not allocated symmetric object {self.index}")
+        return buf
+
+    # -------------------------------------------------------------- #
+    # Update notification (signals, waits).
+    # -------------------------------------------------------------- #
+
+    def watch(self, predicate: Callable[[], bool], callback: Callable[[], None]) -> None:
+        """Run ``callback`` once ``predicate`` holds (checked on updates)."""
+        if predicate():
+            callback()
+        else:
+            self._watchers.append((predicate, callback))
+
+    def notify(self) -> None:
+        """Declare that this object's memory changed on some PE."""
+        if self._watchers:
+            still = []
+            for predicate, callback in self._watchers:
+                if predicate():
+                    callback()
+                else:
+                    still.append((predicate, callback))
+            self._watchers = still
+        self.updated.notify_all()
+
+
+class SymBuffer:
+    """One PE's handle on (a slice of) a symmetric object."""
+
+    __slots__ = ("obj", "my_pe", "offset", "count")
+
+    def __init__(self, obj: SymObject, my_pe: int, offset: int = 0, count: Optional[int] = None):
+        self.obj = obj
+        self.my_pe = my_pe
+        self.offset = offset
+        self.count = obj.count - offset if count is None else count
+        if self.offset < 0 or self.offset + self.count > obj.count:
+            raise GpushmemError(
+                f"symmetric slice [{offset}:{offset + self.count}] outside "
+                f"allocation of {obj.count} elements"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.obj.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.obj.dtype.itemsize
+
+    @property
+    def size(self) -> int:
+        return self.count
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def local(self) -> DeviceBuffer:
+        """This PE's own storage for the slice."""
+        return self.view_at(self.my_pe)
+
+    @property
+    def data(self) -> np.ndarray:
+        """Local live numpy storage (lets SymBuffer act as a BufferLike)."""
+        return self.local.data
+
+    def view_at(self, pe: int) -> DeviceBuffer:
+        """The slice's storage on PE ``pe`` (the one-sided address map)."""
+        return self.obj.storage(pe).offset(self.offset, self.count)
+
+    def __getitem__(self, key: slice) -> "SymBuffer":
+        if not isinstance(key, slice):
+            raise GpushmemError("symmetric buffers are indexed with slices")
+        start, stop, step = key.indices(self.count)
+        if step != 1:
+            raise GpushmemError("symmetric buffer slices must be contiguous")
+        return SymBuffer(self.obj, self.my_pe, self.offset + start, stop - start)
+
+    def offset_by(self, start: int, count: Optional[int] = None) -> "SymBuffer":
+        """Pointer arithmetic: ``buf.offset_by(n)`` is ``ptr + n``."""
+        stop = self.count if count is None else start + count
+        return self[start:stop]
+
+    def read(self) -> np.ndarray:
+        """Snapshot the local window contents."""
+        return self.local.read()
+
+    def write(self, values) -> None:
+        """Overwrite the local window and wake watchers."""
+        self.local.write(np.asarray(values, dtype=self.obj.dtype))
+        self.obj.notify()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SymBuffer obj={self.obj.index} pe={self.my_pe} "
+            f"[{self.offset}:{self.offset + self.count}] {self.dtype}>"
+        )

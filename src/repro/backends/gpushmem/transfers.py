@@ -1,0 +1,131 @@
+"""One-sided data movement: the engine behind every put/get variant.
+
+All GPUSHMEM APIs (host, on-stream, device at any thread granularity)
+funnel into :func:`issue_put` / :func:`issue_get`, which reserve the
+GPU-to-GPU path, apply the payload at delivery time, optionally apply a
+signal update *after* the payload (NVSHMEM put-with-signal ordering), and
+fire local/remote completion callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ...errors import GpushmemError
+from ..common import BufferLike, as_array
+from .heap import SIGNAL_ADD, SIGNAL_SET, SymBuffer
+
+__all__ = ["issue_put", "issue_get", "apply_signal"]
+
+
+def apply_signal(sig: SymBuffer, pe: int, value: int, op: str) -> None:
+    """Atomically update a remote signal word and wake its watchers."""
+    arr = sig.view_at(pe).data
+    if arr.size < 1:
+        raise GpushmemError("signal location must hold at least one element")
+    if op == SIGNAL_SET:
+        arr[0] = value
+    elif op == SIGNAL_ADD:
+        arr[0] += value
+    else:
+        raise GpushmemError(f"unknown signal op {op!r}")
+    sig.obj.notify()
+
+
+def issue_put(
+    world,
+    src_pe: int,
+    dst_pe: int,
+    dest: SymBuffer,
+    src: BufferLike,
+    count: int,
+    *,
+    signal: Optional[Tuple[SymBuffer, int, str]] = None,
+    bandwidth_penalty: float = 1.0,
+    extra_latency: float = 0.0,
+    latency_adjust: float = 0.0,
+    on_local_done: Optional[Callable[[], None]] = None,
+    on_delivered: Optional[Callable[[], None]] = None,
+) -> None:
+    """Start a put of ``count`` elements from ``src`` (on ``src_pe``) into
+    ``dest`` as addressed on ``dst_pe``.
+
+    The payload is snapshotted at issue time (the source kernel/stream owns
+    the buffer while the transfer is in flight). ``bandwidth_penalty`` < 1
+    models sub-BLOCK thread granularities; ``extra_latency`` models the
+    device-initiated proxy path for inter-node traffic; ``latency_adjust``
+    (possibly negative) shifts delivery for direct load/store paths, clamped
+    so data never arrives before it finished leaving the source.
+    """
+    if count > dest.count:
+        raise GpushmemError(f"put of {count} elements into window of {dest.count}")
+    engine = world.engine
+    payload = as_array(src, count).copy()
+    nbytes = count * payload.dtype.itemsize
+    path = world.cluster.path(world.gpu_of(src_pe), world.gpu_of(dst_pe))
+    if bandwidth_penalty <= 0 or bandwidth_penalty > 1:
+        raise GpushmemError(f"invalid bandwidth penalty {bandwidth_penalty}")
+    effective = int(np.ceil(nbytes / bandwidth_penalty))
+    transfer = path.reserve(engine.now + extra_latency, effective)
+
+    if on_local_done is not None:
+        engine.schedule(max(0.0, transfer.inject_done - engine.now), on_local_done)
+
+    def deliver() -> None:
+        dest.view_at(dst_pe).data[:count] = payload
+        dest.obj.notify()
+        if signal is not None:
+            sig, value, op = signal
+
+            def fire_signal() -> None:
+                apply_signal(sig, dst_pe, value, op)
+                if on_delivered is not None:
+                    on_delivered()
+
+            engine.schedule(world.profile.signal_overhead, fire_signal)
+        elif on_delivered is not None:
+            on_delivered()
+
+    delay = max(
+        0.0,
+        transfer.inject_done - engine.now,
+        transfer.delivered - engine.now + latency_adjust,
+    )
+    engine.schedule(delay, deliver)
+
+
+def issue_get(
+    world,
+    src_pe: int,
+    dst_pe: int,
+    dest: BufferLike,
+    src: SymBuffer,
+    count: int,
+    *,
+    bandwidth_penalty: float = 1.0,
+    extra_latency: float = 0.0,
+    on_delivered: Optional[Callable[[], None]] = None,
+) -> None:
+    """Start a get: PE ``src_pe`` reads ``count`` elements of ``src`` as
+    addressed on ``dst_pe`` into its local ``dest``.
+
+    The remote memory is read at delivery time (the closest single-snapshot
+    approximation of a one-sided read racing with remote writes).
+    """
+    if count > src.count:
+        raise GpushmemError(f"get of {count} elements from window of {src.count}")
+    engine = world.engine
+    nbytes = count * src.dtype.itemsize
+    # Gets traverse the reverse path: remote PE -> reader.
+    path = world.cluster.path(world.gpu_of(dst_pe), world.gpu_of(src_pe))
+    effective = int(np.ceil(nbytes / bandwidth_penalty))
+    transfer = path.reserve(engine.now + extra_latency, effective)
+
+    def deliver() -> None:
+        as_array(dest)[:count] = src.view_at(dst_pe).data[:count]
+        if on_delivered is not None:
+            on_delivered()
+
+    engine.schedule(max(0.0, transfer.delivered - engine.now), deliver)

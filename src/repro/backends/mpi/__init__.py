@@ -1,0 +1,33 @@
+"""Simulated GPU-aware MPI: two-sided, host-driven message passing.
+
+Usage, mirroring the paper's native-MPI applications::
+
+    def app(rank_ctx):
+        rank_ctx.set_device(rank_ctx.node_rank)
+        mpi = MpiContext(rank_ctx)          # MPI_Init
+        comm = mpi.comm_world
+        comm.send(buf, count, dst)           # blocking GPU-aware send
+        req = comm.irecv(buf, count, src)    # nonblocking receive
+        req.wait()
+        comm.allreduce(x, y, count, "sum")
+        mpi.finalize()
+
+MPI has no stream integration: callers must synchronize their GPU streams
+before passing device buffers (exactly the paper's Listing 1).
+"""
+
+from .comm import MpiCommunicator, MpiContext, MpiWorld
+from .matching import ANY_SOURCE, ANY_TAG
+from .request import Request, waitall
+from .rma import MpiWindow
+
+__all__ = [
+    "MpiCommunicator",
+    "MpiContext",
+    "MpiWorld",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Request",
+    "waitall",
+    "MpiWindow",
+]

@@ -1,0 +1,250 @@
+"""MPI collectives, built on the library's own point-to-point layer.
+
+Algorithms follow what MPI implementations use on GPU buffers:
+
+- barrier: dissemination (ceil(log2 p) rounds);
+- bcast/reduce: binomial trees;
+- allreduce: reduce-to-0 + bcast (the non-pipelined GPU path);
+- gather(v)/scatter(v): linear fan-in/out at the root;
+- allgather(v): gatherv-to-0 + bcast of the full vector — the fallback many
+  GPU-aware MPIs take for device buffers, and the reason the paper's Fig. 6
+  shows MPI far behind NCCL on the CG solver's AllGatherv;
+- alltoall: pairwise exchange rounds.
+
+All message tags are drawn from the negative internal tag space and are
+derived from a per-communicator collective sequence number, which is
+consistent across ranks because MPI requires collectives to be invoked in
+the same order by every member.
+
+Large device buffers additionally pay a host-staging copy on each side of
+every hop (:func:`_stage`): unlike the P2P path, MPI collective algorithms
+generally do not ride GPUDirect RDMA and bounce GPU payloads through host
+bounce buffers. This is the mechanism behind the paper's Fig. 6, where the
+CG solver's MPI AllGatherv is far slower than GPUCCL's grouped P2P while
+MPI's small-message collectives (the dot-product AllReduces) stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...errors import MpiError
+from ..common import BufferLike, apply_reduce, as_array
+from .request import waitall
+
+__all__ = [
+    "barrier", "bcast", "reduce", "allreduce", "gather", "gatherv",
+    "scatter", "scatterv", "allgather", "allgatherv", "alltoall",
+]
+
+_EMPTY = np.empty(0, np.uint8)
+
+
+def _stage(comm, buf: BufferLike, count: int) -> None:
+    """Charge the device<->host bounce-buffer copy of the collective path
+    for large device payloads (GPUDirect is not used by MPI collectives
+    unless the profile's ``collective_gpu_direct`` toggle says otherwise)."""
+    profile = comm._profile
+    if profile.collective_gpu_direct:
+        return
+    arr = as_array(buf)
+    nbytes = count * arr.dtype.itemsize
+    if nbytes > profile.eager_threshold:
+        comm._charge(nbytes / profile.eager_copy_bandwidth)
+
+
+def _staged_send(comm, buf: BufferLike, count: int, dst: int, tag: int) -> None:
+    _stage(comm, buf, count)
+    comm.send(buf, count, dst, tag)
+
+
+def _staged_recv(comm, buf: BufferLike, count: int, src: int, tag: int) -> None:
+    comm.recv(buf, count, src, tag)
+    _stage(comm, buf, count)
+
+
+def barrier(comm) -> None:
+    p, r = comm.size, comm.rank
+    if p == 1:
+        return
+    tag = comm._next_coll_tag()
+    dummy = np.empty(0, np.uint8)
+    k = 1
+    while k < p:
+        comm.sendrecv(_EMPTY, 0, (r + k) % p, dummy, 0, (r - k) % p, tag)
+        k *= 2
+
+
+def bcast(comm, buf: BufferLike, count: int, root: int) -> None:
+    p, r = comm.size, comm.rank
+    _check_root(p, root)
+    if p == 1:
+        return
+    tag = comm._next_coll_tag()
+    vrank = (r - root) % p
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            _staged_recv(comm, buf, count, (vrank - mask + root) % p, tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < p:
+            _staged_send(comm, buf, count, (vrank + mask + root) % p, tag)
+        mask >>= 1
+
+
+def reduce(comm, sendbuf: BufferLike, recvbuf: Optional[BufferLike], count: int, op: str, root: int) -> None:
+    p, r = comm.size, comm.rank
+    _check_root(p, root)
+    tag = comm._next_coll_tag()
+    vrank = (r - root) % p
+    acc = as_array(sendbuf, count).copy()
+    tmp = np.empty_like(acc)
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            _staged_send(comm, acc, count, (vrank - mask + root) % p, tag)
+            break
+        peer = vrank + mask
+        if peer < p:
+            _staged_recv(comm, tmp, count, (peer + root) % p, tag)
+            apply_reduce(op, acc, tmp)
+        mask <<= 1
+    if r == root:
+        if recvbuf is None:
+            raise MpiError("reduce: root must provide a receive buffer")
+        as_array(recvbuf, count)[:count] = acc
+
+
+def allreduce(comm, sendbuf: BufferLike, recvbuf: BufferLike, count: int, op: str) -> None:
+    reduce(comm, sendbuf, recvbuf, count, op, root=0)
+    bcast(comm, recvbuf, count, root=0)
+
+
+def gather(comm, sendbuf: BufferLike, recvbuf: Optional[BufferLike], count: int, root: int) -> None:
+    p = comm.size
+    counts = [count] * p
+    displs = [i * count for i in range(p)]
+    gatherv(comm, sendbuf, count, recvbuf, counts, displs, root)
+
+
+def gatherv(
+    comm,
+    sendbuf: BufferLike,
+    sendcount: int,
+    recvbuf: Optional[BufferLike],
+    counts: Sequence[int],
+    displs: Sequence[int],
+    root: int,
+) -> None:
+    p, r = comm.size, comm.rank
+    _check_root(p, root)
+    _check_layout(p, counts, displs)
+    tag = comm._next_coll_tag()
+    if r == root:
+        if recvbuf is None:
+            raise MpiError("gatherv: root must provide a receive buffer")
+        rarr = as_array(recvbuf)
+        reqs = []
+        for src in range(p):
+            dst_view = rarr[displs[src] : displs[src] + counts[src]]
+            if src == root:
+                dst_view[:] = as_array(sendbuf, counts[root])
+            else:
+                reqs.append(comm.irecv(dst_view, counts[src], src, tag))
+        waitall(reqs)
+        for src in range(p):
+            if src != root:
+                _stage(comm, rarr[displs[src] :], counts[src])
+    else:
+        _staged_send(comm, sendbuf, sendcount, root, tag)
+
+
+def scatter(comm, sendbuf: Optional[BufferLike], recvbuf: BufferLike, count: int, root: int) -> None:
+    p = comm.size
+    counts = [count] * p
+    displs = [i * count for i in range(p)]
+    scatterv(comm, sendbuf, counts, displs, recvbuf, count, root)
+
+
+def scatterv(
+    comm,
+    sendbuf: Optional[BufferLike],
+    counts: Sequence[int],
+    displs: Sequence[int],
+    recvbuf: BufferLike,
+    recvcount: int,
+    root: int,
+) -> None:
+    p, r = comm.size, comm.rank
+    _check_root(p, root)
+    _check_layout(p, counts, displs)
+    tag = comm._next_coll_tag()
+    if r == root:
+        if sendbuf is None:
+            raise MpiError("scatterv: root must provide a send buffer")
+        sarr = as_array(sendbuf)
+        reqs = []
+        for dst in range(p):
+            src_view = sarr[displs[dst] : displs[dst] + counts[dst]]
+            if dst == root:
+                as_array(recvbuf, counts[root])[: counts[root]] = src_view
+            else:
+                _stage(comm, src_view, counts[dst])
+                reqs.append(comm.isend(src_view, counts[dst], dst, tag))
+        waitall(reqs)
+    else:
+        _staged_recv(comm, recvbuf, recvcount, root, tag)
+
+
+def allgather(comm, sendbuf: BufferLike, recvbuf: BufferLike, count: int) -> None:
+    p = comm.size
+    counts = [count] * p
+    displs = [i * count for i in range(p)]
+    allgatherv(comm, sendbuf, count, recvbuf, counts, displs)
+
+
+def allgatherv(
+    comm,
+    sendbuf: BufferLike,
+    sendcount: int,
+    recvbuf: BufferLike,
+    counts: Sequence[int],
+    displs: Sequence[int],
+) -> None:
+    # GPU-buffer fallback path: fan-in to rank 0, then broadcast the whole
+    # vector. Deliberately *not* a pipelined ring — see module docstring.
+    gatherv(comm, sendbuf, sendcount, recvbuf, counts, displs, root=0)
+    total = max(d + c for d, c in zip(displs, counts))
+    bcast(comm, recvbuf, total, root=0)
+
+
+def alltoall(comm, sendbuf: BufferLike, recvbuf: BufferLike, count: int) -> None:
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag()
+    sarr, rarr = as_array(sendbuf), as_array(recvbuf)
+    if sarr.size < p * count or rarr.size < p * count:
+        raise MpiError(f"alltoall: buffers must hold {p * count} elements")
+    rarr[r * count : (r + 1) * count] = sarr[r * count : (r + 1) * count]
+    for k in range(1, p):
+        dst, src = (r + k) % p, (r - k) % p
+        comm.sendrecv(
+            sarr[dst * count : (dst + 1) * count], count, dst,
+            rarr[src * count : (src + 1) * count], count, src, tag,
+        )
+
+
+def _check_root(size: int, root: int) -> None:
+    if not 0 <= root < size:
+        raise MpiError(f"root {root} out of range [0,{size})")
+
+
+def _check_layout(size: int, counts: Sequence[int], displs: Sequence[int]) -> None:
+    if len(counts) != size or len(displs) != size:
+        raise MpiError(f"counts/displs must have {size} entries")
+    if any(c < 0 for c in counts):
+        raise MpiError("negative count in vector collective")

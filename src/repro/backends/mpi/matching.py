@@ -1,0 +1,233 @@
+"""Two-sided message matching with eager and rendezvous protocols.
+
+This mirrors how real MPI implementations move GPU buffers:
+
+- **eager** (size <= threshold): the payload is injected into the network at
+  send time, regardless of whether a receive is posted. The sender's buffer
+  is reusable once the message is on the wire (``inject_done``); the
+  receiver completes at delivery, or — for *unexpected* messages that
+  arrived before the receive was posted — after an extra bounce-buffer copy.
+- **rendezvous** (size > threshold): the sender announces (RTS) and the
+  transfer only starts after the matching receive is posted (CTS), costing
+  an extra handshake of ``rendezvous_rtt_factor x path latency``. Data then
+  moves GPU-to-GPU directly (GPUDirect/ROCnRDMA path).
+
+Matching follows MPI semantics: per (source, tag) FIFO, wildcard source/tag
+allowed, messages between a pair never overtake each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import MpiError
+from ...hardware.profiles import MpiProfile
+from ..common import BufferLike, as_array
+from .request import Request
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "MessageEngine"]
+
+# Wildcards (None keeps them out of the integer tag space, where negative
+# tags are reserved for collectives).
+ANY_SOURCE = None
+ANY_TAG = None
+
+
+class _SendRec:
+    __slots__ = (
+        "src", "tag", "count", "nbytes", "kind", "arrival_time",
+        "data", "src_buf", "request", "matched", "path",
+    )
+
+    def __init__(self, src: int, tag: int, count: int, nbytes: int, kind: str):
+        self.src = src
+        self.tag = tag
+        self.count = count
+        self.nbytes = nbytes
+        self.kind = kind  # "eager" | "rdv"
+        self.arrival_time: float = 0.0
+        self.data: Optional[np.ndarray] = None  # eager snapshot
+        self.src_buf: Optional[BufferLike] = None  # rendezvous live buffer
+        self.request: Optional[Request] = None
+        self.matched = False
+        self.path = None
+
+
+class _RecvRec:
+    __slots__ = ("src", "tag", "count", "buf", "request", "matched")
+
+    def __init__(self, src: Optional[int], tag: Optional[int], count: int, buf: BufferLike, request: Request):
+        self.src = src
+        self.tag = tag
+        self.count = count
+        self.buf = buf
+        self.request = request
+        self.matched = False
+
+
+def _tags_match(recv: _RecvRec, send: _SendRec) -> bool:
+    if recv.src is not ANY_SOURCE and recv.src != send.src:
+        return False
+    if recv.tag is not ANY_TAG and recv.tag != send.tag:
+        return False
+    return True
+
+
+class MessageEngine:
+    """Shared matcher for one MPI 'world' (all communicators)."""
+
+    def __init__(self, engine, cluster, gpu_of):
+        self.engine = engine
+        self.cluster = cluster
+        self._gpu_of = gpu_of  # callable: global rank -> gpu id
+        # (comm_id, dst_local) -> pending records, in arrival order.
+        self._sends: Dict[Tuple[int, int], List[_SendRec]] = {}
+        self._recvs: Dict[Tuple[int, int], List[_RecvRec]] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _queues(self, comm_id: int, dst: int) -> Tuple[List[_SendRec], List[_RecvRec]]:
+        key = (comm_id, dst)
+        return (self._sends.setdefault(key, []), self._recvs.setdefault(key, []))
+
+    def path_between(self, comm, src_local: int, dst_local: int):
+        """The network path between two comm-local ranks' GPUs."""
+        src_gpu = self._gpu_of(comm.global_rank_of(src_local))
+        dst_gpu = self._gpu_of(comm.global_rank_of(dst_local))
+        return self.cluster.path(src_gpu, dst_gpu)
+
+    # ------------------------------------------------------------------ #
+    # Posting.
+    # ------------------------------------------------------------------ #
+
+    def post_send(
+        self,
+        comm,
+        profile: MpiProfile,
+        buf: BufferLike,
+        count: int,
+        dst: int,
+        tag: int,
+    ) -> Request:
+        """Register a send; returns the sender-completion request."""
+        if not 0 <= dst < comm.size:
+            raise MpiError(f"send: destination {dst} out of range [0,{comm.size})")
+        src = comm.rank
+        arr = as_array(buf, count)
+        nbytes = int(count * arr.dtype.itemsize)
+        request = Request(self.engine, f"send[{src}->{dst} tag={tag}]")
+        path = self.path_between(comm, src, dst)
+
+        if nbytes <= profile.eager_threshold:
+            rec = _SendRec(src, tag, count, nbytes, "eager")
+            rec.data = arr[:count].copy()
+            transfer = path.reserve(self.engine.now, nbytes)
+            rec.arrival_time = transfer.delivered
+            # The sender's buffer is free once the payload is on the wire.
+            self.engine.schedule(max(0.0, transfer.inject_done - self.engine.now), request.complete)
+        else:
+            rec = _SendRec(src, tag, count, nbytes, "rdv")
+            rec.src_buf = buf
+            rec.path = path
+        rec.request = request
+        self.engine.trace("mpi.send", src=src, dst=dst, tag=tag, nbytes=nbytes,
+                          protocol=rec.kind, comm=comm.comm_id)
+        sends, _ = self._queues(comm.comm_id, dst)
+        sends.append(rec)
+        self._match(comm, profile, dst)
+        return request
+
+    def post_recv(
+        self,
+        comm,
+        profile: MpiProfile,
+        buf: BufferLike,
+        count: int,
+        src: Optional[int],
+        tag: Optional[int],
+    ) -> Request:
+        """Register a receive; returns the receive-completion request."""
+        if src is not ANY_SOURCE and not 0 <= src < comm.size:
+            raise MpiError(f"recv: source {src} out of range [0,{comm.size})")
+        dst = comm.rank
+        as_array(buf, count)  # validates capacity
+        request = Request(self.engine, f"recv[{src}->{dst} tag={tag}]")
+        rec = _RecvRec(src, tag, count, buf, request)
+        self.engine.trace("mpi.recv", src=src, dst=dst, tag=tag, comm=comm.comm_id)
+        _, recvs = self._queues(comm.comm_id, dst)
+        recvs.append(rec)
+        self._match(comm, profile, dst)
+        return request
+
+    # ------------------------------------------------------------------ #
+    # Matching and completion.
+    # ------------------------------------------------------------------ #
+
+    def _match(self, comm, profile: MpiProfile, dst: int) -> None:
+        sends, recvs = self._queues(comm.comm_id, dst)
+        progress = True
+        while progress:
+            progress = False
+            for recv in recvs:
+                send = next((s for s in sends if _tags_match(recv, s)), None)
+                if send is None:
+                    continue
+                sends.remove(send)
+                recvs.remove(recv)
+                self._fire(comm, profile, send, recv, dst)
+                progress = True
+                break
+
+    def _fire(self, comm, profile: MpiProfile, send: _SendRec, recv: _RecvRec, dst: int) -> None:
+        if recv.count < send.count:
+            # Reported on the receive side (MPI_ERR_TRUNC); the sender is
+            # unaffected, matching real MPI behaviour.
+            recv.request.fail(
+                MpiError(
+                    f"message truncation: recv count {recv.count} < send count "
+                    f"{send.count} (src={send.src}, dst={dst}, tag={send.tag})"
+                )
+            )
+            send.request.complete()
+            return
+        now = self.engine.now
+        if send.kind == "eager":
+            payload = send.data
+
+            def deliver() -> None:
+                as_array(recv.buf)[: send.count] = payload
+                recv.request.complete()
+
+            if send.arrival_time <= now:
+                # Unexpected message: already here, pay the bounce-buffer copy.
+                copy_cost = send.nbytes / profile.eager_copy_bandwidth
+                self.engine.schedule(copy_cost, deliver)
+            else:
+                self.engine.schedule(send.arrival_time - now, deliver)
+        else:
+            handshake = profile.rendezvous_rtt_factor * send.path.latency
+
+            def start_transfer() -> None:
+                transfer = send.path.reserve(self.engine.now, send.nbytes)
+                payload = as_array(send.src_buf, send.count).copy()
+                self.engine.schedule(
+                    max(0.0, transfer.inject_done - self.engine.now),
+                    send.request.complete,
+                )
+
+                def deliver() -> None:
+                    as_array(recv.buf)[: send.count] = payload
+                    recv.request.complete()
+
+                self.engine.schedule(max(0.0, transfer.delivered - self.engine.now), deliver)
+
+            self.engine.schedule(handshake, start_transfer)
+
+    # ------------------------------------------------------------------ #
+
+    def pending_counts(self, comm_id: int, dst: int) -> Tuple[int, int]:
+        """(pending sends, pending recvs) for diagnostics/tests."""
+        sends, recvs = self._queues(comm_id, dst)
+        return len(sends), len(recvs)

@@ -1,0 +1,56 @@
+"""Nonblocking-operation requests (MPI_Request analogues)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ...sim import Engine, SimEvent
+
+__all__ = ["Request", "waitall"]
+
+
+class Request:
+    """Handle for a pending nonblocking operation.
+
+    A request may complete *with an error* (e.g. message truncation is
+    reported on the receive side, like MPI_ERR_TRUNC); the error is raised
+    from ``wait()`` in the task that owns the request.
+    """
+
+    __slots__ = ("engine", "name", "_event", "_error")
+
+    def __init__(self, engine: Engine, name: str):
+        self.engine = engine
+        self.name = name
+        self._event = SimEvent(engine, name=f"req:{name}")
+        self._error: BaseException = None
+
+    def complete(self) -> None:
+        """Mark the operation finished; wakes waiters."""
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        """Complete the request erroneously; ``wait`` will raise ``error``."""
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        """True once the operation completed (possibly with error)."""
+        return self._event.is_set()
+
+    def test(self) -> bool:
+        """Nonblocking completion check (MPI_Test)."""
+        return self.done
+
+    def wait(self) -> None:
+        """Block the calling task until the operation completes (MPI_Wait)."""
+        self._event.wait()
+        if self._error is not None:
+            raise self._error
+
+
+def waitall(requests: Iterable[Request]) -> None:
+    """MPI_Waitall: block until every request completes."""
+    for req in list(requests):
+        req.wait()

@@ -1,0 +1,196 @@
+"""MPI-3 one-sided communication (RMA windows).
+
+The paper notes that GPU-aware MPI has a mature one-sided API and leaves
+using it for Uniconn's P2P as future work (Section V-A); this module
+implements that substrate:
+
+- ``MpiWindow`` — collective window creation over a communicator exposing a
+  device buffer to one-sided access;
+- ``put`` / ``get`` / ``accumulate`` — nonblocking one-sided operations,
+  GPU-to-GPU over the same network paths as two-sided traffic;
+- ``fence`` — active-target epoch boundary (completes all operations, then
+  synchronizes the group);
+- ``lock`` / ``unlock`` / ``flush`` — passive-target access with exclusive
+  locks per (window, target).
+
+Completion semantics follow MPI: an operation is only guaranteed complete
+at the next synchronization (fence/flush/unlock), and per-target ordering
+of accumulates matches arrival order on the (FIFO) network path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import MpiError
+from ...sim import Broadcast, Counter, SimEvent, wait_until
+from ..common import BufferLike, apply_reduce, as_array
+
+__all__ = ["MpiWindow"]
+
+
+class _WinShared:
+    """Cross-rank state of one window."""
+
+    def __init__(self, engine, size: int):
+        self.engine = engine
+        self.size = size
+        self.exposed: Dict[int, BufferLike] = {}  # comm rank -> buffer
+        self.updated = Broadcast(engine, "win")
+        self.locks: Dict[int, Optional[int]] = {}  # target -> holder rank
+        self.lock_bcast = Broadcast(engine, "win-lock")
+
+
+class MpiWindow:
+    """One rank's handle on an RMA window (MPI_Win)."""
+
+    def __init__(self, comm, buf: BufferLike, count: int):
+        """MPI_Win_create: collective over every member of ``comm``."""
+        as_array(buf, count)  # validates
+        self.comm = comm
+        self.ctx = comm.ctx
+        self.engine = comm.engine
+        self.buf = buf
+        self.count = count
+        comm._coll_seq += 1
+        key = ("mpi_win", comm.comm_id, comm._coll_seq)
+        self.shared: _WinShared = self.ctx.world.board.once(
+            key, lambda: _WinShared(self.engine, comm.size)
+        )
+        self.shared.exposed[comm.rank] = buf
+        # Window creation synchronizes (like MPI_Win_create).
+        self.ctx.world.board.gather((key, "sync"), comm.rank, comm.size)
+        self._outstanding = Counter(self.engine, name="win-outstanding")
+        self._per_target: Dict[int, int] = {}
+        self._freed = False
+
+    # ------------------------------------------------------------------ #
+    # Internals.
+    # ------------------------------------------------------------------ #
+
+    def _check(self, target: int, count: int, disp: int) -> np.ndarray:
+        if self._freed:
+            raise MpiError("RMA operation on a freed window")
+        if not 0 <= target < self.comm.size:
+            raise MpiError(f"RMA target {target} out of range [0,{self.comm.size})")
+        exposed = self.shared.exposed.get(target)
+        if exposed is None:
+            raise MpiError(f"target {target} exposed no memory in this window")
+        arr = as_array(exposed)
+        if disp < 0 or disp + count > arr.size:
+            raise MpiError(
+                f"RMA access [{disp}:{disp + count}] outside target window of {arr.size}"
+            )
+        return arr
+
+    def _path_to(self, target: int):
+        world = self.ctx.world
+        return world.job.cluster.path(
+            world.gpu_of(self.comm.global_rank_of(self.comm.rank)),
+            world.gpu_of(self.comm.global_rank_of(target)),
+        )
+
+    def _launch(self, target: int, nbytes: int, on_delivered: Callable[[], None]) -> None:
+        self.engine.sleep(self.ctx.profile.host_call_overhead)
+        transfer = self._path_to(target).reserve(self.engine.now, nbytes)
+        self._outstanding.add(1)
+        self._per_target[target] = self._per_target.get(target, 0) + 1
+
+        def deliver() -> None:
+            on_delivered()
+            self._outstanding.add(-1)
+            self._per_target[target] -= 1
+            self.shared.updated.notify_all()
+
+        self.engine.schedule(max(0.0, transfer.delivered - self.engine.now), deliver)
+
+    # ------------------------------------------------------------------ #
+    # One-sided operations (nonblocking; complete at synchronization).
+    # ------------------------------------------------------------------ #
+
+    def put(self, origin: BufferLike, count: int, target: int, target_disp: int = 0) -> None:
+        """MPI_Put: write ``count`` elements into the target's window."""
+        dst = self._check(target, count, target_disp)
+        payload = as_array(origin, count).copy()
+        nbytes = int(count * payload.dtype.itemsize)
+
+        def deliver() -> None:
+            dst[target_disp : target_disp + count] = payload
+
+        self._launch(target, nbytes, deliver)
+
+    def get(self, origin: BufferLike, count: int, target: int, target_disp: int = 0) -> None:
+        """MPI_Get: read ``count`` elements from the target's window."""
+        src = self._check(target, count, target_disp)
+        dst = as_array(origin, count)
+        nbytes = int(count * dst.dtype.itemsize)
+
+        def deliver() -> None:
+            dst[:count] = src[target_disp : target_disp + count]
+
+        self._launch(target, nbytes, deliver)
+
+    def accumulate(self, origin: BufferLike, count: int, target: int,
+                   op: str = "sum", target_disp: int = 0) -> None:
+        """MPI_Accumulate: atomic element-wise update of the target window."""
+        dst = self._check(target, count, target_disp)
+        payload = as_array(origin, count).copy()
+        nbytes = int(count * payload.dtype.itemsize)
+
+        def deliver() -> None:
+            view = dst[target_disp : target_disp + count]
+            apply_reduce(op, view, payload)
+
+        self._launch(target, nbytes, deliver)
+
+    # ------------------------------------------------------------------ #
+    # Synchronization.
+    # ------------------------------------------------------------------ #
+
+    def flush(self, target: Optional[int] = None) -> None:
+        """Complete outstanding operations (to one target, or all)."""
+        if target is None:
+            self._outstanding.wait_for(lambda v: v == 0)
+        else:
+            wait_until(self.shared.updated,
+                       lambda: self._per_target.get(target, 0) == 0)
+
+    def fence(self) -> None:
+        """MPI_Win_fence: complete local ops, then synchronize the group."""
+        self.flush()
+        self.comm.barrier()
+
+    def lock(self, target: int) -> None:
+        """Exclusive passive-target lock (MPI_Win_lock)."""
+        self._check(target, 0, 0)
+        me = self.comm.rank
+        # Lock acquisition costs a network round trip to the target.
+        self.engine.sleep(self.ctx.profile.host_call_overhead)
+        self.engine.sleep(2 * self._path_to(target).latency)
+        wait_until(self.shared.lock_bcast,
+                   lambda: self.shared.locks.get(target) is None)
+        self.shared.locks[target] = me
+
+    def unlock(self, target: int) -> None:
+        """MPI_Win_unlock: flush operations to the target, release the lock."""
+        if self.shared.locks.get(target) != self.comm.rank:
+            raise MpiError(f"unlock of window not locked by rank {self.comm.rank}")
+        self.flush(target)
+        self.shared.locks[target] = None
+        self.shared.lock_bcast.notify_all()
+
+    def wait_value(self, predicate: Callable[[np.ndarray], bool]) -> None:
+        """Block until the *local* window content satisfies ``predicate``
+        (the polling loop a one-sided consumer runs, e.g. on a flag word)."""
+        local = as_array(self.buf)
+        wait_until(self.shared.updated, lambda: predicate(local))
+
+    def free(self) -> None:
+        """MPI_Win_free: collective; outstanding work must be complete."""
+        if self._freed:
+            raise MpiError("window freed twice")
+        self.flush()
+        self._freed = True
+        self.comm.barrier()

@@ -1,0 +1,61 @@
+"""A generic all-arrive rendezvous used for out-of-band coordination.
+
+Real libraries bootstrap through side channels (MPI for NCCL's unique id,
+PMI for MPI itself, MPI for NVSHMEM). The simulated analogue is this
+rendezvous: every participant deposits a payload under a shared key and
+blocks until the expected number has arrived; all of them then observe the
+full payload map. It is *control plane only* — no data-plane timing is
+charged here; callers charge their own bootstrap costs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable
+
+from ..sim import Broadcast, Engine, wait_until
+
+__all__ = ["RendezvousBoard"]
+
+
+class _Slot:
+    __slots__ = ("payloads", "bcast", "result")
+
+    def __init__(self, engine: Engine):
+        self.payloads: Dict[int, Any] = {}
+        self.bcast = Broadcast(engine, "rendezvous")
+        self.result: Any = None
+
+
+class RendezvousBoard:
+    """Shared coordination board; one per job, used by every backend."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._slots: Dict[Hashable, _Slot] = {}
+
+    def _slot(self, key: Hashable) -> _Slot:
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = _Slot(self.engine)
+            self._slots[key] = slot
+        return slot
+
+    def gather(self, key: Hashable, member: int, size: int, payload: Any = None) -> Dict[int, Any]:
+        """Deposit ``payload`` and block until ``size`` members arrived.
+
+        Returns the member->payload map. Every participant must use a unique
+        ``member`` id and the same ``size``; the key must be unique per
+        logical rendezvous (include a sequence number for repeated use).
+        """
+        slot = self._slot(key)
+        slot.payloads[member] = payload
+        slot.bcast.notify_all()
+        wait_until(slot.bcast, lambda: len(slot.payloads) >= size)
+        return slot.payloads
+
+    def once(self, key: Hashable, factory) -> Any:
+        """First caller computes ``factory()``; everyone sees the same value."""
+        slot = self._slot(key)
+        if slot.result is None:
+            slot.result = factory()
+        return slot.result

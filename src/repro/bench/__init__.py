@@ -1,0 +1,22 @@
+"""Benchmark harness utilities: paper-style timing, sweep running, report
+tables, and the SLOC counter for Table II."""
+
+from .report import banner, fmt_gbps, fmt_size, fmt_us, save_json, series_table, shape_check
+from .sloc import count_file, count_functions, count_text, table2_cells
+from .timing import paper_mean, percent_diff
+
+__all__ = [
+    "banner",
+    "fmt_gbps",
+    "fmt_size",
+    "fmt_us",
+    "save_json",
+    "series_table",
+    "shape_check",
+    "count_file",
+    "count_functions",
+    "count_text",
+    "table2_cells",
+    "paper_mean",
+    "percent_diff",
+]

@@ -1,0 +1,81 @@
+"""Plain-text reporting for the benchmark harness.
+
+Each figure/table bench prints the same rows/series the paper plots, plus a
+paper-vs-measured shape summary, and dumps the raw numbers as JSON under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["fmt_size", "fmt_us", "fmt_gbps", "series_table", "save_json", "shape_check", "banner"]
+
+
+def fmt_size(nbytes: int) -> str:
+    """Human-readable byte size (4B, 1KiB, 4MiB, ...)."""
+    for unit, scale in (("GiB", 1 << 30), ("MiB", 1 << 20), ("KiB", 1 << 10)):
+        if nbytes >= scale:
+            val = nbytes / scale
+            return f"{val:.0f}{unit}" if val == int(val) else f"{val:.1f}{unit}"
+    return f"{nbytes}B"
+
+
+def fmt_us(seconds: float) -> str:
+    """Seconds rendered as microseconds."""
+    return f"{seconds * 1e6:.2f}"
+
+
+def fmt_gbps(bytes_per_s: float) -> str:
+    """Bytes/s rendered as GB/s."""
+    return f"{bytes_per_s / 1e9:.2f}"
+
+
+def banner(title: str) -> None:
+    """Print a section header."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def series_table(
+    row_keys: Sequence,
+    series: Mapping[str, Mapping],
+    row_fmt=str,
+    val_fmt=lambda v: f"{v:.3g}",
+    row_header: str = "size",
+) -> None:
+    """Print one table: rows are message sizes (or GPU counts), columns are
+    the variants/series the paper plots as lines."""
+    names = list(series)
+    widths = [max(len(row_header), 8)] + [max(len(n), 10) for n in names]
+    header = "  ".join(h.rjust(w) for h, w in zip([row_header] + names, widths))
+    print(header)
+    print("-" * len(header))
+    for key in row_keys:
+        cells = [row_fmt(key).rjust(widths[0])]
+        for name, w in zip(names, widths[1:]):
+            val = series[name].get(key)
+            cells.append(("-" if val is None else val_fmt(val)).rjust(w))
+        print("  ".join(cells))
+
+
+def save_json(name: str, payload) -> str:
+    """Write results JSON under benchmarks/results/ (created on demand)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))))
+    out_dir = os.path.join(here, "benchmarks", "results")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+    return path
+
+
+def shape_check(description: str, condition: bool, details: str = "") -> bool:
+    """Print and return one qualitative paper-vs-measured check."""
+    status = "OK " if condition else "MISS"
+    print(f"  [{status}] {description}" + (f"  ({details})" if details else ""))
+    return condition

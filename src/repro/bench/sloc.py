@@ -1,0 +1,106 @@
+"""Source-lines-of-code counting for Table II.
+
+Counts non-blank, non-comment source lines (docstrings excluded, since they
+play the role of C++ comments) — the same methodology the paper applies to
+its C++ implementations. Jacobi/CG variants are one file each; the network
+benchmarks keep all variants in one module, so those cells count the
+per-variant functions via ``inspect``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import io
+import os
+import textwrap
+import tokenize
+from typing import Dict, Iterable, Optional
+
+__all__ = ["count_text", "count_file", "count_functions", "table2_cells"]
+
+
+def count_text(source: str) -> int:
+    """SLOC of a source string: physical lines holding at least one token
+    that is not a comment, NL, or docstring."""
+    data = source.encode()
+    lines_with_code = set()
+    prev_toktype = tokenize.INDENT
+    for tok in tokenize.tokenize(io.BytesIO(data).readline):
+        if tok.type in (tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE,
+                        tokenize.ENCODING, tokenize.ENDMARKER, tokenize.INDENT,
+                        tokenize.DEDENT):
+            prev_toktype = tok.type
+            continue
+        if tok.type == tokenize.STRING and prev_toktype in (
+            tokenize.INDENT, tokenize.DEDENT, tokenize.NEWLINE, tokenize.ENCODING
+        ):
+            prev_toktype = tok.type
+            continue
+        for ln in range(tok.start[0], tok.end[0] + 1):
+            lines_with_code.add(ln)
+        prev_toktype = tok.type
+    return len(lines_with_code)
+
+
+def count_file(path: str) -> int:
+    """SLOC of one Python file."""
+    with open(path, "r") as fh:
+        return count_text(fh.read())
+
+
+def count_functions(*functions) -> int:
+    """Combined SLOC of the given function/kernel objects."""
+    total = 0
+    for fn in functions:
+        obj = getattr(fn, "fn", fn)  # unwrap KernelSpec
+        total += count_text(textwrap.dedent(inspect.getsource(obj)))
+    return total
+
+
+def _apps_dir() -> str:
+    return os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "apps")
+
+
+def table2_cells() -> Dict[str, Dict[str, Optional[int]]]:
+    """Compute the Table II grid: SLOC per experiment per library."""
+    from ..apps.osu import bandwidth as bw, latency as lat
+
+    apps = _apps_dir()
+
+    def f(*parts) -> int:
+        return count_file(os.path.join(apps, *parts))
+
+    latency = {
+        "MPI": count_functions(lat.latency_mpi_native, lat._measure),
+        "GPUCCL": count_functions(lat.latency_gpuccl_native, lat._measure),
+        "GPUSHMEM_Device": count_functions(
+            lat.latency_gpushmem_device_native, lat._latency_dev_kernel, lat._measure
+        ),
+        "Uniconn": count_functions(
+            lat._latency_uniconn_host, lat._latency_uniconn_device,
+            lat._latency_uniconn_dev_kernel, lat._measure,
+        ),
+    }
+    bandwidth = {
+        "MPI": count_functions(bw.bandwidth_mpi_native, bw._measure_bw),
+        "GPUCCL": count_functions(bw.bandwidth_gpuccl_native, bw._measure_bw),
+        "GPUSHMEM_Device": count_functions(
+            bw.bandwidth_gpushmem_device_native, bw._bw_dev_kernel, bw._measure_bw
+        ),
+        "Uniconn": count_functions(bw._bandwidth_uniconn_host, bw._measure_bw),
+    }
+    jacobi = {
+        "MPI": f("jacobi", "native_mpi.py"),
+        "GPUCCL": f("jacobi", "native_gpuccl.py"),
+        "GPUSHMEM_Host": f("jacobi", "native_gpushmem_host.py"),
+        "GPUSHMEM_Device": f("jacobi", "native_gpushmem_device.py"),
+        "Uniconn": f("jacobi", "uniconn.py"),
+    }
+    cg = {
+        "MPI": f("cg", "native_mpi.py"),
+        "GPUCCL": f("cg", "native_gpuccl.py"),
+        "GPUSHMEM_Host": f("cg", "native_gpushmem_host.py"),
+        "GPUSHMEM_Device": f("cg", "native_gpushmem_device.py"),
+        "Uniconn": f("cg", "uniconn.py"),
+    }
+    return {"Latency": latency, "Bandwidth": bandwidth, "Jacobi2D": jacobi, "CG": cg}

@@ -1,0 +1,30 @@
+"""The paper's measurement methodology (Section VI-A2).
+
+Each measurement is repeated; the lowest and highest samples are dropped
+and the rest averaged. (On the deterministic virtual clock the spread comes
+only from carried-over link occupancy, so few repeats suffice; the paper
+used ten on real hardware.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["paper_mean", "percent_diff"]
+
+
+def paper_mean(samples: Sequence[float]) -> float:
+    """Drop min and max (when there are >= 3 samples), then average."""
+    xs = sorted(samples)
+    if len(xs) == 0:
+        raise ValueError("no samples")
+    if len(xs) >= 3:
+        xs = xs[1:-1]
+    return sum(xs) / len(xs)
+
+
+def percent_diff(measured: float, reference: float) -> float:
+    """(measured - reference) / reference, in percent."""
+    if reference == 0:
+        raise ValueError("reference time is zero")
+    return 100.0 * (measured - reference) / reference

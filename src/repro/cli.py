@@ -1,0 +1,183 @@
+"""Command-line interface: run the paper's workloads from a shell.
+
+Subcommands::
+
+    python -m repro machines                     # Table I presets
+    python -m repro jacobi  --backend gpuccl --gpus 8 --size 512
+    python -m repro cg      --backend gpushmem --rows 4096
+    python -m repro latency --variant uniconn:mpi --inter
+    python -m repro bandwidth --variant gpuccl-native
+    python -m repro tune    --machine perlmutter -o table.json
+    python -m repro trace   --out trace.json     # Chrome-trace of a Jacobi run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for tests and docs)."""
+    p = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("--machine", default="perlmutter",
+                        choices=["perlmutter", "lumi", "marenostrum5"])
+
+    sp = sub.add_parser("machines", help="print the Table I machine models")
+
+    sp = sub.add_parser("jacobi", help="run the Jacobi 2D solver")
+    common(sp)
+    sp.add_argument("--backend", default="gpuccl")
+    sp.add_argument("--mode", default="PureHost",
+                    choices=["PureHost", "PartialDevice", "PureDevice"])
+    sp.add_argument("--gpus", type=int, default=8)
+    sp.add_argument("--size", type=int, default=256, help="grid edge (nx)")
+    sp.add_argument("--iters", type=int, default=20)
+    sp.add_argument("--verify", action="store_true")
+
+    sp = sub.add_parser("cg", help="run the Conjugate Gradient solver")
+    common(sp)
+    sp.add_argument("--backend", default="gpuccl")
+    sp.add_argument("--rows", type=int, default=4096)
+    sp.add_argument("--nnz", type=int, default=33)
+    sp.add_argument("--gpus", type=int, default=8)
+    sp.add_argument("--iters", type=int, default=30)
+
+    for name in ("latency", "bandwidth"):
+        sp = sub.add_parser(name, help=f"OSU-style {name} benchmark (2 GPUs)")
+        common(sp)
+        sp.add_argument("--variant", default="uniconn:gpuccl")
+        sp.add_argument("--inter", action="store_true", help="use two nodes")
+        sp.add_argument("--sizes", type=int, nargs="*", default=None)
+
+    sp = sub.add_parser("tune", help="build a backend-selection table")
+    common(sp)
+    sp.add_argument("-o", "--output", default=None, help="write table JSON here")
+
+    sp = sub.add_parser("trace", help="write a Chrome trace of a Jacobi run")
+    common(sp)
+    sp.add_argument("--backend", default="gpuccl")
+    sp.add_argument("--gpus", type=int, default=4)
+    sp.add_argument("--out", default="trace.json")
+    return p
+
+
+def _cmd_machines(args, out) -> int:
+    from .hardware import MACHINES, get_machine
+
+    for name in sorted(MACHINES):
+        m = get_machine(name)
+        print(f"{name:14s} {m.gpus_per_node}x {m.gpu.name:24s} "
+              f"intra {m.intra_bandwidth / 1e9:6.1f} GB/s  "
+              f"NIC {m.nic_bandwidth / 1e9:5.1f} GB/s  "
+              f"GPUSHMEM {'yes' if m.has_gpushmem() else 'N/A'}", file=out)
+    return 0
+
+
+def _cmd_jacobi(args, out) -> int:
+    from .apps.jacobi import JacobiConfig, assemble, launch_variant, serial_jacobi
+
+    cfg = JacobiConfig(nx=args.size, ny=args.size + 2, iters=args.iters,
+                       warmup=max(1, args.iters // 10))
+    variant = f"uniconn:{args.backend}" + ("" if args.mode == "PureHost" else f":{args.mode}")
+    results = launch_variant(variant, cfg, args.gpus, machine=args.machine,
+                             collect=args.verify)
+    t = max(r.time_per_iter for r in results)
+    print(f"jacobi {cfg.nx}x{cfg.ny} x{args.gpus} GPUs [{variant}] on {args.machine}: "
+          f"{t * 1e6:.2f} us/iter", file=out)
+    if args.verify:
+        ref = serial_jacobi(cfg, iters=cfg.warmup + cfg.iters)
+        ok = np.array_equal(assemble(cfg, results), ref)
+        print(f"verification: {'PASS (bitwise)' if ok else 'FAIL'}", file=out)
+        return 0 if ok else 1
+    return 0
+
+
+def _cmd_cg(args, out) -> int:
+    from .apps.cg import CgConfig, assemble_x, final_residual, launch_variant, make_problem
+
+    cfg = CgConfig(n=args.rows, nnz_per_row=args.nnz, iters=args.iters)
+    problem = make_problem(cfg)
+    results = launch_variant(f"uniconn:{args.backend}", cfg, args.gpus,
+                             machine=args.machine, problem=problem, collect=True)
+    x = assemble_x(results, cfg.n)
+    rel = final_residual(problem, x) / float(np.linalg.norm(problem.b))
+    t = max(r.time_per_iter for r in results)
+    print(f"cg n={cfg.n} x{args.gpus} GPUs [uniconn:{args.backend}] on {args.machine}: "
+          f"{t * 1e6:.2f} us/iter, |b-Ax|/|b| = {rel:.2e}", file=out)
+    return 0
+
+
+def _cmd_netbench(args, out, kind: str) -> int:
+    from .apps.osu import OsuConfig, run_bandwidth, run_latency
+
+    sizes = tuple(args.sizes) if args.sizes else (8, 1024, 65536, 1 << 20)
+    cfg = OsuConfig(sizes=sizes, iters_small=20, warmup_small=2,
+                    iters_large=6, warmup_large=1, repeats=3)
+    run = run_latency if kind == "latency" else run_bandwidth
+    res = run(args.variant, cfg, machine=args.machine, inter_node=args.inter)
+    where = "inter" if args.inter else "intra"
+    for size in sizes:
+        if kind == "latency":
+            print(f"{size:>10d} B   {res[size] * 1e6:10.2f} us", file=out)
+        else:
+            print(f"{size:>10d} B   {res[size] / 1e9:10.2f} GB/s", file=out)
+    print(f"[{args.variant}, {where}-node, {args.machine}]", file=out)
+    return 0
+
+
+def _cmd_tune(args, out) -> int:
+    from .core.selection import SelectionTable
+
+    table = SelectionTable.tune(args.machine, probe_sizes=(8, 512, 32768, 1 << 20), iters=12)
+    for inter in (False, True):
+        loc = "inter" if inter else "intra"
+        for size, winner in table.crossover_sizes(inter_node=inter):
+            print(f"{loc:5s} from {size:>8d} B: {winner}", file=out)
+    if args.output:
+        table.save(args.output)
+        print(f"table written to {args.output}", file=out)
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    from .apps.jacobi import JacobiConfig, run_variant
+    from .launcher import launch
+    from .sim import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+    cfg = JacobiConfig(nx=64, ny=66, iters=5, warmup=1)
+    launch(lambda ctx: run_variant(ctx, f"uniconn:{args.backend}", cfg),
+           args.gpus, machine=args.machine, tracer=tracer)
+    write_chrome_trace(tracer, args.out)
+    print(f"{len(tracer.records)} events -> {args.out} "
+          f"(open in chrome://tracing or Perfetto)", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "machines":
+        return _cmd_machines(args, out)
+    if args.command == "jacobi":
+        return _cmd_jacobi(args, out)
+    if args.command == "cg":
+        return _cmd_cg(args, out)
+    if args.command in ("latency", "bandwidth"):
+        return _cmd_netbench(args, out, args.command)
+    if args.command == "tune":
+        return _cmd_tune(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

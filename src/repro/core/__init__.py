@@ -1,0 +1,43 @@
+"""UNICONN: the unified, portable multi-GPU communication layer.
+
+Public surface (paper Section IV):
+
+- :class:`Environment` — library init/teardown, rank queries, device select;
+- :class:`Communicator` — process group with split/barrier/to_device;
+- :class:`Memory` — backend-aware communication-buffer allocation;
+- :class:`Coordinator` — kernel launch modes, Post/Acknowledge, collectives,
+  CommStart/CommEnd grouping;
+- backend tags :class:`MPIBackend`, :class:`GpucclBackend`,
+  :class:`GpushmemBackend`; :class:`LaunchMode`; :class:`ThreadGroup`;
+  :class:`ReductionOperator`; ``IN_PLACE``.
+"""
+
+from .backend import Backend, GpucclBackend, GpushmemBackend, MPIBackend, resolve_backend
+from .communicator import Communicator, DeviceComm
+from .coordinator import IN_PLACE, Coordinator
+from .device import UniconnDevice, attach_device_api
+from .environment import Environment
+from .launch_mode import LaunchMode, ThreadGroup, resolve_launch_mode
+from .memory import Memory
+from .reduction import ReductionOperator, resolve_op
+
+__all__ = [
+    "Backend",
+    "GpucclBackend",
+    "GpushmemBackend",
+    "MPIBackend",
+    "resolve_backend",
+    "Communicator",
+    "DeviceComm",
+    "IN_PLACE",
+    "Coordinator",
+    "UniconnDevice",
+    "attach_device_api",
+    "Environment",
+    "LaunchMode",
+    "ThreadGroup",
+    "resolve_launch_mode",
+    "Memory",
+    "ReductionOperator",
+    "resolve_op",
+]

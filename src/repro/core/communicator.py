@@ -1,0 +1,152 @@
+"""The Uniconn Communicator (paper Section IV-C).
+
+Encapsulates the backend's own communicator/team object behind one
+interface: global size/rank, split, host/device barriers, and
+``to_device()`` for device-side use. Creation requires the GPU to be
+selected already (GPUCCL and GPUSHMEM both need it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..backends.gpuccl import GpucclComm, GpucclUniqueId
+from ..errors import UniconnError
+from ..gpu.stream import Stream
+from .backend import GpucclBackend, GpushmemBackend, MPIBackend
+from .environment import Environment
+
+__all__ = ["Communicator", "DeviceComm"]
+
+
+class DeviceComm:
+    """Device-side communicator handle (valid inside GPU kernels)."""
+
+    __slots__ = ("team", "size", "rank")
+
+    def __init__(self, team, size: int, rank: int):
+        self.team = team
+        self.size = size
+        self.rank = rank
+
+
+class Communicator:
+    """Backend-agnostic process group."""
+
+    def __init__(self, env: Environment, _parts=None):
+        self.env = env
+        self.backend = env.backend
+        self.engine = env.engine
+        if _parts is not None:
+            self._mpi_comm, self._ccl_comm, self._team = _parts
+        else:
+            self._mpi_comm = env.mpi.comm_world
+            self._ccl_comm: Optional[GpucclComm] = None
+            self._team = None
+            if self.backend is GpucclBackend:
+                uid_value = env.bootstrap_gpuccl_uid()
+                uid = GpucclUniqueId.__new__(GpucclUniqueId)
+                uid.value = uid_value
+                self._ccl_comm = GpucclComm(
+                    env.rank_ctx, uid, env.world_size(), env.world_rank()
+                )
+            elif self.backend is GpushmemBackend:
+                self._team = env.shmem.team_world
+
+    # ------------------------------------------------------------------ #
+
+    def global_size(self) -> int:
+        """Process count of this communicator (paper GlobalSize)."""
+        if self._ccl_comm is not None:
+            return self._ccl_comm.size
+        if self._team is not None:
+            return self._team.size
+        return self._mpi_comm.size
+
+    def global_rank(self) -> int:
+        """This process's rank in the communicator (paper GlobalRank)."""
+        if self._ccl_comm is not None:
+            return self._ccl_comm.rank
+        if self._team is not None:
+            return self._team.my_pe
+        return self._mpi_comm.rank
+
+    # ------------------------------------------------------------------ #
+
+    def barrier(self, stream: Optional[Stream] = None) -> None:
+        """Synchronize all processes of the communicator.
+
+        MPI: host barrier (after draining the stream — MPI is not stream
+        aware). GPUCCL: a stream-ordered zero-payload allreduce. GPUSHMEM:
+        the native barrier (stream-ordered when a stream is given).
+        """
+        self.engine.sleep(self.env.costs.dispatch)
+        if self.backend is MPIBackend:
+            if stream is not None:
+                stream.synchronize()
+            self._mpi_comm.barrier()
+        elif self.backend is GpucclBackend:
+            s = stream if stream is not None else self.env.device.default_stream
+            token = np.zeros(1, np.float32)
+            self._ccl_comm.all_reduce(token, token, 1, "sum", s)
+            if stream is None:
+                s.synchronize()
+        else:
+            if stream is not None:
+                self.env.shmem.barrier_all_on_stream(stream)
+            else:
+                self.env.shmem.barrier_all()
+
+    def split(self, color: int, key: int = 0) -> "Communicator":
+        """Create a sub-communicator (collective over all members)."""
+        self.engine.sleep(self.env.costs.dispatch)
+        if self.backend is MPIBackend:
+            return Communicator(self.env, _parts=(self._mpi_comm.split(color, key), None, None))
+        if self.backend is GpucclBackend:
+            # GPUCCL needs the CPU library for coordination too.
+            sub_mpi = self._mpi_comm.split(color, key)
+            return Communicator(self.env, _parts=(sub_mpi, self._ccl_comm.split(color, key), None))
+        sub_mpi = self._mpi_comm.split(color, key)
+        return Communicator(self.env, _parts=(sub_mpi, None, self._team.split(color, key)))
+
+    def to_device(self) -> DeviceComm:
+        """A communicator handle usable inside device kernels.
+
+        Only meaningful for backends with a device API (GPUSHMEM); the
+        paper's host-only backends have no device-side communicator.
+        """
+        if not self.backend.supports_device_api:
+            raise UniconnError(
+                f"backend {self.backend.name} has no device API; "
+                f"to_device() requires GPUSHMEM"
+            )
+        return DeviceComm(self._team, self.global_size(), self.global_rank())
+
+    # Internal accessors used by the Coordinator.
+
+    @property
+    def mpi(self):
+        """The underlying MPI communicator (backend internals)."""
+        return self._mpi_comm
+
+    @property
+    def ccl(self) -> GpucclComm:
+        """The underlying GPUCCL communicator (backend internals)."""
+        if self._ccl_comm is None:
+            raise UniconnError("no GPUCCL communicator on this backend")
+        return self._ccl_comm
+
+    @property
+    def team(self):
+        """The underlying GPUSHMEM team (backend internals)."""
+        if self._team is None:
+            raise UniconnError("no GPUSHMEM team on this backend")
+        return self._team
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Communicator backend={self.backend.name} "
+            f"rank={self.global_rank()}/{self.global_size()}>"
+        )

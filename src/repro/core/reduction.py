@@ -1,0 +1,29 @@
+"""Reduction operators (the paper's ``ReductionOperator`` template arg)."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Union
+
+from ..errors import UniconnError
+
+__all__ = ["ReductionOperator", "resolve_op"]
+
+
+class ReductionOperator(Enum):
+    SUM = "sum"
+    PROD = "prod"
+    MAX = "max"
+    MIN = "min"
+
+
+def resolve_op(op: Union[str, ReductionOperator]) -> str:
+    """Normalize to the backend-level op name."""
+    if isinstance(op, ReductionOperator):
+        return op.value
+    key = str(op).lower()
+    if key not in {o.value for o in ReductionOperator}:
+        raise UniconnError(
+            f"unknown reduction operator {op!r}; known: {[o.name for o in ReductionOperator]}"
+        )
+    return key

@@ -1,0 +1,63 @@
+"""Exception hierarchy shared by the simulator, the backends and Uniconn."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SimError(ReproError):
+    """Base class for simulation-engine errors."""
+
+
+class DeadlockError(SimError):
+    """All simulated processes are blocked and no future event exists.
+
+    Carries a human-readable report of what each live task was waiting on,
+    which is the simulated analogue of a hung MPI job.
+    """
+
+    def __init__(self, report: str):
+        super().__init__(f"simulation deadlock:\n{report}")
+        self.report = report
+
+
+class SimAborted(SimError):
+    """Injected into blocked tasks when another task failed.
+
+    User code should never catch this; it exists so the engine can unwind
+    every simulated process after the first real failure.
+    """
+
+
+class EngineStateError(SimError):
+    """An engine API was used outside its legal lifecycle state."""
+
+
+class HardwareError(ReproError):
+    """Invalid hardware/topology configuration or routing request."""
+
+
+class GpuError(ReproError):
+    """Errors from the simulated GPU runtime (bad stream/device/kernel use)."""
+
+
+class BackendError(ReproError):
+    """Base class for communication-backend errors."""
+
+
+class MpiError(BackendError):
+    """Errors from the simulated MPI library."""
+
+
+class GpucclError(BackendError):
+    """Errors from the simulated GPUCCL (NCCL/RCCL-like) library."""
+
+
+class GpushmemError(BackendError):
+    """Errors from the simulated GPUSHMEM (NVSHMEM-like) library."""
+
+
+class UniconnError(ReproError):
+    """Errors raised by the Uniconn layer itself (misuse of the API)."""

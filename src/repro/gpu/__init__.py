@@ -1,0 +1,25 @@
+"""Simulated GPU runtime: devices, memory, streams, events, kernels."""
+
+from .buffer import DeviceBuffer
+from .device import Device, Dim3, dim3
+from .event import GpuEvent, elapsed
+from .kernel import DeviceCtx, KernelSpec, device_kernel, kernel
+from .stream import ExternalOp, Stream, StreamOp, TaskOp, TimedOp
+
+__all__ = [
+    "DeviceBuffer",
+    "Device",
+    "Dim3",
+    "dim3",
+    "GpuEvent",
+    "elapsed",
+    "DeviceCtx",
+    "KernelSpec",
+    "device_kernel",
+    "kernel",
+    "ExternalOp",
+    "Stream",
+    "StreamOp",
+    "TaskOp",
+    "TimedOp",
+]

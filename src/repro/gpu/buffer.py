@@ -1,0 +1,97 @@
+"""Device memory: numpy-backed buffers with explicit allocation tracking.
+
+A :class:`DeviceBuffer` plays the role of a ``cudaMalloc``'d pointer. Slicing
+returns a view over the same storage (pointer arithmetic), which the apps use
+exactly like ``A_buf + nx`` in the paper's listings.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import GpuError
+
+__all__ = ["DeviceBuffer"]
+
+
+class DeviceBuffer:
+    """A typed region of one device's memory."""
+
+    __slots__ = ("device", "_array", "_root", "freed")
+
+    def __init__(self, device: "Device", array: np.ndarray, root: "DeviceBuffer" = None):
+        self.device = device
+        self._array = array
+        self._root = root if root is not None else self
+        self.freed = False
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def data(self) -> np.ndarray:
+        """The live numpy storage (a view for sliced buffers)."""
+        if self._root.freed:
+            raise GpuError("use of freed device buffer")
+        return self._array
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._array.dtype
+
+    @property
+    def size(self) -> int:
+        return int(self._array.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._array.nbytes)
+
+    @property
+    def itemsize(self) -> int:
+        return int(self._array.itemsize)
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------ #
+    # Pointer arithmetic / views.
+    # ------------------------------------------------------------------ #
+
+    def __getitem__(self, key: slice) -> "DeviceBuffer":
+        if not isinstance(key, slice):
+            raise GpuError("device buffers are indexed with slices (views)")
+        return DeviceBuffer(self.device, self.data[key], root=self._root)
+
+    def offset(self, start: int, count: int = None) -> "DeviceBuffer":
+        """Pointer arithmetic: ``buf.offset(n)`` is the C ``ptr + n``."""
+        stop = None if count is None else start + count
+        return self[start:stop]
+
+    # Same spelling as SymBuffer, so backend-agnostic code can slice any
+    # communication buffer uniformly.
+    offset_by = offset
+
+    # ------------------------------------------------------------------ #
+    # Raw data movement (simulation internals; *not* timed).
+    # ------------------------------------------------------------------ #
+
+    def write(self, src: Union[np.ndarray, "DeviceBuffer"], count: int = None) -> None:
+        """Copy ``count`` elements (default: all of src) into this buffer."""
+        src_arr = src.data if isinstance(src, DeviceBuffer) else np.asarray(src)
+        n = src_arr.size if count is None else count
+        if n > self.size:
+            raise GpuError(f"write of {n} elements into buffer of {self.size}")
+        self.data[:n] = src_arr.reshape(-1)[:n]
+
+    def read(self, count: int = None) -> np.ndarray:
+        """Snapshot ``count`` elements (default: all) as a host array."""
+        n = self.size if count is None else count
+        return self.data[:n].copy()
+
+    def fill(self, value) -> None:
+        self.data[:] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DeviceBuffer dev={self.device.gpu_id} {self.dtype}[{self.size}]>"

@@ -1,0 +1,183 @@
+"""GPU streams: FIFO queues of asynchronous operations on virtual time.
+
+A stream executes its operations strictly in order, one at a time, exactly
+like a CUDA/HIP stream. Host code enqueues operations without blocking (no
+virtual time passes at enqueue), and ``synchronize()`` blocks the calling
+simulated task until everything enqueued so far has completed.
+
+Operation flavours:
+
+- :class:`TimedOp` — runs for a duration known when it starts (kernels,
+  memcpys); an optional action mutates simulated memory at completion time.
+- :class:`ExternalOp` — completion is driven by another subsystem (a
+  communication library's matching logic); the stream stays blocked until
+  ``finish()`` is called, which is how NCCL's communication kernels occupy a
+  stream until the peer arrives.
+- :class:`TaskOp` — runs a Python function on its own simulated task; used
+  for resident device kernels that block on device-side communication.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from ..errors import GpuError
+from ..sim import Engine, SimEvent
+
+__all__ = ["Stream", "StreamOp", "TimedOp", "ExternalOp", "TaskOp"]
+
+
+class StreamOp:
+    """Base class for one stream-ordered operation."""
+
+    def __init__(self, engine: Engine, name: str):
+        self.engine = engine
+        self.name = name
+        self.done = SimEvent(engine, name=f"op:{name}")
+        self.completed_at: Optional[float] = None
+        self.stream: Optional["Stream"] = None
+
+    def start(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _complete(self) -> None:
+        self.completed_at = self.engine.now
+        self.done.set()
+        if self.stream is not None:
+            self.stream._advance(self)
+
+
+class TimedOp(StreamOp):
+    """Completes after a duration computed when the op reaches stream head."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        duration: Callable[[], float],
+        action: Optional[Callable[[], None]] = None,
+    ):
+        super().__init__(engine, name)
+        self._duration = duration
+        self._action = action
+
+    def start(self) -> None:
+        dur = self._duration()
+        if dur < 0:
+            raise GpuError(f"op {self.name}: negative duration {dur}")
+
+        def complete() -> None:
+            if self._action is not None:
+                self._action()
+            self._complete()
+
+        self.engine.schedule(dur, complete)
+
+
+class ExternalOp(StreamOp):
+    """Completion driven externally (communication matching logic)."""
+
+    def __init__(self, engine: Engine, name: str, on_start: Callable[["ExternalOp"], None]):
+        super().__init__(engine, name)
+        self._on_start = on_start
+        self.started = False
+
+    def start(self) -> None:
+        self.started = True
+        self._on_start(self)
+
+    def finish(self, action: Optional[Callable[[], None]] = None) -> None:
+        """Called by the owning subsystem when the operation completes."""
+        if action is not None:
+            action()
+        self._complete()
+
+
+class TaskOp(StreamOp):
+    """Runs ``fn`` on a dedicated simulated task (a resident GPU kernel)."""
+
+    def __init__(self, engine: Engine, name: str, fn: Callable[[], Any]):
+        super().__init__(engine, name)
+        self._fn = fn
+        self.result: Any = None
+
+    def start(self) -> None:
+        def body() -> None:
+            self.result = self._fn()
+            self._complete()
+
+        self.engine.spawn(body, name=f"kernel:{self.name}")
+
+
+class Stream:
+    """One in-order execution queue on a device."""
+
+    _counter = 0
+
+    def __init__(self, device: "Device", name: Optional[str] = None):
+        Stream._counter += 1
+        self.device = device
+        self.engine: Engine = device.engine
+        self.name = name or f"stream{Stream._counter}"
+        self._queue: Deque[StreamOp] = deque()
+        self._active: Optional[StreamOp] = None
+        self._last: Optional[StreamOp] = None
+
+    # ------------------------------------------------------------------ #
+
+    def enqueue(self, op: StreamOp) -> StreamOp:
+        """Add an operation; starts immediately if the stream is idle."""
+        op.stream = self
+        self._last = op
+        self.engine.trace("stream.enqueue", stream=self.name, op=op.name,
+                          gpu=self.device.gpu_id)
+        if self._active is None:
+            self._active = op
+            self._start(op)
+        else:
+            self._queue.append(op)
+        return op
+
+    def _start(self, op: StreamOp) -> None:
+        self.engine.trace("stream.start", stream=self.name, op=op.name,
+                          gpu=self.device.gpu_id)
+        op.start()
+
+    def _advance(self, finished: StreamOp) -> None:
+        if finished is not self._active:
+            raise GpuError(f"stream {self.name}: out-of-order completion of {finished.name}")
+        self.engine.trace("stream.complete", stream=self.name, op=finished.name,
+                          gpu=self.device.gpu_id)
+        if self._queue:
+            self._active = self._queue.popleft()
+            self._start(self._active)
+        else:
+            self._active = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def idle(self) -> bool:
+        return self._active is None
+
+    def pending_ops(self) -> int:
+        return (0 if self._active is None else 1) + len(self._queue)
+
+    def synchronize(self) -> None:
+        """Block the calling task until all currently enqueued ops complete."""
+        last = self._last
+        if last is not None:
+            last.done.wait()
+
+    def query(self) -> bool:
+        """Non-blocking: true if the stream has no pending work.
+
+        This is the simulated ``cudaStreamQuery`` whose cost the paper blames
+        for Uniconn-over-MPI variability; the *time* cost is charged by the
+        caller (backend profile), this just reports state.
+        """
+        return self.idle
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Stream {self.name} dev={self.device.gpu_id} pending={self.pending_ops()}>"

@@ -1,0 +1,26 @@
+"""Hardware models: GPUs, links, machine presets (Table I), cluster topology."""
+
+from .cluster import Cluster
+from .gpu import GpuModel, KernelCost
+from .link import Link, Path, Transfer
+from .machines import MACHINES, MachineSpec, get_machine, lumi, marenostrum5, perlmutter
+from .profiles import GpucclProfile, GpushmemProfile, MpiProfile, UniconnCosts
+
+__all__ = [
+    "Cluster",
+    "GpuModel",
+    "KernelCost",
+    "Link",
+    "Path",
+    "Transfer",
+    "MACHINES",
+    "MachineSpec",
+    "get_machine",
+    "lumi",
+    "marenostrum5",
+    "perlmutter",
+    "GpucclProfile",
+    "GpushmemProfile",
+    "MpiProfile",
+    "UniconnCosts",
+]

@@ -1,0 +1,50 @@
+"""Model of a single GPU: launch overheads, memory bandwidth, compute rate.
+
+Kernel execution time is estimated with a roofline-style model: the kernel
+declares how many bytes it moves and how many flops it performs, and the
+duration is the maximum of the memory time and the compute time, plus the
+launch overhead. That is accurate enough to reproduce the *relative*
+behaviour the paper measures (e.g. kernel-launch overhead dominating small
+NCCL messages, stencil kernels being memory bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuModel", "KernelCost"]
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Declared work of one kernel launch."""
+
+    bytes_moved: float = 0.0
+    flops: float = 0.0
+
+    def __add__(self, other: "KernelCost") -> "KernelCost":
+        return KernelCost(self.bytes_moved + other.bytes_moved, self.flops + other.flops)
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """Static performance characteristics of one GPU (or one MI250X GCD)."""
+
+    name: str
+    mem_bandwidth: float  # bytes/s of HBM
+    flop_rate: float  # flop/s (FP32)
+    launch_overhead: float  # seconds per kernel launch
+    memcpy_overhead: float  # seconds per host<->device copy call
+    max_coop_blocks: int  # cooperative-launch thread-block limit
+    memory_bytes: int  # HBM capacity
+    pcie_bandwidth: float = 25.0e9  # host<->device copy bandwidth (bytes/s)
+
+    def kernel_time(self, cost: KernelCost) -> float:
+        """Execution time of a kernel body (excluding launch overhead)."""
+        mem_t = cost.bytes_moved / self.mem_bandwidth if cost.bytes_moved else 0.0
+        cmp_t = cost.flops / self.flop_rate if cost.flops else 0.0
+        return max(mem_t, cmp_t)
+
+    def launch_time(self, cost: KernelCost) -> float:
+        """Total time of one launch: overhead plus body."""
+        return self.launch_overhead + self.kernel_time(cost)

@@ -1,0 +1,117 @@
+"""Alpha-beta link and path models with occupancy (contention) tracking.
+
+A transfer over a :class:`Link` costs ``per_message_overhead + nbytes /
+bandwidth`` of link occupancy plus ``latency`` of propagation. Links remember
+until when they are busy, so concurrent transfers over the same link
+serialize — this is what makes the windowed OSU bandwidth benchmark
+approach (but not exceed) link bandwidth, as on real hardware.
+
+A :class:`Path` is an ordered sequence of links (e.g. source NIC -> fabric ->
+destination NIC). Transfers on a path are modelled cut-through: the
+propagation latencies add up, the bandwidth is set by the bottleneck link,
+and every link on the path is occupied for its own serialization time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..errors import HardwareError
+
+__all__ = ["Link", "Path", "Transfer"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """Resolved timing of one message over a link or path."""
+
+    start: float  # when the wire starts carrying the message
+    inject_done: float  # when the *sender side* is free again
+    delivered: float  # when the last byte arrives at the destination
+
+    @property
+    def duration(self) -> float:
+        """End-to-end time of this transfer."""
+        return self.delivered - self.start
+
+
+@dataclass
+class Link:
+    """One directed physical channel."""
+
+    name: str
+    latency: float  # propagation seconds (alpha)
+    bandwidth: float  # bytes/second (beta)
+    per_message_overhead: float = 0.0  # per-message serialization cost
+    busy_until: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise HardwareError(f"link {self.name}: bandwidth must be positive")
+        if self.latency < 0 or self.per_message_overhead < 0:
+            raise HardwareError(f"link {self.name}: negative timing parameter")
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Time the wire is occupied by one message."""
+        return self.per_message_overhead + nbytes / self.bandwidth
+
+    def reserve(self, now: float, nbytes: int) -> Transfer:
+        """Claim the link for one message starting no earlier than ``now``."""
+        if nbytes < 0:
+            raise HardwareError(f"negative message size {nbytes}")
+        start = max(now, self.busy_until)
+        inject_done = start + self.serialization_time(nbytes)
+        self.busy_until = inject_done
+        return Transfer(start, inject_done, inject_done + self.latency)
+
+    def reset(self) -> None:
+        """Clear occupancy (reuse across runs)."""
+        self.busy_until = 0.0
+
+
+@dataclass
+class Path:
+    """An ordered chain of links between two GPUs."""
+
+    links: List[Link]
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise HardwareError("a path needs at least one link")
+
+    @property
+    def latency(self) -> float:
+        return sum(l.latency for l in self.links)
+
+    @property
+    def bandwidth(self) -> float:
+        return min(l.bandwidth for l in self.links)
+
+    @property
+    def name(self) -> str:
+        return "+".join(l.name for l in self.links)
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Time the wire is occupied by one message."""
+        return max(l.serialization_time(nbytes) for l in self.links)
+
+    def reserve(self, now: float, nbytes: int) -> Transfer:
+        """Claim every link on the path for one cut-through message."""
+        start = max([now] + [l.busy_until for l in self.links])
+        bottleneck = 0.0
+        for link in self.links:
+            ser = link.serialization_time(nbytes)
+            link.busy_until = start + ser
+            bottleneck = max(bottleneck, ser)
+        inject_done = start + bottleneck
+        return Transfer(start, inject_done, inject_done + self.latency)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Uncontended end-to-end time for one message (no reservation)."""
+        return self.serialization_time(nbytes) + self.latency
+
+    def reset(self) -> None:
+        """Clear occupancy (reuse across runs)."""
+        for link in self.links:
+            link.reset()

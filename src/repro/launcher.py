@@ -1,0 +1,128 @@
+"""SPMD job launcher over a simulated cluster.
+
+``launch(fn, n_ranks, machine=...)`` is the simulated ``srun -n N ./app``:
+it builds the cluster, starts one simulated process per rank, and hands each
+a :class:`RankContext` — the per-process view (rank ids, device selection)
+that the backend libraries and Uniconn's ``Environment`` build on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from .errors import HardwareError
+from .gpu.device import Device
+from .hardware.cluster import Cluster
+from .hardware.machines import MachineSpec, get_machine
+from .sim import Engine, Tracer, run_spmd
+
+__all__ = ["Job", "RankContext", "launch"]
+
+
+class Job:
+    """State shared by all ranks of one simulated job."""
+
+    def __init__(self, engine: Engine, cluster: Cluster, n_ranks: int, placement: str = "block"):
+        if placement not in ("block", "spread"):
+            raise HardwareError(f"unknown placement {placement!r} (block|spread)")
+        self.engine = engine
+        self.cluster = cluster
+        self.n_ranks = n_ranks
+        self.placement = placement
+        self._devices: Dict[int, Device] = {}
+        self._shared: Dict[Any, Any] = {}
+
+    def node_of_rank(self, rank: int) -> int:
+        """Node index a rank is placed on under this job's placement."""
+        if self.placement == "block":
+            return rank // self.cluster.gpus_per_node
+        return rank % self.cluster.n_nodes
+
+    def node_rank_of(self, rank: int) -> int:
+        """Node-local index of a rank under this job's placement."""
+        if self.placement == "block":
+            return rank % self.cluster.gpus_per_node
+        return rank // self.cluster.n_nodes
+
+    def device(self, gpu_id: int) -> Device:
+        """The singleton :class:`Device` for one physical GPU."""
+        dev = self._devices.get(gpu_id)
+        if dev is None:
+            dev = Device(self.engine, self.cluster, gpu_id)
+            self._devices[gpu_id] = dev
+        return dev
+
+    def shared_state(self, key: Any, factory: Callable[[], Any]) -> Any:
+        """Create-once shared state (backends keep their matchers here)."""
+        if key not in self._shared:
+            self._shared[key] = factory()
+        return self._shared[key]
+
+
+class RankContext:
+    """One rank's view of the job (the simulated process environment)."""
+
+    def __init__(self, job: Job, rank: int):
+        self.job = job
+        self.rank = rank
+        self.world_size = job.n_ranks
+        self.engine = job.engine
+        self.cluster = job.cluster
+        gpn = job.cluster.gpus_per_node
+        self.node = job.node_of_rank(rank)
+        self.node_rank = job.node_rank_of(rank)
+        self.node_size = sum(1 for r in range(job.n_ranks) if job.node_of_rank(r) == self.node)
+        self.device: Optional[Device] = None
+
+    def set_device(self, local_index: int) -> Device:
+        """Select this rank's GPU by node-local index (cudaSetDevice)."""
+        gpn = self.job.cluster.gpus_per_node
+        if not 0 <= local_index < gpn:
+            raise HardwareError(f"local device index {local_index} out of range [0,{gpn})")
+        self.device = self.job.device(self.node * gpn + local_index)
+        return self.device
+
+    def require_device(self) -> Device:
+        """The selected GPU, or an error if set_device was never called."""
+        if self.device is None:
+            raise HardwareError(f"rank {self.rank}: no GPU selected (call set_device)")
+        return self.device
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RankContext rank={self.rank}/{self.world_size} node={self.node}>"
+
+
+def launch(
+    fn: Callable[..., Any],
+    n_ranks: int,
+    machine: Union[str, MachineSpec] = "perlmutter",
+    *,
+    args: tuple = (),
+    n_nodes: Optional[int] = None,
+    placement: str = "block",
+    tracer: Optional[Tracer] = None,
+) -> List[Any]:
+    """Run ``fn(ctx, *args)`` on ``n_ranks`` simulated ranks; return results.
+
+    ``placement="block"`` (default, the paper's experiments) fills nodes in
+    rank order; ``placement="spread"`` distributes ranks cyclically over
+    ``n_nodes`` nodes (srun's cyclic distribution) — used by the inter-node
+    two-GPU microbenchmarks.
+    """
+    spec = get_machine(machine) if isinstance(machine, str) else machine
+    min_nodes = math.ceil(n_ranks / spec.gpus_per_node)
+    if n_nodes is None:
+        n_nodes = min_nodes
+    elif placement == "block" and n_nodes < min_nodes:
+        raise HardwareError(f"{n_ranks} ranks need >= {min_nodes} nodes, got {n_nodes}")
+    engine = Engine()
+    if tracer is not None:
+        tracer.install(engine)
+    cluster = Cluster(spec, n_nodes)
+    job = Job(engine, cluster, n_ranks, placement=placement)
+
+    def body(rank: int) -> Any:
+        return fn(RankContext(job, rank), *args)
+
+    return run_spmd(n_ranks, body, engine=engine)

@@ -1,0 +1,29 @@
+"""Deterministic discrete-event simulation substrate.
+
+The engine runs simulated processes as cooperatively scheduled threads over
+a virtual clock; all inter-GPU communication timing in this package is
+expressed as events on that clock.
+"""
+
+from .chrometrace import to_chrome_trace, write_chrome_trace
+from .engine import Engine, Task, Timer, current_engine
+from .spmd import run_spmd
+from .sync import Broadcast, Counter, SimEvent, SimQueue, wait_until
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Engine",
+    "Task",
+    "Timer",
+    "current_engine",
+    "run_spmd",
+    "Broadcast",
+    "Counter",
+    "SimEvent",
+    "SimQueue",
+    "wait_until",
+    "TraceRecord",
+    "Tracer",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,75 @@
+"""Export a :class:`Tracer`'s records as a Chrome-tracing timeline.
+
+Open the produced JSON in ``chrome://tracing`` or Perfetto to see every
+stream's operations and the MPI message flow of a run — the standard way to
+debug overlap/serialization issues in this kind of system.
+
+Stream ``start``/``complete`` pairs become duration ("X") events on one row
+per (GPU, stream); point records (enqueues, sends, receives) become instant
+("i") events.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from .trace import TraceRecord, Tracer
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+_US = 1e6  # chrome traces use microseconds
+
+
+def to_chrome_trace(tracer: Tracer) -> List[dict]:
+    """Convert collected records into chrome trace events."""
+    events: List[dict] = []
+    open_ops: Dict[Tuple, TraceRecord] = {}
+    for rec in tracer.records:
+        f = rec.fields
+        if rec.kind == "stream.start":
+            open_ops[(f.get("gpu"), f.get("stream"), f.get("op"))] = rec
+        elif rec.kind == "stream.complete":
+            key = (f.get("gpu"), f.get("stream"), f.get("op"))
+            started = open_ops.pop(key, None)
+            begin = started.t if started is not None else rec.t
+            events.append({
+                "name": f.get("op", "?"),
+                "ph": "X",
+                "ts": begin * _US,
+                "dur": max(0.0, (rec.t - begin)) * _US,
+                "pid": f.get("gpu", 0),
+                "tid": f.get("stream", "?"),
+                "cat": "stream",
+            })
+        else:
+            events.append({
+                "name": rec.kind,
+                "ph": "i",
+                "s": "t",
+                "ts": rec.t * _US,
+                "pid": f.get("gpu", f.get("src", 0)),
+                "tid": f.get("stream", rec.kind),
+                "cat": rec.kind.split(".")[0],
+                "args": {k: v for k, v in f.items() if isinstance(v, (int, float, str))},
+            })
+    # Anything still open at the end (e.g. an op in flight when the run
+    # stopped) is emitted as a zero-length marker so it stays visible.
+    for (gpu, stream, op), rec in open_ops.items():
+        events.append({
+            "name": f"{op} (unfinished)",
+            "ph": "i",
+            "s": "t",
+            "ts": rec.t * _US,
+            "pid": gpu or 0,
+            "tid": stream or "?",
+            "cat": "stream",
+        })
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> str:
+    """Write ``{"traceEvents": [...]}`` to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": to_chrome_trace(tracer)}, fh)
+    return path

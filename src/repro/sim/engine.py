@@ -1,0 +1,270 @@
+"""Deterministic discrete-event simulation engine.
+
+Simulated processes ("tasks") are real Python threads scheduled
+*cooperatively*: exactly one task runs at any moment, and control is handed
+off explicitly through per-task semaphores. Virtual time only advances when
+every task is blocked, at which point the earliest pending timer fires.
+Because the ready queue is FIFO and timers are sequence-numbered, a given
+program produces the exact same interleaving and the exact same virtual
+timings on every run.
+
+This is the substrate every other subsystem (GPU runtime, MPI, GPUCCL,
+GPUSHMEM, Uniconn) is built on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+from typing import Any, Callable, List, Optional
+
+from ..errors import DeadlockError, EngineStateError, SimAborted
+
+__all__ = ["Engine", "Task", "Timer", "current_engine"]
+
+# States of a Task.
+_NEW = "new"
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+_thread_local = threading.local()
+
+
+def current_engine() -> "Engine":
+    """Return the engine driving the calling simulated task."""
+    eng = getattr(_thread_local, "engine", None)
+    if eng is None:
+        raise EngineStateError("not inside a simulated task")
+    return eng
+
+
+class Timer:
+    """A cancellable callback scheduled at an absolute virtual time."""
+
+    __slots__ = ("when", "callback", "cancelled")
+
+    def __init__(self, when: float, callback: Callable[[], None]):
+        self.when = when
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the timer's callback from firing."""
+        self.cancelled = True
+
+
+class Task:
+    """One simulated process, backed by a real (cooperatively run) thread."""
+
+    def __init__(self, engine: "Engine", fn: Callable[[], Any], name: str):
+        self.engine = engine
+        self.fn = fn
+        self.name = name
+        self.state = _NEW
+        self.poisoned = False
+        self.result: Any = None
+        self.wait_reason: str = ""
+        self._sem = threading.Semaphore(0)
+        self._thread = threading.Thread(target=self._main, name=name, daemon=True)
+        self._finish_waiters: List["Task"] = []
+
+    # ------------------------------------------------------------------ #
+
+    def _main(self) -> None:
+        _thread_local.engine = self.engine
+        self._sem.acquire()  # wait to be scheduled for the first time
+        try:
+            if self.poisoned:
+                raise SimAborted(self.name)
+            self.state = _RUNNING
+            self.result = self.fn()
+        except SimAborted:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - must capture everything
+            self.engine._record_failure(exc)
+        finally:
+            self.engine._finish_task(self)
+
+    def make_ready(self) -> None:
+        """Move a blocked/new task to the ready queue (idempotent)."""
+        if self.state in (_BLOCKED, _NEW):
+            self.state = _READY
+            self.wait_reason = ""
+            self.engine._ready.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Task {self.name} {self.state}>"
+
+
+class Engine:
+    """The virtual clock plus the cooperative task scheduler."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[tuple] = []  # (when, seq, Timer)
+        self._seq = 0
+        self._ready: deque = deque()
+        self._tasks: set = set()
+        self._current: Optional[Task] = None
+        self._done_sem = threading.Semaphore(0)
+        self._failure: Optional[BaseException] = None
+        self._running = False
+        self._finished = False
+        self.trace_hook: Optional[Callable[..., None]] = None
+
+    # ------------------------------------------------------------------ #
+    # Public API used by simulated code.
+    # ------------------------------------------------------------------ #
+
+    def spawn(self, fn: Callable[[], Any], name: str = "task") -> Task:
+        """Create a simulated process. It becomes runnable immediately."""
+        if self._finished:
+            raise EngineStateError("engine already finished")
+        task = Task(self, fn, name)
+        self._tasks.add(task)
+        task._thread.start()
+        task.make_ready()
+        return task
+
+    def run(self) -> None:
+        """Drive the simulation to completion (called from the host thread).
+
+        Returns when every task has finished; re-raises the first failure
+        raised inside any task (including deadlock detection).
+        """
+        if self._running or self._finished:
+            raise EngineStateError("engine can only be run once")
+        self._running = True
+        if self._tasks:
+            self._dispatch_next()
+            self._done_sem.acquire()
+        self._finished = True
+        self._running = False
+        if self._failure is not None:
+            raise self._failure
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        timer = Timer(self.now + delay, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, (timer.when, self._seq, timer))
+        return timer
+
+    def sleep(self, duration: float) -> None:
+        """Block the calling task for ``duration`` seconds of virtual time."""
+        task = self._require_current()
+        self.schedule(duration, task.make_ready)
+        self.block(f"sleep({duration:g})")
+
+    def block(self, reason: str = "") -> None:
+        """Suspend the calling task until someone calls ``make_ready`` on it.
+
+        The caller must have already arranged its own wake-up (a timer, a
+        registration on a sync object, ...). If the wake-up already happened
+        synchronously the task is in the ready queue and will simply resume.
+        """
+        task = self._require_current()
+        if task.state is _RUNNING:
+            task.state = _BLOCKED
+            task.wait_reason = reason
+        self._dispatch_next()
+        task._sem.acquire()
+        if task.poisoned:
+            raise SimAborted(task.name)
+        task.state = _RUNNING
+
+    def join(self, other: Task) -> Any:
+        """Block until ``other`` finishes; return its result."""
+        if other.state is not _DONE:
+            other._finish_waiters.append(self._require_current())
+            self.block(f"join({other.name})")
+        return other.result
+
+    @property
+    def current_task(self) -> Optional[Task]:
+        """The task currently holding the run token (None at startup)."""
+        return self._current
+
+    def trace(self, kind: str, **fields: Any) -> None:
+        """Emit a trace record if a hook is installed."""
+        if self.trace_hook is not None:
+            self.trace_hook(kind, t=self.now, **fields)
+
+    # ------------------------------------------------------------------ #
+    # Internals.
+    # ------------------------------------------------------------------ #
+
+    def _require_current(self) -> Task:
+        task = self._current
+        if task is None or threading.current_thread() is not task._thread:
+            raise EngineStateError("blocking call outside a simulated task")
+        return task
+
+    def _record_failure(self, exc: BaseException) -> None:
+        if self._failure is None:
+            self._failure = exc
+
+    def _finish_task(self, task: Task) -> None:
+        task.state = _DONE
+        self._tasks.discard(task)
+        for waiter in task._finish_waiters:
+            waiter.make_ready()
+        task._finish_waiters.clear()
+        self._dispatch_next()
+
+    def _dispatch_next(self) -> None:
+        """Hand control to the next runnable task, advancing time if needed.
+
+        Runs in the context of the task that is blocking/finishing (or the
+        host thread at start-up). Exactly one task is released.
+        """
+        if self._failure is not None:
+            self._drain()
+            return
+        while True:
+            if self._ready:
+                nxt = self._ready.popleft()
+                self._current = nxt
+                nxt._sem.release()
+                return
+            fired = False
+            while self._heap and not fired:
+                when, _, timer = heapq.heappop(self._heap)
+                if timer.cancelled:
+                    continue
+                if when > self.now:
+                    self.now = when
+                timer.callback()
+                fired = True
+            if fired:
+                continue
+            # No runnable task and no future event.
+            if self._tasks:
+                self._record_failure(DeadlockError(self._deadlock_report()))
+                self._drain()
+                return
+            self._current = None
+            self._done_sem.release()
+            return
+
+    def _drain(self) -> None:
+        """After a failure: unwind the remaining tasks one at a time."""
+        for task in list(self._tasks):
+            if task.state in (_BLOCKED, _NEW, _READY):
+                task.poisoned = True
+                self._current = task
+                task._sem.release()
+                return
+        self._current = None
+        self._done_sem.release()
+
+    def _deadlock_report(self) -> str:
+        lines = []
+        for task in sorted(self._tasks, key=lambda t: t.name):
+            lines.append(f"  {task.name}: blocked on {task.wait_reason or '<unknown>'}")
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""SPMD launcher: run the same function on N simulated ranks.
+
+This is the simulated analogue of ``srun -n N ./app``. Higher layers
+(:mod:`repro.launcher`) add the hardware model and the GPU runtime; this
+module only knows about the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from .engine import Engine
+
+__all__ = ["run_spmd"]
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    engine: Optional[Engine] = None,
+    name: str = "rank",
+) -> List[Any]:
+    """Run ``fn(rank, *args)`` on ``nranks`` simulated processes.
+
+    Returns the per-rank return values, ordered by rank. The first exception
+    raised by any rank (including a deadlock) propagates to the caller.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    eng = engine if engine is not None else Engine()
+    results: List[Any] = [None] * nranks
+
+    def make_body(rank: int) -> Callable[[], None]:
+        def body() -> None:
+            results[rank] = fn(rank, *args)
+
+        return body
+
+    for rank in range(nranks):
+        eng.spawn(make_body(rank), name=f"{name}{rank}")
+    eng.run()
+    return results

@@ -1,0 +1,144 @@
+"""Synchronization primitives for simulated tasks.
+
+All primitives are engine-aware: ``wait`` suspends the calling simulated
+task (virtual time may pass), ``set``/``notify`` wake waiters in FIFO order
+so the simulation stays deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from .engine import Engine, Task
+
+__all__ = ["SimEvent", "Broadcast", "SimQueue", "Counter", "wait_until"]
+
+
+class SimEvent:
+    """A one-shot event: once set, every past and future waiter proceeds."""
+
+    __slots__ = ("engine", "_set", "_waiters", "name")
+
+    def __init__(self, engine: Engine, name: str = "event"):
+        self.engine = engine
+        self.name = name
+        self._set = False
+        self._waiters: List[Task] = []
+
+    def is_set(self) -> bool:
+        """True once the event fired."""
+        return self._set
+
+    def set(self) -> None:
+        if self._set:
+            return
+        self._set = True
+        waiters, self._waiters = self._waiters, []
+        for task in waiters:
+            task.make_ready()
+
+    def wait(self) -> None:
+        if self._set:
+            return
+        task = self.engine._require_current()
+        self._waiters.append(task)
+        self.engine.block(f"event:{self.name}")
+
+
+class Broadcast:
+    """A multi-shot notification channel (condition variable without a lock).
+
+    ``wait`` returns after the *next* ``notify_all``. Use ``wait_until`` to
+    wait for a predicate over shared state.
+    """
+
+    __slots__ = ("engine", "_waiters", "name")
+
+    def __init__(self, engine: Engine, name: str = "broadcast"):
+        self.engine = engine
+        self.name = name
+        self._waiters: List[Task] = []
+
+    def notify_all(self) -> None:
+        """Wake every waiter registered since the last notify."""
+        waiters, self._waiters = self._waiters, []
+        for task in waiters:
+            task.make_ready()
+
+    def wait(self) -> None:
+        task = self.engine._require_current()
+        self._waiters.append(task)
+        self.engine.block(f"broadcast:{self.name}")
+
+
+def wait_until(broadcast: Broadcast, predicate: Callable[[], bool]) -> None:
+    """Block the calling task until ``predicate()`` is true.
+
+    The predicate is re-checked each time ``broadcast`` is notified; state
+    changes that can satisfy waiters must notify the broadcast.
+    """
+    while not predicate():
+        broadcast.wait()
+
+
+class SimQueue:
+    """Unbounded FIFO queue between simulated tasks."""
+
+    __slots__ = ("engine", "_items", "_bcast")
+
+    def __init__(self, engine: Engine, name: str = "queue"):
+        self.engine = engine
+        self._items: Deque[Any] = deque()
+        self._bcast = Broadcast(engine, name)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append an item and wake waiters."""
+        self._items.append(item)
+        self._bcast.notify_all()
+
+    def get(self) -> Any:
+        """Block until an item is available; pop it."""
+        wait_until(self._bcast, lambda: bool(self._items))
+        return self._items.popleft()
+
+    def try_get(self) -> Optional[Any]:
+        """Pop an item if present, else None (nonblocking)."""
+        return self._items.popleft() if self._items else None
+
+
+class Counter:
+    """A monotonically updatable value tasks can wait on.
+
+    This is the primitive behind GPUSHMEM signal waits
+    (``signal_wait_until(addr, CMP, value)``).
+    """
+
+    __slots__ = ("engine", "_value", "_bcast")
+
+    def __init__(self, engine: Engine, initial: int = 0, name: str = "counter"):
+        self.engine = engine
+        self._value = initial
+        self._bcast = Broadcast(engine, name)
+
+    @property
+    def value(self) -> int:
+        """Current counter value."""
+        return self._value
+
+    def set(self, value: int) -> None:
+        self._value = value
+        self._bcast.notify_all()
+
+    def add(self, delta: int) -> None:
+        """Adjust the value and wake waiters."""
+        self._value += delta
+        self._bcast.notify_all()
+
+    def wait_for(self, predicate: Callable[[int], bool]) -> int:
+        """Block until the predicate holds for the value; returns it."""
+        wait_until(self._bcast, lambda: predicate(self._value))
+        return self._value

@@ -1,0 +1,37 @@
+"""Lightweight event tracing for debugging and for tests that assert on
+communication schedules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from .engine import Engine
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass
+class TraceRecord:
+    kind: str
+    t: float
+    fields: Dict[str, Any]
+
+
+@dataclass
+class Tracer:
+    """Collects ``engine.trace(...)`` records; attach with ``install``."""
+
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def install(self, engine: Engine) -> "Tracer":
+        """Attach this tracer to an engine's trace hook."""
+        engine.trace_hook = self
+        return self
+
+    def __call__(self, kind: str, t: float = 0.0, **fields: Any) -> None:
+        self.records.append(TraceRecord(kind, t, fields))
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All collected records of one event kind."""
+        return [r for r in self.records if r.kind == kind]

@@ -1,0 +1,31 @@
+"""Shared helpers for backend tests."""
+
+import pytest
+
+from repro.backends.mpi import MpiContext
+from repro.launcher import launch
+
+
+def mpi_run(nranks, body, machine="perlmutter", **kwargs):
+    """Run ``body(mpi_ctx, comm_world)`` on each rank; returns results."""
+
+    def main(ctx):
+        ctx.set_device(ctx.node_rank)
+        mpi = MpiContext(ctx)
+        try:
+            return body(mpi, mpi.comm_world)
+        finally:
+            if not mpi.finalized:
+                mpi.finalize()
+
+    return launch(main, nranks, machine=machine, **kwargs)
+
+
+@pytest.fixture
+def run2():
+    return lambda body, **kw: mpi_run(2, body, **kw)
+
+
+@pytest.fixture
+def run4():
+    return lambda body, **kw: mpi_run(4, body, **kw)

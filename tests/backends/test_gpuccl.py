@@ -1,0 +1,363 @@
+"""Tests for the simulated GPUCCL (NCCL/RCCL) backend."""
+
+import numpy as np
+import pytest
+
+from repro.backends import gpuccl
+from repro.backends.gpuccl import GpucclComm, get_unique_id, group_end, group_start
+from repro.errors import DeadlockError, GpucclError
+from repro.hardware import lumi, perlmutter
+from repro.launcher import launch
+
+
+def ccl_run(nranks, body, machine="perlmutter", **kwargs):
+    """Run ``body(comm, stream)`` on each rank with a ready communicator."""
+
+    def main(ctx):
+        ctx.set_device(ctx.node_rank)
+        uid = ctx.job.shared_state("uid", get_unique_id)
+        comm = GpucclComm(ctx, uid, ctx.world_size, ctx.rank)
+        stream = ctx.device.create_stream()
+        return body(comm, stream)
+
+    return launch(main, nranks, machine=machine, **kwargs)
+
+
+def dbuf(comm, values):
+    buf = comm.device.malloc(len(values), np.float32)
+    buf.write(np.asarray(values, np.float32))
+    return buf
+
+
+def test_comm_init_requires_device():
+    def main(ctx):
+        uid = ctx.job.shared_state("uid", get_unique_id)
+        with pytest.raises(GpucclError, match="selected GPU"):
+            GpucclComm(ctx, uid, 1, 0)
+        return True
+
+    assert all(launch(main, 1))
+
+
+def test_grouped_bidirectional_exchange():
+    def body(comm, stream):
+        peer = 1 - comm.rank
+        send = dbuf(comm, [float(comm.rank + 1)] * 4)
+        recv = comm.device.malloc(4, np.float32)
+        group_start()
+        comm.send(send, 4, peer, stream)
+        comm.recv(recv, 4, peer, stream)
+        group_end()
+        stream.synchronize()
+        return recv.read().tolist()
+
+    results = ccl_run(2, body)
+    assert results[0] == [2.0] * 4
+    assert results[1] == [1.0] * 4
+
+
+def test_ungrouped_bidirectional_exchange_deadlocks():
+    """send-then-recv without a group blocks both streams, like real NCCL."""
+
+    def body(comm, stream):
+        peer = 1 - comm.rank
+        send = dbuf(comm, [1.0])
+        recv = comm.device.malloc(1, np.float32)
+        comm.send(send, 1, peer, stream)
+        comm.recv(recv, 1, peer, stream)
+        stream.synchronize()
+
+    with pytest.raises(DeadlockError):
+        ccl_run(2, body)
+
+
+def test_ungrouped_ordered_send_recv_works():
+    def body(comm, stream):
+        buf = comm.device.malloc(2, np.float32)
+        if comm.rank == 0:
+            buf.write(np.array([3.0, 4.0], np.float32))
+            comm.send(buf, 2, 1, stream)
+        else:
+            comm.recv(buf, 2, 0, stream)
+        stream.synchronize()
+        return buf.read().tolist()
+
+    results = ccl_run(2, body)
+    assert results[1] == [3.0, 4.0]
+
+
+def test_enqueue_is_nonblocking_for_host():
+    def body(comm, stream):
+        buf = comm.device.malloc(1, np.float32)
+        t0 = comm.engine.now
+        if comm.rank == 0:
+            comm.send(buf, 1, 1, stream)
+        else:
+            comm.recv(buf, 1, 0, stream)
+        t1 = comm.engine.now
+        stream.synchronize()
+        return t1 - t0
+
+    results = ccl_run(2, body)
+    assert all(dt == 0.0 for dt in results)
+
+
+def test_p2p_pays_kernel_launch_overhead():
+    def body(comm, stream):
+        buf = comm.device.malloc(1, np.float32)
+        start = comm.engine.now
+        if comm.rank == 0:
+            comm.send(buf, 1, 1, stream)
+        else:
+            comm.recv(buf, 1, 0, stream)
+        stream.synchronize()
+        return comm.engine.now - start
+
+    results = ccl_run(2, body)
+    m = perlmutter()
+    floor = m.gpuccl.comm_launch_overhead + m.intra_latency
+    assert all(dt >= floor for dt in results)
+
+
+def test_group_fuses_launch_overhead():
+    """Four grouped ops must cost much less than four separate launches."""
+
+    def grouped(comm, stream):
+        peer = 1 - comm.rank
+        send = dbuf(comm, [1.0] * 4)
+        recv = comm.device.malloc(4, np.float32)
+        start = comm.engine.now
+        group_start()
+        for i in range(4):
+            comm.send(send[i : i + 1], 1, peer, stream)
+            comm.recv(recv[i : i + 1], 1, peer, stream)
+        group_end()
+        stream.synchronize()
+        return comm.engine.now - start
+
+    def ungrouped(comm, stream):
+        peer = 1 - comm.rank
+        send = dbuf(comm, [1.0] * 4)
+        recv = comm.device.malloc(4, np.float32)
+        start = comm.engine.now
+        for i in range(4):
+            group_start()
+            comm.send(send[i : i + 1], 1, peer, stream)
+            comm.recv(recv[i : i + 1], 1, peer, stream)
+            group_end()
+        stream.synchronize()
+        return comm.engine.now - start
+
+    t_grouped = ccl_run(2, grouped)[0]
+    t_ungrouped = ccl_run(2, ungrouped)[0]
+    assert t_grouped < 0.5 * t_ungrouped
+
+
+def test_nested_groups_flush_once():
+    def body(comm, stream):
+        peer = 1 - comm.rank
+        send = dbuf(comm, [5.0])
+        recv = comm.device.malloc(1, np.float32)
+        group_start()
+        group_start()
+        comm.send(send, 1, peer, stream)
+        group_end()  # inner: must not flush yet
+        comm.recv(recv, 1, peer, stream)
+        group_end()
+        stream.synchronize()
+        return recv.read()[0]
+
+    assert ccl_run(2, body) == [5.0, 5.0]
+
+
+def test_group_end_without_start():
+    def body(comm, stream):
+        with pytest.raises(GpucclError, match="group_end"):
+            group_end()
+        return True
+
+    assert all(ccl_run(1, body))
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4, 8])
+def test_all_reduce(nranks):
+    def body(comm, stream):
+        send = dbuf(comm, [float(comm.rank + 1)] * 3)
+        recv = comm.device.malloc(3, np.float32)
+        comm.all_reduce(send, recv, 3, "sum", stream)
+        stream.synchronize()
+        return recv.read().tolist()
+
+    results = ccl_run(nranks, body)
+    expected = [float(nranks * (nranks + 1) / 2)] * 3
+    assert all(r == expected for r in results)
+
+
+def test_all_reduce_in_place():
+    def body(comm, stream):
+        buf = dbuf(comm, [float(comm.rank)] * 2)
+        comm.all_reduce(buf, buf, 2, "sum", stream)
+        stream.synchronize()
+        return buf.read().tolist()
+
+    results = ccl_run(4, body)
+    assert all(r == [6.0, 6.0] for r in results)
+
+
+def test_all_reduce_max():
+    def body(comm, stream):
+        send = dbuf(comm, [float(comm.rank)])
+        recv = comm.device.malloc(1, np.float32)
+        comm.all_reduce(send, recv, 1, "max", stream)
+        stream.synchronize()
+        return recv.read()[0]
+
+    assert ccl_run(4, body) == [3.0] * 4
+
+
+@pytest.mark.parametrize("root", [0, 2])
+def test_broadcast(root):
+    def body(comm, stream, root=root):
+        buf = comm.device.malloc(4, np.float32)
+        if comm.rank == root:
+            buf.write(np.arange(4, dtype=np.float32))
+        comm.broadcast(buf, buf, 4, root, stream)
+        stream.synchronize()
+        return buf.read().tolist()
+
+    results = ccl_run(4, body)
+    assert all(r == [0, 1, 2, 3] for r in results)
+
+
+def test_reduce_to_root():
+    def body(comm, stream):
+        send = dbuf(comm, [1.0, 2.0])
+        recv = comm.device.malloc(2, np.float32)
+        comm.reduce(send, recv, 2, "sum", 1, stream)
+        stream.synchronize()
+        return recv.read().tolist()
+
+    results = ccl_run(4, body)
+    assert results[1] == [4.0, 8.0]
+    assert results[0] == [0.0, 0.0]  # untouched at non-root
+
+
+def test_all_gather():
+    def body(comm, stream):
+        send = dbuf(comm, [float(comm.rank)] * 2)
+        recv = comm.device.malloc(2 * comm.size, np.float32)
+        comm.all_gather(send, recv, 2, stream)
+        stream.synchronize()
+        return recv.read().tolist()
+
+    results = ccl_run(4, body)
+    expected = [0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]
+    assert all(r == expected for r in results)
+
+
+def test_reduce_scatter():
+    def body(comm, stream):
+        p = comm.size
+        send = dbuf(comm, [float(comm.rank + i) for i in range(2 * p)])
+        recv = comm.device.malloc(2, np.float32)
+        comm.reduce_scatter(send, recv, 2, "sum", stream)
+        stream.synchronize()
+        return recv.read().tolist()
+
+    results = ccl_run(4, body)
+    # element j of full vector: sum_r (r + j) = 6 + 4j; rank k keeps [2k, 2k+1].
+    for k, got in enumerate(results):
+        assert got == [6.0 + 4 * (2 * k), 6.0 + 4 * (2 * k + 1)]
+
+
+def test_mismatched_collective_detected():
+    def body(comm, stream):
+        buf = dbuf(comm, [1.0])
+        out = comm.device.malloc(1, np.float32)
+        if comm.rank == 0:
+            comm.all_reduce(buf, out, 1, "sum", stream)
+        else:
+            comm.all_reduce(buf, out, 1, "max", stream)
+        stream.synchronize()
+
+    with pytest.raises(GpucclError, match="mismatched collective"):
+        ccl_run(2, body)
+
+
+def test_collective_larger_messages_scale_with_ring_bandwidth():
+    def body_of(n):
+        def body(comm, stream):
+            send = comm.device.malloc(n, np.float32)
+            recv = comm.device.malloc(n, np.float32)
+            start = comm.engine.now
+            comm.all_reduce(send, recv, n, "sum", stream)
+            stream.synchronize()
+            return comm.engine.now - start
+
+        return body
+
+    t_small = ccl_run(4, body_of(256))[0]
+    t_large = ccl_run(4, body_of(1 << 20))[0]
+    # 4 MiB allreduce must be bandwidth-dominated: ~2*(p-1)/p*nbytes/bw.
+    m = perlmutter()
+    lower = 2 * 3 / 4 * (4 << 20) / (m.intra_bandwidth * m.gpuccl.ring_efficiency)
+    assert t_large > lower
+    assert t_small < lower
+
+
+def test_rccl_small_message_latency_worse_than_nccl():
+    """LUMI's RCCL pays a much higher launch overhead (paper Fig. 2)."""
+
+    def body(comm, stream):
+        buf = comm.device.malloc(1, np.float32)
+        start = comm.engine.now
+        if comm.rank == 0:
+            comm.send(buf, 1, 1, stream)
+        else:
+            comm.recv(buf, 1, 0, stream)
+        stream.synchronize()
+        return comm.engine.now - start
+
+    t_perlmutter = ccl_run(2, body, machine="perlmutter")[1]
+    t_lumi = ccl_run(2, body, machine="lumi")[1]
+    assert t_lumi > 1.5 * t_perlmutter
+
+
+def test_split_subcommunicators():
+    def body(comm, stream):
+        sub = comm.split(color=comm.rank % 2)
+        send = dbuf(comm, [float(comm.rank)])
+        recv = comm.device.malloc(1, np.float32)
+        sub.all_reduce(send, recv, 1, "sum", stream)
+        stream.synchronize()
+        return sub.rank, sub.size, recv.read()[0]
+
+    results = ccl_run(4, body)
+    assert results[0] == (0, 2, 2.0)  # ranks 0+2
+    assert results[1] == (0, 2, 4.0)  # ranks 1+3
+    assert results[2] == (1, 2, 2.0)
+    assert results[3] == (1, 2, 4.0)
+
+
+def test_destroyed_comm_rejected():
+    def body(comm, stream):
+        comm.destroy()
+        with pytest.raises(GpucclError, match="destroyed"):
+            comm.send(np.zeros(1, np.float32), 1, 0, stream)
+        with pytest.raises(GpucclError, match="twice"):
+            comm.destroy()
+        return True
+
+    assert all(ccl_run(1, body))
+
+
+def test_p2p_size_mismatch_detected():
+    def body(comm, stream):
+        if comm.rank == 0:
+            comm.send(comm.device.malloc(8, np.float32), 8, 1, stream)
+        else:
+            comm.recv(comm.device.malloc(2, np.float32), 2, 0, stream)
+        stream.synchronize()
+
+    with pytest.raises(GpucclError, match="size mismatch"):
+        ccl_run(2, body)

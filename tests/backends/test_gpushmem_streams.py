@@ -1,0 +1,146 @@
+"""Coverage for the GPUSHMEM stream-ordered APIs not exercised by the apps
+(get_on_stream, quiet_on_stream, fence) and mixed host/stream patterns."""
+
+import numpy as np
+import pytest
+
+from repro.backends.gpushmem import ShmemContext
+from repro.gpu import device_kernel
+from repro.launcher import launch
+
+
+def shmem_run(nranks, body, **kwargs):
+    def main(ctx):
+        ctx.set_device(ctx.node_rank)
+        shmem = ShmemContext(ctx)
+        stream = ctx.device.create_stream()
+        return body(shmem, stream)
+
+    return launch(main, nranks, **kwargs)
+
+
+def test_get_on_stream_reads_remote():
+    def body(shmem, stream):
+        buf = shmem.malloc(4)
+        buf.write(np.full(4, float(shmem.my_pe * 10 + 1), np.float32))
+        shmem.barrier_all()
+        out = np.zeros(4, np.float32)
+        peer = 1 - shmem.my_pe
+        shmem.get_on_stream(out, buf, 4, peer, stream)
+        before_sync = out.copy()
+        stream.synchronize()
+        shmem.barrier_all()
+        return before_sync.tolist(), out.tolist()
+
+    results = shmem_run(2, body)
+    # Asynchronous: nothing visible before the stream drains.
+    assert results[0][0] == [0.0] * 4
+    assert results[0][1] == [11.0] * 4
+    assert results[1][1] == [1.0] * 4
+
+
+def test_quiet_on_stream_orders_after_puts():
+    @device_kernel()
+    def nbi_putter(ctx, dest, n, peer):
+        ctx.shmem.put_nbi(dest, np.full(n, 9.0, np.float32), n, peer)
+
+    def body(shmem, stream):
+        dest = shmem.malloc(8)
+        if shmem.my_pe == 0:
+            shmem.collective_launch(nbi_putter, 1, 64, (dest, 8, 1), stream)
+            shmem.quiet_on_stream(stream)
+            stream.synchronize()
+            # After the stream-ordered quiet, the put must be delivered.
+        shmem.barrier_all()
+        return dest.read().tolist()
+
+    results = shmem_run(2, body)
+    assert results[1] == [9.0] * 8
+
+
+def test_fence_is_cheap_and_ordering_holds():
+    def body(shmem, stream):
+        data = shmem.malloc(2)
+        sig = shmem.malloc(1, np.uint64)
+        if shmem.my_pe == 0:
+            t0 = shmem.engine.now
+            shmem.fence()
+            fence_cost = shmem.engine.now - t0
+            shmem.put(data, np.array([1.0, 2.0], np.float32), 2, 1)
+            shmem.fence()
+            shmem.put_signal(data, np.array([3.0, 4.0], np.float32), 2, sig, 1, 1)
+            return fence_cost
+        shmem.signal_wait_until(sig, "ge", 1)
+        # The fenced first put must have landed before the second.
+        return data.read().tolist()
+
+    results = shmem_run(2, body)
+    assert results[0] < 1e-6
+    assert results[1] == [3.0, 4.0]
+
+
+def test_host_put_then_device_wait():
+    """Mixing APIs: host-side put-with-signal satisfied inside a kernel."""
+
+    @device_kernel()
+    def waiter(ctx, data, sig, out):
+        ctx.shmem.signal_wait_until(sig, "ge", 1)
+        out.append(data.read().tolist())
+
+    def body(shmem, stream):
+        data = shmem.malloc(2)
+        sig = shmem.malloc(1, np.uint64)
+        out = []
+        if shmem.my_pe == 1:
+            shmem.collective_launch(waiter, 1, 64, (data, sig, out), stream)
+        shmem.engine.sleep(5e-6)
+        if shmem.my_pe == 0:
+            shmem.put_signal(data, np.array([7.0, 8.0], np.float32), 2, sig, 1, 1)
+        if shmem.my_pe == 1:
+            stream.synchronize()
+        shmem.barrier_all()
+        return out[0] if out else None
+
+    results = shmem_run(2, body)
+    assert results[1] == [7.0, 8.0]
+
+
+def test_signal_comparisons():
+    def body(shmem, stream):
+        sig = shmem.malloc(1, np.uint64)
+        sig.write(np.array([5], np.uint64))
+        assert shmem.signal_wait_until(sig, "eq", 5) == 5
+        assert shmem.signal_wait_until(sig, "le", 7) == 5
+        assert shmem.signal_wait_until(sig, "ge", 2) == 5
+        assert shmem.signal_wait_until(sig, "ne", 9) == 5
+        assert shmem.signal_wait_until(sig, "lt", 6) == 5
+        assert shmem.signal_wait_until(sig, "gt", 4) == 5
+        from repro.errors import GpushmemError
+
+        with pytest.raises(GpushmemError, match="unknown comparison"):
+            shmem.signal_wait_until(sig, "approx", 5)
+        return True
+
+    assert all(shmem_run(1, body))
+
+
+def test_stream_put_contention_serializes_on_link():
+    """Two puts to the same peer share the link; total time reflects both."""
+
+    def body(shmem, stream):
+        n = 1 << 18
+        dest = shmem.malloc(2 * n)
+        if shmem.my_pe == 0:
+            src = np.zeros(n, np.float32)
+            t0 = shmem.engine.now
+            shmem.put(dest.offset_by(0, n), src, n, 1)
+            t_one = shmem.engine.now - t0
+            shmem.put(dest.offset_by(n, n), src, n, 1)
+            t_two = shmem.engine.now - t0
+            shmem.barrier_all()
+            return t_one, t_two
+        shmem.barrier_all()
+        return None
+
+    t_one, t_two = shmem_run(2, body)[0]
+    assert 1.7 * t_one < t_two < 2.5 * t_one

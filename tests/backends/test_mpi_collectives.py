@@ -1,0 +1,234 @@
+"""Tests for MPI collectives (correctness across rank counts and roots)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiError
+from tests.backends.conftest import mpi_run
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 4, 8])
+def test_barrier_synchronizes_ranks(nranks):
+    def body(mpi, comm):
+        mpi.engine.sleep(comm.rank * 1e-5)  # stagger arrival
+        comm.barrier()
+        return mpi.engine.now
+
+    results = mpi_run(nranks, body)
+    slowest_arrival = (nranks - 1) * 1e-5
+    assert all(t >= slowest_arrival for t in results)
+
+
+@pytest.mark.parametrize("nranks,root", [(2, 0), (4, 0), (4, 2), (5, 3), (8, 7)])
+def test_bcast(nranks, root):
+    def body(mpi, comm):
+        buf = np.zeros(6, np.float32)
+        if comm.rank == root:
+            buf[:] = np.arange(6)
+        comm.bcast(buf, 6, root)
+        return buf.tolist()
+
+    results = mpi_run(nranks, body)
+    assert all(r == [0, 1, 2, 3, 4, 5] for r in results)
+
+
+@pytest.mark.parametrize("nranks,root", [(2, 0), (4, 1), (7, 0)])
+@pytest.mark.parametrize("op,reducer", [("sum", np.sum), ("max", np.max), ("min", np.min)])
+def test_reduce_ops(nranks, root, op, reducer):
+    def body(mpi, comm):
+        send = np.array([comm.rank + 1.0, comm.rank * 2.0], np.float32)
+        recv = np.zeros(2, np.float32) if comm.rank == root else None
+        comm.reduce(send, recv, 2, op, root)
+        return None if recv is None else recv.tolist()
+
+    results = mpi_run(nranks, body)
+    all_data = np.array([[r + 1.0, r * 2.0] for r in range(nranks)], np.float32)
+    expected = reducer(all_data, axis=0).tolist()
+    assert results[root] == pytest.approx(expected)
+    assert all(results[r] is None for r in range(nranks) if r != root)
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 4, 8])
+def test_allreduce_sum(nranks):
+    def body(mpi, comm):
+        send = np.full(3, float(comm.rank), np.float32)
+        recv = np.zeros(3, np.float32)
+        comm.allreduce(send, recv, 3, "sum")
+        return recv.tolist()
+
+    results = mpi_run(nranks, body)
+    expected = [float(sum(range(nranks)))] * 3
+    assert all(r == pytest.approx(expected) for r in results)
+
+
+def test_allreduce_in_place_aliasing():
+    def body(mpi, comm):
+        buf = np.full(2, float(comm.rank + 1), np.float32)
+        comm.allreduce(buf, buf, 2, "sum")
+        return buf.tolist()
+
+    results = mpi_run(4, body)
+    assert all(r == [10.0, 10.0] for r in results)
+
+
+@pytest.mark.parametrize("root", [0, 1])
+def test_gather(root):
+    def body(mpi, comm):
+        send = np.full(2, float(comm.rank), np.float32)
+        recv = np.zeros(8, np.float32) if comm.rank == root else None
+        comm.gather(send, recv, 2, root)
+        return None if recv is None else recv.tolist()
+
+    results = mpi_run(4, body)
+    assert results[root] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_gatherv_ragged():
+    counts = [1, 3, 2, 4]
+    displs = [0, 1, 4, 6]
+
+    def body(mpi, comm):
+        r = comm.rank
+        send = np.full(counts[r], float(r), np.float32)
+        recv = np.zeros(10, np.float32) if r == 0 else None
+        comm.gatherv(send, counts[r], recv, counts, displs, 0)
+        return None if recv is None else recv.tolist()
+
+    results = mpi_run(4, body)
+    assert results[0] == [0, 1, 1, 1, 2, 2, 3, 3, 3, 3]
+
+
+@pytest.mark.parametrize("root", [0, 2])
+def test_scatter(root):
+    def body(mpi, comm):
+        send = None
+        if comm.rank == root:
+            send = np.arange(8, dtype=np.float32)
+        recv = np.zeros(2, np.float32)
+        comm.scatter(send, recv, 2, root)
+        return recv.tolist()
+
+    results = mpi_run(4, body)
+    assert results == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+
+def test_scatterv_ragged():
+    counts = [2, 1, 3]
+    displs = [0, 2, 3]
+
+    def body(mpi, comm):
+        r = comm.rank
+        send = np.arange(6, dtype=np.float32) if r == 0 else None
+        recv = np.zeros(counts[r], np.float32)
+        comm.scatterv(send, counts, displs, recv, counts[r], 0)
+        return recv.tolist()
+
+    results = mpi_run(3, body)
+    assert results == [[0, 1], [2], [3, 4, 5]]
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 6])
+def test_allgather(nranks):
+    def body(mpi, comm):
+        send = np.full(2, float(comm.rank), np.float32)
+        recv = np.zeros(2 * comm.size, np.float32)
+        comm.allgather(send, recv, 2)
+        return recv.tolist()
+
+    results = mpi_run(nranks, body)
+    expected = [float(r) for r in range(nranks) for _ in range(2)]
+    assert all(r == expected for r in results)
+
+
+def test_allgatherv_ragged():
+    counts = [3, 1, 2, 2]
+    displs = [0, 3, 4, 6]
+
+    def body(mpi, comm):
+        r = comm.rank
+        send = np.full(counts[r], float(r + 1), np.float32)
+        recv = np.zeros(8, np.float32)
+        comm.allgatherv(send, counts[r], recv, counts, displs)
+        return recv.tolist()
+
+    results = mpi_run(4, body)
+    expected = [1, 1, 1, 2, 3, 3, 4, 4]
+    assert all(r == expected for r in results)
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4])
+def test_alltoall(nranks):
+    def body(mpi, comm):
+        p, r = comm.size, comm.rank
+        send = np.array([r * 10 + c for c in range(p)], np.float32)
+        recv = np.zeros(p, np.float32)
+        comm.alltoall(send, recv, 1)
+        return recv.tolist()
+
+    results = mpi_run(nranks, body)
+    for r, got in enumerate(results):
+        assert got == [c * 10 + r for c in range(nranks)]
+
+
+def test_alltoall_buffer_too_small():
+    def body(mpi, comm):
+        send = np.zeros(2, np.float32)
+        recv = np.zeros(2, np.float32)
+        comm.alltoall(send, recv, 1)
+
+    with pytest.raises(MpiError, match="alltoall"):
+        mpi_run(4, body)
+
+
+def test_invalid_root_rejected():
+    def body(mpi, comm):
+        buf = np.zeros(1, np.float32)
+        with pytest.raises(MpiError, match="root"):
+            comm.bcast(buf, 1, root=10)
+        return True
+
+    assert all(mpi_run(2, body))
+
+
+def test_split_creates_isolated_comms():
+    def body(mpi, comm):
+        # Even/odd split; key reverses rank order inside each color.
+        sub = comm.split(color=comm.rank % 2, key=-comm.rank)
+        val = np.full(1, float(comm.rank), np.float32)
+        out = np.zeros(1, np.float32)
+        sub.allreduce(val, out, 1, "sum")
+        return sub.rank, sub.size, float(out[0])
+
+    results = mpi_run(4, body)
+    # color 0: global ranks {0, 2}, key=-rank puts rank 2 first.
+    assert results[0] == (1, 2, 2.0)
+    assert results[2] == (0, 2, 2.0)
+    # color 1: global ranks {1, 3}.
+    assert results[1] == (1, 2, 4.0)
+    assert results[3] == (0, 2, 4.0)
+
+
+def test_split_then_world_still_works():
+    def body(mpi, comm):
+        sub = comm.split(color=comm.rank // 2)
+        buf = np.full(1, float(comm.rank), np.float32)
+        out = np.zeros(1, np.float32)
+        comm.allreduce(buf, out, 1, "sum")  # on WORLD after split
+        return float(out[0]), sub.size
+
+    results = mpi_run(4, body)
+    assert all(r == (6.0, 2) for r in results)
+
+
+def test_bcast_large_message_goes_rendezvous():
+    n = 16384  # 64 KiB > eager threshold
+
+    def body(mpi, comm):
+        buf = np.zeros(n, np.float32)
+        if comm.rank == 0:
+            buf[:] = 1.5
+        comm.bcast(buf, n, 0)
+        return float(buf.sum())
+
+    results = mpi_run(4, body)
+    assert all(r == pytest.approx(1.5 * n) for r in results)

@@ -1,0 +1,125 @@
+"""MPI edge cases: self-messaging, zero-count transfers, nested splits."""
+
+import numpy as np
+import pytest
+
+from repro.backends.mpi import ANY_TAG, waitall
+from tests.backends.conftest import mpi_run
+
+
+def test_send_to_self_nonblocking():
+    def body(mpi, comm):
+        out = np.zeros(3, np.float32)
+        rreq = comm.irecv(out, 3, src=comm.rank)
+        sreq = comm.isend(np.array([1, 2, 3], np.float32), 3, dst=comm.rank)
+        waitall([rreq, sreq])
+        return out.tolist()
+
+    results = mpi_run(1, body)
+    assert results[0] == [1, 2, 3]
+
+
+def test_zero_count_message_carries_tag_semantics():
+    def body(mpi, comm):
+        if comm.rank == 0:
+            comm.send(np.empty(0, np.float32), 0, dst=1, tag=42)
+            return None
+        comm.recv(np.empty(0, np.float32), 0, src=0, tag=42)
+        return mpi.engine.now
+
+    results = mpi_run(2, body)
+    assert results[1] > 0  # still pays wire latency
+
+
+def test_nested_splits():
+    def body(mpi, comm):
+        half = comm.split(color=comm.rank // 4)  # two groups of 4
+        quarter = half.split(color=half.rank // 2)  # four groups of 2
+        buf = np.full(1, float(comm.rank), np.float32)
+        out = np.zeros(1, np.float32)
+        quarter.allreduce(buf, out, 1, "sum")
+        return quarter.size, float(out[0])
+
+    results = mpi_run(8, body)
+    # Pairs (0,1), (2,3), (4,5), (6,7).
+    assert all(size == 2 for size, _ in results)
+    assert [s for _, s in results] == [1.0, 1.0, 5.0, 5.0, 9.0, 9.0, 13.0, 13.0]
+
+
+def test_any_tag_respects_arrival_order():
+    def body(mpi, comm):
+        if comm.rank == 0:
+            for i, tag in enumerate((3, 1, 2)):
+                comm.send(np.full(1, float(i), np.float32), 1, dst=1, tag=tag)
+            return None
+        got = []
+        buf = np.zeros(1, np.float32)
+        for _ in range(3):
+            comm.recv(buf, 1, src=0, tag=ANY_TAG)
+            got.append(float(buf[0]))
+        return got
+
+    results = mpi_run(2, body)
+    assert results[1] == [0.0, 1.0, 2.0]  # posted order, not tag order
+
+
+def test_mixed_eager_rendezvous_between_same_pair():
+    """Interleaved small (eager) and large (rendezvous) messages on one
+    pair, same tag: strict FIFO must hold across protocols."""
+    from repro.hardware import perlmutter
+
+    big = perlmutter().mpi.eager_threshold  # floats -> 4x bytes: rendezvous
+
+    def body(mpi, comm):
+        if comm.rank == 0:
+            comm.send(np.full(1, 1.0, np.float32), 1, dst=1)
+            comm.send(np.full(big, 2.0, np.float32), big, dst=1)
+            comm.send(np.full(1, 3.0, np.float32), 1, dst=1)
+            return None
+        first = np.zeros(1, np.float32)
+        middle = np.zeros(big, np.float32)
+        last = np.zeros(1, np.float32)
+        comm.recv(first, 1, src=0)
+        comm.recv(middle, big, src=0)
+        comm.recv(last, 1, src=0)
+        return float(first[0]), float(middle[0]), float(last[0])
+
+    results = mpi_run(2, body)
+    assert results[1] == (1.0, 2.0, 3.0)
+
+
+def test_barrier_on_subcommunicator_does_not_block_others():
+    def body(mpi, comm):
+        sub = comm.split(color=comm.rank % 2)
+        if comm.rank % 2 == 0:
+            sub.barrier()
+            return mpi.engine.now
+        # Odd ranks never join that barrier; they do their own work.
+        mpi.engine.sleep(1e-6)
+        sub.barrier()
+        return mpi.engine.now
+
+    results = mpi_run(4, body)
+    assert all(t < 1.0 for t in results)
+
+
+def test_gpuccl_self_send_in_group():
+    from repro.backends.gpuccl import GpucclComm, get_unique_id, group_end, group_start
+    from repro.launcher import launch
+
+    def main(ctx):
+        ctx.set_device(ctx.node_rank)
+        uid = ctx.job.shared_state("uid", get_unique_id)
+        comm = GpucclComm(ctx, uid, 1, 0)
+        stream = ctx.device.create_stream()
+        src = ctx.device.malloc(2, np.float32)
+        dst = ctx.device.malloc(2, np.float32)
+        src.write(np.array([7.0, 8.0], np.float32))
+        group_start()
+        comm.send(src, 2, 0, stream)
+        comm.recv(dst, 2, 0, stream)
+        group_end()
+        stream.synchronize()
+        return dst.read().tolist()
+
+    assert launch(main, 1) == [[7.0, 8.0]]

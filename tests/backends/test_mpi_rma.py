@@ -1,0 +1,206 @@
+"""Tests for MPI one-sided communication (RMA windows)."""
+
+import numpy as np
+import pytest
+
+from repro.backends.mpi import MpiWindow
+from repro.errors import MpiError
+from tests.backends.conftest import mpi_run
+
+
+def make_window(mpi, comm, count=8, dtype=np.float32):
+    buf = np.zeros(count, dtype)
+    return buf, MpiWindow(comm, buf, count)
+
+
+def test_put_with_fence(run2):
+    def body(mpi, comm):
+        buf, win = make_window(mpi, comm)
+        if comm.rank == 0:
+            win.put(np.full(4, 7.0, np.float32), 4, target=1)
+        win.fence()
+        return buf.tolist()
+
+    results = run2(body)
+    assert results[1] == [7, 7, 7, 7, 0, 0, 0, 0]
+    assert results[0] == [0] * 8
+
+
+def test_put_with_displacement(run2):
+    def body(mpi, comm):
+        buf, win = make_window(mpi, comm)
+        if comm.rank == 0:
+            win.put(np.full(2, 3.0, np.float32), 2, target=1, target_disp=5)
+        win.fence()
+        return buf.tolist()
+
+    results = run2(body)
+    assert results[1] == [0, 0, 0, 0, 0, 3, 3, 0]
+
+
+def test_get_reads_remote(run2):
+    def body(mpi, comm):
+        buf, win = make_window(mpi, comm)
+        buf[:] = float(comm.rank + 1)
+        win.fence()
+        out = np.zeros(8, np.float32)
+        if comm.rank == 0:
+            win.get(out, 8, target=1)
+        win.fence()
+        return out.tolist()
+
+    results = run2(body)
+    assert results[0] == [2.0] * 8
+
+
+def test_accumulate_sums_from_all_origins():
+    def body(mpi, comm):
+        buf, win = make_window(mpi, comm, count=2)
+        if comm.rank != 0:
+            win.accumulate(np.full(2, float(comm.rank), np.float32), 2, target=0)
+        win.fence()
+        return buf.tolist()
+
+    results = mpi_run(4, body)
+    assert results[0] == [6.0, 6.0]  # 1 + 2 + 3
+
+
+def test_accumulate_max(run2):
+    def body(mpi, comm):
+        buf, win = make_window(mpi, comm, count=1)
+        buf[0] = 5.0
+        win.fence()
+        if comm.rank == 0:
+            win.accumulate(np.array([3.0], np.float32), 1, target=1, op="max")
+            win.accumulate(np.array([9.0], np.float32), 1, target=1, op="max")
+        win.fence()
+        return float(buf[0])
+
+    results = run2(body)
+    assert results[1] == 9.0
+
+
+def test_ops_incomplete_before_fence(run2):
+    """One-sided ops are only guaranteed visible after synchronization."""
+
+    def body(mpi, comm):
+        buf, win = make_window(mpi, comm)
+        if comm.rank == 0:
+            win.put(np.full(8, 1.0, np.float32), 8, target=1)
+            snapshot_peer_would_be_racy = True  # no assertion on peer's side
+            win.fence()
+            return snapshot_peer_would_be_racy
+        # Before the fence the target may or may not see data; after it must.
+        win.fence()
+        return np.all(buf == 1.0)
+
+    results = run2(body)
+    assert results[1]
+
+
+def test_lock_unlock_passive_target(run2):
+    def body(mpi, comm):
+        buf, win = make_window(mpi, comm, count=2)
+        if comm.rank == 0:
+            win.lock(1)
+            win.put(np.array([4.0, 5.0], np.float32), 2, target=1)
+            win.unlock(1)  # flush: data at target after this
+            # Tell the peer via a regular message that data is there.
+            comm.send(np.zeros(0, np.uint8), 0, dst=1, tag=7)
+            return None
+        comm.recv(np.zeros(0, np.uint8), 0, src=0, tag=7)
+        return buf.tolist()
+
+    results = run2(body)
+    assert results[1] == [4.0, 5.0]
+
+
+def test_exclusive_lock_serializes():
+    """Two origins locking the same target take turns; both updates land."""
+
+    def body(mpi, comm):
+        buf, win = make_window(mpi, comm, count=1)
+        if comm.rank != 0:
+            win.lock(0)
+            win.accumulate(np.array([1.0], np.float32), 1, target=0)
+            win.unlock(0)
+        win.fence()
+        return float(buf[0])
+
+    results = mpi_run(3, body)
+    assert results[0] == 2.0
+
+
+def test_unlock_without_lock_rejected(run2):
+    def body(mpi, comm):
+        buf, win = make_window(mpi, comm)
+        with pytest.raises(MpiError, match="not locked"):
+            win.unlock(1 - comm.rank)
+        win.fence()
+        return True
+
+    assert all(run2(body))
+
+
+def test_bounds_checked(run2):
+    def body(mpi, comm):
+        buf, win = make_window(mpi, comm, count=4)
+        with pytest.raises(MpiError, match="outside target window"):
+            win.put(np.zeros(4, np.float32), 4, target=1 - comm.rank, target_disp=2)
+        with pytest.raises(MpiError, match="out of range"):
+            win.put(np.zeros(1, np.float32), 1, target=9)
+        win.fence()
+        return True
+
+    assert all(run2(body))
+
+
+def test_window_free_then_use_rejected(run2):
+    def body(mpi, comm):
+        buf, win = make_window(mpi, comm)
+        win.free()
+        with pytest.raises(MpiError, match="freed"):
+            win.put(np.zeros(1, np.float32), 1, target=0)
+        with pytest.raises(MpiError, match="freed twice"):
+            win.free()
+        return True
+
+    assert all(run2(body))
+
+
+def test_wait_value_polling_flag(run2):
+    """The one-sided producer/consumer pattern: put data, then put a flag;
+    the consumer polls its local window."""
+
+    def body(mpi, comm):
+        buf, win = make_window(mpi, comm, count=4)
+        if comm.rank == 0:
+            win.put(np.array([42.0], np.float32), 1, target=1, target_disp=0)
+            win.put(np.array([1.0], np.float32), 1, target=1, target_disp=3)  # flag
+            win.flush()
+            win.fence()
+            return None
+        win.wait_value(lambda a: a[3] == 1.0)
+        value = float(buf[0])
+        win.fence()
+        return value
+
+    results = run2(body)
+    assert results[1] == 42.0
+
+
+def test_put_timing_charges_path_latency(run2):
+    def body(mpi, comm):
+        buf, win = make_window(mpi, comm, count=1)
+        t0 = mpi.engine.now
+        if comm.rank == 0:
+            win.put(np.array([1.0], np.float32), 1, target=1)
+            win.flush()
+        dt = mpi.engine.now - t0
+        win.fence()
+        return dt
+
+    results = run2(body)
+    from repro.hardware import perlmutter
+
+    assert results[0] >= perlmutter().intra_latency

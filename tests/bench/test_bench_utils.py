@@ -1,0 +1,120 @@
+"""Unit tests for the bench harness modules (timing, report, sloc)."""
+
+import io
+import json
+import os
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.bench import (
+    count_functions,
+    count_text,
+    fmt_gbps,
+    fmt_size,
+    fmt_us,
+    paper_mean,
+    percent_diff,
+    series_table,
+    shape_check,
+    table2_cells,
+)
+
+
+# --------------------------------------------------------------------- #
+# timing
+# --------------------------------------------------------------------- #
+
+
+def test_paper_mean_drops_min_and_max():
+    assert paper_mean([1.0, 100.0, 10.0, 11.0, 12.0]) == pytest.approx(11.0)
+
+
+def test_paper_mean_small_samples():
+    assert paper_mean([5.0]) == 5.0
+    assert paper_mean([4.0, 6.0]) == 5.0
+    with pytest.raises(ValueError):
+        paper_mean([])
+
+
+def test_percent_diff():
+    assert percent_diff(1.1, 1.0) == pytest.approx(10.0)
+    assert percent_diff(0.9, 1.0) == pytest.approx(-10.0)
+    with pytest.raises(ValueError):
+        percent_diff(1.0, 0.0)
+
+
+# --------------------------------------------------------------------- #
+# report
+# --------------------------------------------------------------------- #
+
+
+def test_fmt_size():
+    assert fmt_size(4) == "4B"
+    assert fmt_size(1024) == "1KiB"
+    assert fmt_size(1536) == "1.5KiB"
+    assert fmt_size(4 << 20) == "4MiB"
+    assert fmt_size(1 << 30) == "1GiB"
+
+
+def test_fmt_us_and_gbps():
+    assert fmt_us(1.5e-6) == "1.50"
+    assert fmt_gbps(23.0e9) == "23.00"
+
+
+def test_series_table_renders_all_cells():
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        series_table([1, 2], {"a": {1: 10.0, 2: 20.0}, "b": {1: 30.0}},
+                     val_fmt=lambda v: f"{v:.0f}")
+    text = buf.getvalue()
+    assert "a" in text and "b" in text
+    assert "10" in text and "20" in text and "30" in text
+    assert "-" in text  # the missing b[2] cell
+
+
+def test_shape_check_prints_status():
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        ok = shape_check("should pass", True, "detail")
+        bad = shape_check("should fail", False)
+    assert ok and not bad
+    text = buf.getvalue()
+    assert "[OK ] should pass" in text and "(detail)" in text
+    assert "[MISS] should fail" in text
+
+
+# --------------------------------------------------------------------- #
+# sloc
+# --------------------------------------------------------------------- #
+
+
+def test_count_text_skips_comments_blanks_docstrings():
+    src = '''"""Module docstring."""
+
+# a comment
+x = 1  # trailing comment
+
+def f():
+    """Docstring too."""
+    return (x +
+            1)
+'''
+    # Counted: x=1, def f():, return-over-two-lines -> 4 physical lines.
+    assert count_text(src) == 4
+
+
+def test_count_functions_unwraps_kernels():
+    from repro.apps.jacobi.kernels import jacobi_kernel
+
+    n = count_functions(jacobi_kernel)
+    assert 1 <= n <= 10  # the body is small; docstring excluded
+
+
+def test_table2_grid_complete():
+    cells = table2_cells()
+    assert set(cells) == {"Latency", "Bandwidth", "Jacobi2D", "CG"}
+    for exp in ("Jacobi2D", "CG"):
+        assert set(cells[exp]) == {"MPI", "GPUCCL", "GPUSHMEM_Host",
+                                   "GPUSHMEM_Device", "Uniconn"}
+        assert all(v > 10 for v in cells[exp].values())

@@ -1,0 +1,22 @@
+"""Selection tuning on the other machines (MareNostrum5, rocSHMEM LUMI)."""
+
+from repro.core.selection import SelectionTable
+from repro.hardware import lumi
+
+
+def test_mn5_tuning_has_all_backends():
+    t = SelectionTable.tune("marenostrum5", probe_sizes=(8, 65536), iters=8)
+    cands = t.candidates(8)
+    assert {"mpi", "gpuccl", "gpushmem", "gpushmem-device"} <= set(cands)
+    # H100 NVLink4: device-initiated still wins small intra-node messages.
+    assert t.best(8) == "gpushmem-device"
+
+
+def test_rocshmem_lumi_tuning_includes_gpushmem():
+    spec = lumi(enable_rocshmem=True)
+    t = SelectionTable.tune(spec, probe_sizes=(8,), iters=6)
+    cands = t.candidates(8)
+    assert "gpushmem" in cands
+    # The immature rocSHMEM's heavy overheads keep MPI the small-message
+    # winner on LUMI, unlike NVSHMEM on the NVIDIA machines.
+    assert t.best(8, host_api_only=True) == "mpi"

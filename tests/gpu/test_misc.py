@@ -1,0 +1,114 @@
+"""Additional GPU-runtime coverage: TaskOp results, event misuse, dims."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GpuError
+from repro.gpu import Device, GpuEvent, TaskOp, device_kernel, dim3, elapsed
+from repro.hardware import Cluster, perlmutter
+from repro.sim import Engine
+
+
+def run_on_device(body):
+    engine = Engine()
+    device = Device(engine, Cluster(perlmutter(), 1), gpu_id=0)
+    out = {}
+    engine.spawn(lambda: out.setdefault("r", body(engine, device)), name="host")
+    engine.run()
+    return out["r"]
+
+
+def test_dim3_validation():
+    assert dim3(2, 3) == (2, 3, 1)
+    assert dim3() == (1, 1, 1)
+    with pytest.raises(GpuError):
+        dim3(0)
+    with pytest.raises(GpuError):
+        dim3(1, -1)
+
+
+def test_task_op_returns_result():
+    def body(engine, device):
+        stream = device.create_stream()
+
+        def work():
+            engine.sleep(1e-6)
+            return "resident-result"
+
+        op = TaskOp(engine, "job", work)
+        stream.enqueue(op)
+        stream.synchronize()
+        return op.result
+
+    assert run_on_device(body) == "resident-result"
+
+
+def test_event_elapsed_negative_order():
+    def body(engine, device):
+        stream = device.create_stream()
+        a, b = GpuEvent(device, "a"), GpuEvent(device, "b")
+        a.record(stream)
+        engine.sleep(2e-6)
+        b.record(stream)
+        stream.synchronize()
+        # elapsed is signed: recording order determines the sign.
+        return elapsed(b, a), elapsed(a, b)
+
+    neg, pos = run_on_device(body)
+    assert pos > 0 and neg == -pos
+
+
+def test_event_rerecord_updates_timestamp():
+    def body(engine, device):
+        stream = device.create_stream()
+        ev = GpuEvent(device)
+        ev.record(stream)
+        stream.synchronize()
+        t1 = ev.time
+        engine.sleep(5e-6)
+        ev.record(stream)
+        stream.synchronize()
+        return t1, ev.time
+
+    t1, t2 = run_on_device(body)
+    assert t2 >= t1 + 5e-6
+
+
+def test_default_stream_synchronize_via_device():
+    def body(engine, device):
+        buf = device.malloc(4, np.float32)
+        device.memcpy_h2d(buf, np.ones(4, np.float32))
+        device.synchronize()
+        return buf.read().tolist()
+
+    assert run_on_device(body) == [1.0] * 4
+
+
+def test_device_kernel_result_via_taskop():
+    @device_kernel()
+    def k(ctx):
+        return 123
+
+    def body(engine, device):
+        device.launch(k, 1, 32)
+        device.synchronize()
+        return True
+
+    assert run_on_device(body)
+
+
+def test_kernel_grid_as_plain_int():
+    from repro.gpu import kernel
+
+    seen = []
+
+    @kernel()
+    def k(ctx):
+        seen.append((ctx.n_blocks, ctx.threads_per_block))
+
+    def body(engine, device):
+        device.launch(k, 7, 64)
+        device.synchronize()
+        return seen[0]
+
+    assert run_on_device(body) == (7, 64)

@@ -1,0 +1,76 @@
+"""Property-based tests for application-level invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.cg import row_partition, synthetic_spd
+from repro.apps.jacobi import JacobiConfig, partition_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ny=st.integers(min_value=6, max_value=300),
+    nranks=st.integers(min_value=1, max_value=16),
+)
+def test_jacobi_partition_exact_cover(ny, nranks):
+    cfg = JacobiConfig(nx=8, ny=ny, iters=1, warmup=0)
+    if nranks > ny - 2:
+        return  # rejected by the partitioner; covered by a unit test
+    rows = []
+    for r in range(nranks):
+        p = partition_rows(cfg, r, nranks)
+        assert p.chunk >= 1
+        rows.extend(range(p.row_start, p.row_end))
+    assert rows == list(range(1, ny - 1))
+    # Load balance: chunks differ by at most one row.
+    chunks = [partition_rows(cfg, r, nranks).chunk for r in range(nranks)]
+    assert max(chunks) - min(chunks) <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=10_000),
+    nranks=st.integers(min_value=1, max_value=64),
+)
+def test_cg_row_partition_invariants(n, nranks):
+    counts, displs = row_partition(n, nranks)
+    assert sum(counts) == n
+    assert displs[0] == 0
+    for i in range(1, nranks):
+        assert displs[i] == displs[i - 1] + counts[i - 1]
+    assert max(counts) - min(counts) <= 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=32, max_value=512),
+    nnz=st.integers(min_value=5, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_synthetic_matrix_invariants(n, nnz, seed):
+    a = synthetic_spd(n, nnz, seed)
+    # Symmetric.
+    assert (abs(a - a.T) > 1e-12).nnz == 0
+    # Strictly diagonally dominant with positive diagonal => SPD.
+    diag = a.diagonal()
+    off = np.abs(a).sum(axis=1).A1 - np.abs(diag)
+    assert np.all(diag > off)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    nranks=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_jacobi_partition_invariance_of_result(nranks, seed):
+    """The distributed Jacobi result must be independent of the number of
+    ranks (bitwise, since per-element update order is fixed)."""
+    from repro.apps.jacobi import assemble, launch_variant, serial_jacobi
+
+    rng = np.random.default_rng(seed)
+    cfg = JacobiConfig(nx=int(rng.integers(8, 24)), ny=int(rng.integers(10, 24)),
+                       iters=int(rng.integers(1, 5)), warmup=0)
+    if nranks > cfg.ny - 2:
+        return
+    results = launch_variant("uniconn:gpuccl", cfg, nranks, collect=True)
+    np.testing.assert_array_equal(assemble(cfg, results), serial_jacobi(cfg))

@@ -1,0 +1,168 @@
+"""Property-based tests for communication-library invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.backends.mpi import MpiContext
+from repro.launcher import launch
+from tests.backends.conftest import mpi_run
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nranks=st.integers(min_value=1, max_value=6),
+    count=st.integers(min_value=1, max_value=64),
+    op=st.sampled_from(["sum", "max", "min"]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_mpi_allreduce_matches_numpy(nranks, count, op, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(nranks, count)).astype(np.float32)
+
+    def body(mpi, comm):
+        recv = np.zeros(count, np.float32)
+        comm.allreduce(data[comm.rank].copy(), recv, count, op)
+        return recv
+
+    results = mpi_run(nranks, body)
+    expected = {"sum": np.sum, "max": np.max, "min": np.min}[op](data, axis=0)
+    for got in results:
+        np.testing.assert_allclose(got, expected, rtol=1e-5)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    nranks=st.integers(min_value=2, max_value=5),
+    counts_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_mpi_gatherv_scatterv_roundtrip(nranks, counts_seed):
+    rng = np.random.default_rng(counts_seed)
+    counts = [int(c) for c in rng.integers(1, 8, size=nranks)]
+    displs = [sum(counts[:i]) for i in range(nranks)]
+    total = sum(counts)
+    payload = rng.normal(size=total).astype(np.float32)
+
+    def body(mpi, comm):
+        r = comm.rank
+        mine = payload[displs[r] : displs[r] + counts[r]].copy()
+        gathered = np.zeros(total, np.float32) if r == 0 else None
+        comm.gatherv(mine, counts[r], gathered, counts, displs, 0)
+        back = np.zeros(counts[r], np.float32)
+        comm.scatterv(gathered, counts, displs, back, counts[r], 0)
+        return np.array_equal(back, mine), (None if r else gathered)
+
+    results = mpi_run(nranks, body)
+    assert all(ok for ok, _ in results)
+    np.testing.assert_array_equal(results[0][1], payload)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    nranks=st.integers(min_value=2, max_value=5),
+    count=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_mpi_alltoall_is_transpose(nranks, count, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(nranks, nranks * count)).astype(np.float32)
+
+    def body(mpi, comm):
+        recv = np.zeros(nranks * count, np.float32)
+        comm.alltoall(data[comm.rank].copy(), recv, count)
+        return recv
+
+    results = mpi_run(nranks, body)
+    blocks = data.reshape(nranks, nranks, count)
+    transposed = blocks.transpose(1, 0, 2)
+    for r, got in enumerate(results):
+        np.testing.assert_array_equal(got.reshape(nranks, count), transposed[r])
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    tags=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=10),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_mpi_fifo_per_tag_any_order(tags, seed):
+    """Messages with the same tag arrive in send order, regardless of the
+    interleaving of tags; every message is delivered exactly once."""
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=len(tags)).astype(np.float32)
+
+    def body(mpi, comm):
+        if comm.rank == 0:
+            for tag, val in zip(tags, values):
+                comm.send(np.array([val], np.float32), 1, dst=1, tag=int(tag))
+            return None
+        per_tag = {t: [v for tg, v in zip(tags, values) if tg == t] for t in set(tags)}
+        got = {t: [] for t in set(tags)}
+        buf = np.zeros(1, np.float32)
+        # Receive tag-by-tag in an arbitrary (sorted) order.
+        for t in sorted(per_tag):
+            for _ in per_tag[t]:
+                comm.recv(buf, 1, src=0, tag=int(t))
+                got[t].append(float(buf[0]))
+        return got, per_tag
+
+    results = mpi_run(2, body)
+    got, per_tag = results[1]
+    for t in per_tag:
+        np.testing.assert_allclose(got[t], per_tag[t], rtol=1e-6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    count=st.integers(min_value=1, max_value=32),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_gpuccl_allgather_matches_numpy(count, seed):
+    from repro.backends.gpuccl import GpucclComm, get_unique_id
+
+    rng = np.random.default_rng(seed)
+    nranks = 4
+    data = rng.normal(size=(nranks, count)).astype(np.float32)
+
+    def main(ctx):
+        ctx.set_device(ctx.node_rank)
+        uid = ctx.job.shared_state("uid", get_unique_id)
+        comm = GpucclComm(ctx, uid, nranks, ctx.rank)
+        stream = ctx.device.create_stream()
+        send = ctx.device.malloc(count, np.float32)
+        send.write(data[ctx.rank])
+        recv = ctx.device.malloc(count * nranks, np.float32)
+        comm.all_gather(send, recv, count, stream)
+        stream.synchronize()
+        return recv.read()
+
+    for got in launch(main, nranks):
+        np.testing.assert_array_equal(got, data.reshape(-1))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    offsets=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=5),
+)
+def test_symmetric_buffer_slicing_composes(offsets):
+    """Nested slices of a symmetric buffer address the same peer elements
+    as the composed offset."""
+    from repro.backends.gpushmem import ShmemContext
+
+    def main(ctx):
+        ctx.set_device(ctx.node_rank)
+        shmem = ShmemContext(ctx)
+        buf = shmem.malloc(64, np.float32)
+        view = buf
+        total = 0
+        for off in offsets:
+            remaining = view.count - off
+            if remaining <= 0:
+                break
+            view = view.offset_by(off, remaining)
+            total += off
+        assert view.offset == total
+        # The local view window matches a direct numpy slice.
+        base = buf.local.data
+        np.testing.assert_array_equal(view.local.data, base[total : total + view.count])
+        return True
+
+    assert all(launch(main, 2))

@@ -1,0 +1,98 @@
+"""Property-based tests for the simulation substrate (engine, links)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import Link, Path
+from repro.sim import Engine
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=20))
+def test_clock_never_goes_backwards(delays):
+    eng = Engine()
+    seen = []
+
+    def body():
+        for d in delays:
+            eng.sleep(d)
+            seen.append(eng.now)
+
+    eng.spawn(body)
+    eng.run()
+    assert seen == sorted(seen)
+    assert abs(seen[-1] - sum(delays)) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 4), st.floats(min_value=0.001, max_value=1.0)),
+             min_size=1, max_size=25)
+)
+def test_engine_deterministic_across_runs(ops):
+    def scenario():
+        eng = Engine()
+        log = []
+
+        def mk(tid):
+            def body():
+                for owner, delay in ops:
+                    if owner == tid:
+                        eng.sleep(delay)
+                        log.append((tid, round(eng.now, 9)))
+
+            return body
+
+        for t in range(5):
+            eng.spawn(mk(t), name=f"t{t}")
+        eng.run()
+        return log
+
+    assert scenario() == scenario()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=1 << 22), min_size=1, max_size=30),
+    st.floats(min_value=1e-7, max_value=1e-5),
+    st.floats(min_value=1e8, max_value=1e12),
+)
+def test_link_occupancy_invariants(sizes, latency, bandwidth):
+    link = Link(name="l", latency=latency, bandwidth=bandwidth)
+    last_inject = 0.0
+    for nbytes in sizes:
+        t = link.reserve(0.0, nbytes)
+        # Serialization never overlaps: each transfer starts when the
+        # previous one released the wire.
+        assert t.start >= last_inject - 1e-15
+        assert t.inject_done >= t.start
+        # Propagation is exactly the link latency.
+        assert abs(t.delivered - t.inject_done - latency) < 1e-12
+        # Occupancy equals the serialization time.
+        assert abs((t.inject_done - t.start) - nbytes / bandwidth) < 1e-12
+        last_inject = t.inject_done
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(st.floats(min_value=1e-7, max_value=1e-5),
+                       st.floats(min_value=1e9, max_value=1e11)),
+             min_size=1, max_size=4),
+    st.integers(min_value=0, max_value=1 << 20),
+)
+def test_path_bottleneck_and_additive_latency(hops, nbytes):
+    links = [Link(name=f"l{i}", latency=lat, bandwidth=bw) for i, (lat, bw) in enumerate(hops)]
+    p = Path(links)
+    assert abs(p.latency - sum(l for l, _ in hops)) < 1e-12
+    assert abs(p.bandwidth - min(b for _, b in hops)) < 1e-3
+    t = p.reserve(0.0, nbytes)
+    expected = max(nbytes / b for _, b in hops) + sum(l for l, _ in hops)
+    assert abs(t.delivered - expected) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=15))
+def test_paper_mean_bounded_by_extremes(samples):
+    from repro.bench import paper_mean
+
+    m = paper_mean(samples)
+    assert min(samples) - 1e-9 <= m <= max(samples) + 1e-9

@@ -1,0 +1,268 @@
+"""Unit tests for the discrete-event engine and cooperative scheduler."""
+
+import pytest
+
+from repro.errors import DeadlockError, EngineStateError
+from repro.sim import Engine, current_engine, run_spmd
+
+
+def test_single_task_runs_and_returns():
+    eng = Engine()
+    out = []
+    eng.spawn(lambda: out.append("ran"), name="t0")
+    eng.run()
+    assert out == ["ran"]
+    assert eng.now == 0.0
+
+
+def test_sleep_advances_virtual_time():
+    eng = Engine()
+    seen = []
+
+    def body():
+        eng.sleep(1.5)
+        seen.append(eng.now)
+        eng.sleep(0.5)
+        seen.append(eng.now)
+
+    eng.spawn(body)
+    eng.run()
+    assert seen == [1.5, 2.0]
+    assert eng.now == 2.0
+
+
+def test_two_tasks_interleave_by_time():
+    eng = Engine()
+    order = []
+
+    def mk(name, delay):
+        def body():
+            eng.sleep(delay)
+            order.append((name, eng.now))
+
+        return body
+
+    eng.spawn(mk("slow", 2.0))
+    eng.spawn(mk("fast", 1.0))
+    eng.run()
+    assert order == [("fast", 1.0), ("slow", 2.0)]
+
+
+def test_schedule_callback_fires_at_time():
+    eng = Engine()
+    fired = []
+    eng.spawn(lambda: eng.schedule(3.0, lambda: fired.append(eng.now)))
+
+    def waiter():
+        eng.sleep(5.0)
+
+    eng.spawn(waiter)
+    eng.run()
+    assert fired == [3.0]
+
+
+def test_timer_cancellation():
+    eng = Engine()
+    fired = []
+
+    def body():
+        timer = eng.schedule(1.0, lambda: fired.append("boom"))
+        timer.cancel()
+        eng.sleep(2.0)
+
+    eng.spawn(body)
+    eng.run()
+    assert fired == []
+
+
+def test_same_time_events_fire_in_schedule_order():
+    eng = Engine()
+    order = []
+
+    def body():
+        eng.schedule(1.0, lambda: order.append("first"))
+        eng.schedule(1.0, lambda: order.append("second"))
+        eng.sleep(2.0)
+
+    eng.spawn(body)
+    eng.run()
+    assert order == ["first", "second"]
+
+
+def test_exception_in_task_propagates_to_run():
+    eng = Engine()
+
+    def bad():
+        eng.sleep(1.0)
+        raise ValueError("boom")
+
+    eng.spawn(bad)
+    with pytest.raises(ValueError, match="boom"):
+        eng.run()
+
+
+def test_failure_unwinds_other_blocked_tasks():
+    eng = Engine()
+
+    def sleeper():
+        eng.sleep(100.0)
+
+    def bad():
+        eng.sleep(1.0)
+        raise RuntimeError("fail fast")
+
+    eng.spawn(sleeper)
+    eng.spawn(bad)
+    with pytest.raises(RuntimeError, match="fail fast"):
+        eng.run()
+    # Virtual time must not have run to the sleeper's horizon.
+    assert eng.now == 1.0
+
+
+def test_deadlock_detection_reports_waiters():
+    eng = Engine()
+
+    def stuck():
+        eng.block("waiting for godot")
+
+    eng.spawn(stuck, name="stuck-task")
+    with pytest.raises(DeadlockError, match="stuck-task.*waiting for godot"):
+        eng.run()
+
+
+def test_engine_runs_only_once():
+    eng = Engine()
+    eng.spawn(lambda: None)
+    eng.run()
+    with pytest.raises(EngineStateError):
+        eng.run()
+
+
+def test_spawn_from_inside_task():
+    eng = Engine()
+    out = []
+
+    def child():
+        eng.sleep(1.0)
+        out.append(("child", eng.now))
+
+    def parent():
+        eng.spawn(child, name="child")
+        eng.sleep(2.0)
+        out.append(("parent", eng.now))
+
+    eng.spawn(parent, name="parent")
+    eng.run()
+    assert out == [("child", 1.0), ("parent", 2.0)]
+
+
+def test_join_returns_child_result():
+    eng = Engine()
+    got = []
+
+    def child():
+        eng.sleep(1.0)
+        return 42
+
+    def parent():
+        task = eng.spawn(child)
+        got.append(eng.join(task))
+        got.append(eng.now)
+
+    eng.spawn(parent)
+    eng.run()
+    assert got == [42, 1.0]
+
+
+def test_join_finished_task_is_immediate():
+    eng = Engine()
+    got = []
+
+    def child():
+        return "done"
+
+    def parent():
+        task = eng.spawn(child)
+        eng.sleep(5.0)
+        got.append(eng.join(task))
+
+    eng.spawn(parent)
+    eng.run()
+    assert got == ["done"]
+
+
+def test_current_engine_inside_task():
+    eng = Engine()
+    seen = []
+    eng.spawn(lambda: seen.append(current_engine() is eng))
+    eng.run()
+    assert seen == [True]
+
+
+def test_current_engine_outside_task_raises():
+    with pytest.raises(EngineStateError):
+        current_engine()
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+
+    def body():
+        with pytest.raises(ValueError):
+            eng.schedule(-1.0, lambda: None)
+
+    eng.spawn(body)
+    eng.run()
+
+
+def test_determinism_two_runs_identical():
+    def scenario():
+        eng = Engine()
+        log = []
+
+        def mk(name):
+            def body():
+                for i in range(5):
+                    eng.sleep(0.5 + 0.1 * (hash(name) % 3))
+                    log.append((name, round(eng.now, 6)))
+
+            return body
+
+        for n in ("a", "b", "c"):
+            eng.spawn(mk(n), name=n)
+        eng.run()
+        return log
+
+    assert scenario() == scenario()
+
+
+def test_run_spmd_returns_per_rank_results():
+    results = run_spmd(4, lambda rank: rank * rank)
+    assert results == [0, 1, 4, 9]
+
+
+def test_run_spmd_passes_args():
+    results = run_spmd(2, lambda rank, base: base + rank, 10)
+    assert results == [10, 11]
+
+
+def test_run_spmd_rejects_zero_ranks():
+    with pytest.raises(ValueError):
+        run_spmd(0, lambda r: r)
+
+
+def test_many_tasks_scale():
+    eng = Engine()
+    done = []
+
+    def mk(i):
+        def body():
+            eng.sleep(i * 0.001)
+            done.append(i)
+
+        return body
+
+    for i in range(100):
+        eng.spawn(mk(i), name=f"t{i}")
+    eng.run()
+    assert done == list(range(100))

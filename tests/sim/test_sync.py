@@ -1,0 +1,175 @@
+"""Unit tests for simulated synchronization primitives."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.sim import Broadcast, Counter, Engine, SimEvent, SimQueue, wait_until
+
+
+def test_event_set_before_wait_is_nonblocking():
+    eng = Engine()
+    out = []
+
+    def body():
+        ev = SimEvent(eng)
+        ev.set()
+        ev.wait()
+        out.append(eng.now)
+
+    eng.spawn(body)
+    eng.run()
+    assert out == [0.0]
+
+
+def test_event_wakes_waiter_at_set_time():
+    eng = Engine()
+    ev = None
+    out = []
+
+    def setter():
+        eng.sleep(2.0)
+        ev.set()
+
+    def waiter():
+        ev.wait()
+        out.append(eng.now)
+
+    ev = SimEvent(eng)
+    eng.spawn(waiter)
+    eng.spawn(setter)
+    eng.run()
+    assert out == [2.0]
+
+
+def test_event_set_is_idempotent():
+    eng = Engine()
+
+    def body():
+        ev = SimEvent(eng)
+        ev.set()
+        ev.set()
+        assert ev.is_set()
+
+    eng.spawn(body)
+    eng.run()
+
+
+def test_event_multiple_waiters_all_wake():
+    eng = Engine()
+    ev = None
+    out = []
+
+    def waiter(tag):
+        def body():
+            ev.wait()
+            out.append(tag)
+
+        return body
+
+    def setter():
+        eng.sleep(1.0)
+        ev.set()
+
+    ev = SimEvent(eng)
+    eng.spawn(waiter("a"))
+    eng.spawn(waiter("b"))
+    eng.spawn(setter)
+    eng.run()
+    assert sorted(out) == ["a", "b"]
+
+
+def test_broadcast_wait_until_predicate():
+    eng = Engine()
+    state = {"v": 0}
+    bc = Broadcast(eng)
+    out = []
+
+    def producer():
+        for _ in range(5):
+            eng.sleep(1.0)
+            state["v"] += 1
+            bc.notify_all()
+
+    def consumer():
+        wait_until(bc, lambda: state["v"] >= 3)
+        out.append((state["v"], eng.now))
+
+    eng.spawn(consumer)
+    eng.spawn(producer)
+    eng.run()
+    assert out == [(3, 3.0)]
+
+
+def test_queue_fifo_order():
+    eng = Engine()
+    q = SimQueue(eng)
+    got = []
+
+    def producer():
+        for i in range(4):
+            eng.sleep(0.5)
+            q.put(i)
+
+    def consumer():
+        for _ in range(4):
+            got.append(q.get())
+
+    eng.spawn(consumer)
+    eng.spawn(producer)
+    eng.run()
+    assert got == [0, 1, 2, 3]
+
+
+def test_queue_try_get_nonblocking():
+    eng = Engine()
+
+    def body():
+        q = SimQueue(eng)
+        assert q.try_get() is None
+        q.put("x")
+        assert len(q) == 1
+        assert q.try_get() == "x"
+
+    eng.spawn(body)
+    eng.run()
+
+
+def test_counter_wait_for_threshold():
+    eng = Engine()
+    ctr = Counter(eng)
+    out = []
+
+    def bumper():
+        for _ in range(10):
+            eng.sleep(0.1)
+            ctr.add(1)
+
+    def waiter():
+        v = ctr.wait_for(lambda x: x >= 7)
+        out.append((v, round(eng.now, 6)))
+
+    eng.spawn(waiter)
+    eng.spawn(bumper)
+    eng.run()
+    assert out == [(7, 0.7)]
+
+
+def test_counter_set_overwrites():
+    eng = Engine()
+    ctr = Counter(eng, initial=5)
+
+    def body():
+        ctr.set(99)
+        assert ctr.value == 99
+
+    eng.spawn(body)
+    eng.run()
+
+
+def test_waiting_on_never_set_event_deadlocks():
+    eng = Engine()
+    ev = SimEvent(eng, name="never")
+
+    eng.spawn(ev.wait, name="w")
+    with pytest.raises(DeadlockError, match="event:never"):
+        eng.run()

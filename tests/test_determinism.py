@@ -1,0 +1,44 @@
+"""System-level determinism: identical runs produce identical virtual
+timings, bit for bit — the property that makes the whole evaluation
+reproducible without repetition."""
+
+import numpy as np
+
+from repro.apps.cg import CgConfig, launch_variant as launch_cg, make_problem
+from repro.apps.jacobi import JacobiConfig, launch_variant as launch_jacobi
+from repro.apps.osu import OsuConfig, run_latency
+
+CFG = JacobiConfig(nx=48, ny=50, iters=6, warmup=1)
+
+
+def _times(results):
+    return [r.total_time for r in results]
+
+
+def test_jacobi_timing_identical_across_runs():
+    for variant in ("uniconn:mpi", "uniconn:gpuccl", "uniconn:gpushmem:PureDevice"):
+        a = _times(launch_jacobi(variant, CFG, 4))
+        b = _times(launch_jacobi(variant, CFG, 4))
+        assert a == b, variant
+
+
+def test_cg_timing_identical_across_runs():
+    cfg = CgConfig(n=256, nnz_per_row=8, iters=6, seed=1)
+    problem = make_problem(cfg)
+    a = _times(launch_cg("gpuccl-native", cfg, 4, problem=problem))
+    b = _times(launch_cg("gpuccl-native", cfg, 4, problem=problem))
+    assert a == b
+
+
+def test_latency_sweep_identical_across_runs():
+    cfg = OsuConfig(sizes=(8, 4096), iters_small=5, warmup_small=1, repeats=2)
+    a = run_latency("gpushmem-host-native", cfg)
+    b = run_latency("gpushmem-host-native", cfg)
+    assert a == b
+
+
+def test_jacobi_numerics_identical_across_runs():
+    a = launch_jacobi("uniconn:gpuccl", CFG, 4, collect=True)
+    b = launch_jacobi("uniconn:gpuccl", CFG, 4, collect=True)
+    for ra, rb in zip(a, b):
+        np.testing.assert_array_equal(ra.interior, rb.interior)

@@ -1,0 +1,157 @@
+"""Failure injection: errors in one rank must unwind the whole job with the
+original error, never hang or corrupt unrelated state."""
+
+import numpy as np
+import pytest
+
+from repro.backends.gpushmem import ShmemContext
+from repro.backends.mpi import MpiContext
+from repro.errors import DeadlockError, GpuError, GpushmemError
+from repro.gpu import device_kernel, kernel
+from repro.launcher import launch
+
+
+def test_exception_in_one_rank_aborts_all():
+    def main(ctx):
+        ctx.set_device(ctx.node_rank)
+        mpi = MpiContext(ctx)
+        if ctx.rank == 2:
+            raise RuntimeError("rank 2 exploded")
+        # Everyone else blocks on a barrier that can never complete.
+        mpi.comm_world.barrier()
+
+    with pytest.raises(RuntimeError, match="rank 2 exploded"):
+        launch(main, 4)
+
+
+def test_exception_inside_device_kernel_aborts_job():
+    @device_kernel()
+    def bad(ctx):
+        raise ValueError("kernel bug")
+
+    def main(ctx):
+        ctx.set_device(ctx.node_rank)
+        shmem = ShmemContext(ctx)
+        stream = ctx.device.create_stream()
+        shmem.collective_launch(bad, 1, 64, (), stream)
+        stream.synchronize()
+        shmem.barrier_all()
+
+    with pytest.raises(ValueError, match="kernel bug"):
+        launch(main, 2)
+
+
+def test_exception_inside_compute_kernel_aborts_job():
+    @kernel()
+    def bad(ctx):
+        raise ZeroDivisionError("compute bug")
+
+    def main(ctx):
+        dev = ctx.set_device(ctx.node_rank)
+        dev.launch(bad, 1, 64)
+        dev.synchronize()
+
+    with pytest.raises(ZeroDivisionError, match="compute bug"):
+        launch(main, 2)
+
+
+def test_missing_recv_deadlock_reports_waiters():
+    def main(ctx):
+        ctx.set_device(ctx.node_rank)
+        mpi = MpiContext(ctx)
+        if ctx.rank == 0:
+            buf = np.zeros(1, np.float32)
+            mpi.comm_world.recv(buf, 1, src=1)  # never sent
+        mpi.finalize()
+
+    with pytest.raises(DeadlockError, match="rank0"):
+        launch(main, 2)
+
+
+def test_collective_order_mismatch_fails():
+    """Rank 0 calls barrier, rank 1 calls allreduce: undefined behaviour in
+    real MPI (usually a hang or crash). Here the mismatched internal
+    messages collide and surface either as a matching error or a deadlock —
+    never as silent corruption."""
+    from repro.errors import MpiError
+
+    def main(ctx):
+        ctx.set_device(ctx.node_rank)
+        mpi = MpiContext(ctx)
+        buf = np.zeros(1, np.float32)
+        if ctx.rank == 0:
+            mpi.comm_world.barrier()
+        else:
+            mpi.comm_world.allreduce(buf, buf, 1, "sum")
+
+    with pytest.raises((MpiError, DeadlockError)):
+        launch(main, 2)
+
+
+def test_shmem_partial_collective_launch_deadlocks():
+    """A device barrier with only some PEs launching hangs, like on real
+    hardware (the docstring warning in ShmemDevice.barrier_all)."""
+
+    @device_kernel()
+    def barrier_kernel(ctx):
+        ctx.shmem.barrier_all()
+
+    def main(ctx):
+        ctx.set_device(ctx.node_rank)
+        shmem = ShmemContext(ctx)
+        stream = ctx.device.create_stream()
+        if ctx.rank == 0:
+            shmem.collective_launch(barrier_kernel, 1, 64, (), stream)
+        stream.synchronize()
+        shmem.barrier_all()
+
+    with pytest.raises(DeadlockError):
+        launch(main, 2)
+
+
+def test_oom_in_app_aborts_cleanly():
+    def main(ctx):
+        dev = ctx.set_device(ctx.node_rank)
+        dev.malloc(dev.model.memory_bytes, np.float32)  # 4x over capacity
+
+    with pytest.raises(GpuError, match="out of memory"):
+        launch(main, 2)
+
+
+def test_asymmetric_free_order_detected():
+    def main(ctx):
+        ctx.set_device(ctx.node_rank)
+        shmem = ShmemContext(ctx)
+        a = shmem.malloc(4)
+        b = shmem.malloc(4)
+        # Rank 0 frees a, rank 1 frees b: the sync keys differ, so the job
+        # deadlocks — matching real NVSHMEM, where mismatched collective
+        # frees hang.
+        shmem.free(a if ctx.rank == 0 else b)
+        shmem.free(b if ctx.rank == 0 else a)
+        return True
+
+    # Free sync is keyed by allocation id: mismatched order deadlocks.
+    with pytest.raises(DeadlockError):
+        launch(main, 2)
+
+
+def test_failure_does_not_leak_into_next_launch():
+    """A failed job must not poison module-level state for the next one."""
+
+    def bad(ctx):
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        launch(bad, 2)
+
+    def good(ctx):
+        ctx.set_device(ctx.node_rank)
+        mpi = MpiContext(ctx)
+        buf = np.full(1, 1.0, np.float32)
+        out = np.zeros(1, np.float32)
+        mpi.comm_world.allreduce(buf, out, 1, "sum")
+        mpi.finalize()
+        return float(out[0])
+
+    assert launch(good, 2) == [2.0, 2.0]

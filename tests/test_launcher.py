@@ -1,0 +1,87 @@
+"""Unit tests for the SPMD launcher and rank contexts."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.launcher import launch
+from repro.hardware import lumi, perlmutter
+
+
+def test_launch_returns_per_rank_results():
+    results = launch(lambda ctx: ctx.rank * 10, n_ranks=4)
+    assert results == [0, 10, 20, 30]
+
+
+def test_rank_placement_perlmutter():
+    def probe(ctx):
+        return (ctx.node, ctx.node_rank, ctx.world_size)
+
+    results = launch(probe, n_ranks=8, machine="perlmutter")
+    assert results[0] == (0, 0, 8)
+    assert results[3] == (0, 3, 8)
+    assert results[4] == (1, 0, 8)
+    assert results[7] == (1, 3, 8)
+
+
+def test_rank_placement_lumi_8_gcds_per_node():
+    results = launch(lambda ctx: ctx.node, n_ranks=16, machine="lumi")
+    assert results[:8] == [0] * 8
+    assert results[8:] == [1] * 8
+
+
+def test_set_device_maps_local_to_global():
+    def probe(ctx):
+        dev = ctx.set_device(ctx.node_rank)
+        return dev.gpu_id
+
+    results = launch(probe, n_ranks=8, machine=perlmutter())
+    assert results == list(range(8))
+
+
+def test_devices_are_singletons_per_gpu():
+    def probe(ctx):
+        a = ctx.set_device(0)
+        b = ctx.set_device(0)
+        return a is b
+
+    # Two ranks on different nodes each grab local device 0.
+    results = launch(probe, n_ranks=2, machine="perlmutter", n_nodes=2)
+    assert all(results)
+
+
+def test_require_device_before_selection():
+    def probe(ctx):
+        with pytest.raises(HardwareError, match="no GPU selected"):
+            ctx.require_device()
+        return True
+
+    assert all(launch(probe, n_ranks=1))
+
+
+def test_set_device_out_of_range():
+    def probe(ctx):
+        with pytest.raises(HardwareError):
+            ctx.set_device(99)
+        return True
+
+    assert all(launch(probe, n_ranks=1))
+
+
+def test_too_few_nodes_rejected():
+    with pytest.raises(HardwareError, match="need >= 2 nodes"):
+        launch(lambda ctx: None, n_ranks=8, machine="perlmutter", n_nodes=1)
+
+
+def test_launch_passes_args():
+    results = launch(lambda ctx, a, b: a + b + ctx.rank, n_ranks=2, args=(1, 2))
+    assert results == [3, 4]
+
+
+def test_shared_state_created_once():
+    def probe(ctx):
+        box = ctx.job.shared_state("box", lambda: {"creations": 0})
+        box["creations"] += 1
+        return id(box)
+
+    results = launch(probe, n_ranks=4)
+    assert len(set(results)) == 1
