@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test perf-smoke bench-wallclock
+
+# Tier-1: the full deterministic test suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fast CI gate for the simulation core: the deterministic fast-path
+# invariants, then the smoke-scale wall-clock run checked against the
+# committed BENCH_wallclock.json baseline (>30% events/sec drop fails).
+perf-smoke:
+	$(PYTHON) -m pytest -x -q -m perf
+	$(PYTHON) benchmarks/bench_wallclock.py --smoke --check
+
+# Full-scale wall-clock benchmark; rewrites the committed baseline.
+bench-wallclock:
+	$(PYTHON) benchmarks/bench_wallclock.py --update
+	$(PYTHON) benchmarks/bench_wallclock.py --smoke --update

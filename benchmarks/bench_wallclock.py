@@ -1,0 +1,253 @@
+"""Wall-clock throughput of the simulation core (host time, not virtual time).
+
+Every paper figure runs on the discrete-event engine, so its events/sec caps
+how far the reproduction scales. This harness measures host seconds and
+scheduler events/sec for:
+
+- 64-rank Jacobi over the three native backends (the heaviest tier-1 shape);
+- the OSU bandwidth window loop (2 ranks, deep per-message event chains);
+
+each in both scheduler modes — ``slow`` (``REPRO_SIM_FASTPATH=0``, the
+reference herd-wakeup/always-switch scheduler) and ``fast`` (targeted
+wakeups + switchless dispatch) — from the same code, so the speedup column
+is a true before/after. Virtual time is asserted identical between modes.
+
+Usage:
+    python benchmarks/bench_wallclock.py             # full scale, print
+    python benchmarks/bench_wallclock.py --smoke     # seconds, not minutes
+    python benchmarks/bench_wallclock.py --update    # write BENCH_wallclock.json
+    python benchmarks/bench_wallclock.py --smoke --check   # CI regression gate
+
+``--check`` exits 1 if any benchmark's fast-mode events/sec fell below
+``REGRESSION_FRACTION`` (70%) of the committed baseline for the same scale,
+after calibrating the baseline by the same run's slow-mode throughput so
+machine-load swings (easily 2x on shared boxes) don't trip the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apps.jacobi import JacobiConfig, launch_variant  # noqa: E402
+from repro.apps.osu.bandwidth import BANDWIDTH_VARIANTS  # noqa: E402
+from repro.apps.osu.config import OsuConfig  # noqa: E402
+from repro.launcher import launch  # noqa: E402
+
+SCHEMA = "repro-bench-wallclock/1"
+BASELINE_PATH = REPO_ROOT / "BENCH_wallclock.json"
+REGRESSION_FRACTION = 0.70  # --check fails below this fraction of baseline
+
+JACOBI_BACKENDS = ("mpi-native", "gpuccl-native", "gpushmem-host-native")
+
+# (nx, ny, iters, warmup) — full matches the benchmarks/_common.py CI shape.
+JACOBI_DIMS = {"full": (512, 514, 12, 2), "smoke": (192, 194, 4, 1)}
+JACOBI_RANKS = 64
+
+OSU_CFG = {
+    "full": OsuConfig(sizes=tuple(1 << k for k in range(2, 23, 2)),
+                      iters_small=40, warmup_small=4, iters_large=12,
+                      warmup_large=2, window=64, repeats=3),
+    "smoke": OsuConfig(sizes=(64, 4096, 262144), iters_small=10, warmup_small=2,
+                       iters_large=6, warmup_large=1, window=32, repeats=1),
+}
+
+
+def _run_jacobi(backend: str, scale: str) -> dict:
+    nx, ny, iters, warmup = JACOBI_DIMS[scale]
+    cfg = JacobiConfig(nx=nx, ny=ny, iters=iters, warmup=warmup)
+    stats: dict = {}
+    t0 = time.perf_counter()
+    launch_variant(backend, cfg, JACOBI_RANKS, stats_out=stats)
+    stats["host_seconds"] = time.perf_counter() - t0
+    return stats
+
+
+def _run_osu(scale: str) -> dict:
+    cfg = OSU_CFG[scale]
+    stats: dict = {}
+    t0 = time.perf_counter()
+    launch(BANDWIDTH_VARIANTS["mpi-native"], 2, args=(cfg,), stats_out=stats)
+    stats["host_seconds"] = time.perf_counter() - t0
+    return stats
+
+
+# name -> (runner, repeats). Repeats alternate mode order and keep the
+# per-mode minimum, so CPU warm-up and tenancy noise (both easily 2x on
+# shared machines) fall out; the counters are deterministic regardless.
+BENCHES = {
+    **{f"jacobi{JACOBI_RANKS}_{b}": ((lambda scale, b=b: _run_jacobi(b, scale)), 5)
+       for b in JACOBI_BACKENDS},
+    "osu_bw_window_mpi": (_run_osu, 2),
+}
+
+
+def _measure(runner, scale: str, repeats: int) -> dict:
+    """Run one bench in both modes; return the comparison record.
+
+    Mode order alternates between repeats (slow-first, then fast-first) so
+    neither mode systematically pays the cold-start penalty, and each
+    mode's fastest host time wins.
+    """
+    best: dict = {}
+    for rep in range(repeats):
+        modes = (("slow", "0"), ("fast", "1"))
+        if rep % 2:
+            modes = tuple(reversed(modes))
+        for mode, env in modes:
+            os.environ["REPRO_SIM_FASTPATH"] = env
+            try:
+                attempt = runner(scale)
+            finally:
+                os.environ.pop("REPRO_SIM_FASTPATH", None)
+            if mode not in best or attempt["host_seconds"] < best[mode]["host_seconds"]:
+                best[mode] = attempt
+    record = {}
+    for mode in ("slow", "fast"):
+        stats = best[mode]
+        host = stats["host_seconds"]
+        record[mode] = {
+            "host_seconds": round(host, 4),
+            # Workload throughput: virtual-timeline events (timer firings,
+            # identical between modes) per host second. Scheduler switches
+            # are overhead the fast path exists to remove, so counting them
+            # as "events" would reward the slow path for wasted work.
+            "events_per_sec": round(stats["timers_fired"] / host) if host > 0 else 0,
+            "sched_events": stats["events"],
+            "virtual_time": stats["virtual_time"],
+            "switches": stats["switches"],
+            "inline_resumes": stats["inline_resumes"],
+            "timers_fired": stats["timers_fired"],
+            "wakeups": stats["wakeups"],
+            "tasks_spawned": stats["tasks_spawned"],
+        }
+    if record["fast"]["virtual_time"] != record["slow"]["virtual_time"]:
+        raise AssertionError(
+            f"virtual time diverged: fast={record['fast']['virtual_time']!r} "
+            f"slow={record['slow']['virtual_time']!r}"
+        )
+    if record["fast"]["timers_fired"] != record["slow"]["timers_fired"]:
+        raise AssertionError(
+            f"timeline diverged: fast fired {record['fast']['timers_fired']} "
+            f"timers, slow {record['slow']['timers_fired']}"
+        )
+    slow_eps = record["slow"]["events_per_sec"]
+    record["speedup_events_per_sec"] = (
+        round(record["fast"]["events_per_sec"] / slow_eps, 2) if slow_eps else None
+    )
+    fast_host = record["fast"]["host_seconds"]
+    record["speedup_wallclock"] = (
+        round(record["slow"]["host_seconds"] / fast_host, 2) if fast_host > 0 else None
+    )
+    return record
+
+
+def run_scale(scale: str) -> dict:
+    results = {}
+    for name, (runner, repeats) in BENCHES.items():
+        print(f"[bench_wallclock] {scale}:{name} ...", flush=True)
+        rec = _measure(runner, scale, repeats)
+        results[name] = rec
+        print(
+            f"    slow {rec['slow']['events_per_sec']:>9} ev/s "
+            f"({rec['slow']['host_seconds']:.2f}s)  "
+            f"fast {rec['fast']['events_per_sec']:>9} ev/s "
+            f"({rec['fast']['host_seconds']:.2f}s)  "
+            f"speedup {rec['speedup_wallclock']}x wall, "
+            f"{rec['speedup_events_per_sec']}x ev/s",
+            flush=True,
+        )
+    return results
+
+
+def _load_baseline() -> dict:
+    if not BASELINE_PATH.exists():
+        return {}
+    with open(BASELINE_PATH) as f:
+        return json.load(f)
+
+
+def check_regression(results: dict, scale: str) -> int:
+    baseline = _load_baseline()
+    base_scale = baseline.get("scales", {}).get(scale)
+    if not base_scale:
+        print(f"[bench_wallclock] no committed baseline for scale={scale}; "
+              "run with --update first", file=sys.stderr)
+        return 1
+    status = 0
+    for name, rec in results.items():
+        base = base_scale.get(name)
+        if base is None:
+            print(f"[bench_wallclock] {name}: no baseline entry, skipping")
+            continue
+        # Shared machines swing 2x with tenant load, which would drown a
+        # 30% floor on raw events/sec. The slow mode — measured in this
+        # same run, interleaved with fast — is a load probe: scale the
+        # baseline expectation by how much slower/faster the reference
+        # scheduler itself ran, so only *relative* fast-path regressions
+        # trip the gate.
+        load = rec["slow"]["events_per_sec"] / base["slow"]["events_per_sec"]
+        # Only forgive slow machines — a faster box must still clear the
+        # absolute floor, never a raised one (baselines can be lucky runs).
+        load = min(load, 1.0)
+        expected = base["fast"]["events_per_sec"] * load
+        floor = REGRESSION_FRACTION * expected
+        got = rec["fast"]["events_per_sec"]
+        if got < floor:
+            print(f"[bench_wallclock] REGRESSION {name}: {got} ev/s < "
+                  f"{floor:.0f} ev/s ({REGRESSION_FRACTION:.0%} of baseline "
+                  f"{base['fast']['events_per_sec']} at load factor "
+                  f"{load:.2f})", file=sys.stderr)
+            status = 1
+        else:
+            print(f"[bench_wallclock] OK {name}: {got} ev/s "
+                  f"(floor {floor:.0f} at load factor {load:.2f})")
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small problem sizes (seconds, not minutes)")
+    parser.add_argument("--update", action="store_true",
+                        help=f"merge results into {BASELINE_PATH.name}")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 on >30%% events/sec regression vs baseline")
+    args = parser.parse_args(argv)
+
+    scale = "smoke" if args.smoke else "full"
+    results = run_scale(scale)
+
+    if args.update:
+        doc = _load_baseline()
+        doc["schema"] = SCHEMA
+        doc.setdefault("scales", {})[scale] = results
+        doc["meta"] = {
+            "jacobi_ranks": JACOBI_RANKS,
+            "jacobi_dims": {s: list(d) for s, d in JACOBI_DIMS.items()},
+            "events_per_sec": "timers_fired / host_seconds (timeline events; "
+                              "identical count in both modes)",
+            "sched_events": "switches + inline_resumes + timers_fired",
+            "modes": {"slow": "REPRO_SIM_FASTPATH=0 (reference scheduler)",
+                      "fast": "targeted wakeups + switchless dispatch + "
+                              "deferred MPI post overheads"},
+        }
+        with open(BASELINE_PATH, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"[bench_wallclock] wrote {BASELINE_PATH}")
+
+    if args.check:
+        return check_regression(results, scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ...launcher import RankContext, launch
+from ...sim import Tracer
 from . import native_gpuccl, native_gpushmem_device, native_gpushmem_host, native_mpi, uniconn
 from .domain import JacobiConfig, init_global, partition_rows, serial_jacobi
 from .harness import JacobiResult, assemble
@@ -53,6 +54,9 @@ def run_variant(rank_ctx: RankContext, variant: str, cfg: JacobiConfig, collect:
     return uniconn.run(rank_ctx, cfg, backend=backend, launch_mode=mode, collect=collect)
 
 
-def launch_variant(variant: str, cfg: JacobiConfig, nranks: int, machine="perlmutter", collect=False):
+def launch_variant(variant: str, cfg: JacobiConfig, nranks: int, machine="perlmutter",
+                   collect=False, stats_out: Optional[dict] = None,
+                   tracer: Optional[Tracer] = None):
     """Launch a whole Jacobi job for one variant; returns per-rank results."""
-    return launch(run_variant, nranks, machine=machine, args=(variant, cfg, collect))
+    return launch(run_variant, nranks, machine=machine, args=(variant, cfg, collect),
+                  stats_out=stats_out, tracer=tracer)

@@ -24,7 +24,9 @@ def _storage(buf: BufferLike) -> np.ndarray:
 
 def as_array(buf: BufferLike, count: int = None) -> np.ndarray:
     """The live storage behind a device/symmetric buffer or host array."""
-    arr = _storage(buf).reshape(-1)
+    arr = _storage(buf)
+    if arr.ndim != 1:  # device buffers are always 1-D; skip the reshape
+        arr = arr.reshape(-1)
     if count is not None:
         if count > arr.size:
             raise BackendError(f"count {count} exceeds buffer size {arr.size}")

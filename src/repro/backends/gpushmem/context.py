@@ -24,7 +24,7 @@ from ...errors import GpushmemError
 from ...gpu.kernel import DeviceCtx, KernelSpec
 from ...gpu.stream import ExternalOp, Stream
 from ...launcher import Job, RankContext
-from ...sim import Counter
+from ...sim import Counter, wait_until
 from ..common import BufferLike
 from ..rendezvous import RendezvousBoard
 from .collectives import ShmemTeam
@@ -183,9 +183,7 @@ class ShmemContext:
 
     def signal_wait_until(self, sig: SymBuffer, cmp: str, value: int) -> int:
         """Block the host until the local signal satisfies the comparison."""
-        pred = _signal_predicate(sig, cmp, value)
-        while not pred():
-            sig.obj.updated.wait()
+        wait_until(sig.obj.updated, _signal_predicate(sig, cmp, value))
         return int(sig.local.data[0])
 
     def quiet(self) -> None:
@@ -258,18 +256,7 @@ class ShmemContext:
     def quiet_on_stream(self, stream: Stream) -> None:
         """Stream op completing all outstanding puts by this PE."""
         def on_start(op: ExternalOp) -> None:
-            if self._outstanding.value == 0:
-                op.finish()
-            else:
-                watch = self._outstanding
-
-                def poll() -> None:
-                    if watch.value == 0:
-                        op.finish()
-                    else:
-                        watch._bcast._waiters.append(_CallbackTask(poll))
-
-                watch._bcast._waiters.append(_CallbackTask(poll))
+            self._outstanding.watch(lambda v: v == 0, op.finish)
 
         stream.enqueue(ExternalOp(self.engine, "shmem-quiet", on_start))
 
@@ -339,18 +326,6 @@ class ShmemContext:
 
         spec = KernelSpec(fn=wrapped, name=kernel.name, uses_device_comm=True)
         self.device.launch(spec, grid, block, args=args, stream=stream, cooperative=True)
-
-
-class _CallbackTask:
-    """Adapter letting a plain callback sit in a Broadcast waiter list."""
-
-    __slots__ = ("_cb",)
-
-    def __init__(self, cb):
-        self._cb = cb
-
-    def make_ready(self) -> None:
-        self._cb()
 
 
 def _signal_predicate(sig: SymBuffer, cmp: str, value: int):

@@ -97,7 +97,7 @@ class SymObject:
 class SymBuffer:
     """One PE's handle on (a slice of) a symmetric object."""
 
-    __slots__ = ("obj", "my_pe", "offset", "count")
+    __slots__ = ("obj", "my_pe", "offset", "count", "_views")
 
     def __init__(self, obj: SymObject, my_pe: int, offset: int = 0, count: Optional[int] = None):
         self.obj = obj
@@ -109,6 +109,7 @@ class SymBuffer:
                 f"symmetric slice [{offset}:{offset + self.count}] outside "
                 f"allocation of {obj.count} elements"
             )
+        self._views: Dict[int, DeviceBuffer] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -138,8 +139,17 @@ class SymBuffer:
         return self.local.data
 
     def view_at(self, pe: int) -> DeviceBuffer:
-        """The slice's storage on PE ``pe`` (the one-sided address map)."""
-        return self.obj.storage(pe).offset(self.offset, self.count)
+        """The slice's storage on PE ``pe`` (the one-sided address map).
+
+        Views are cached per PE: this sits under every put/get *and* every
+        signal-predicate evaluation. Use-after-free is still caught, since
+        the cached view's ``.data`` checks the root allocation.
+        """
+        view = self._views.get(pe)
+        if view is None:
+            view = self.obj.storage(pe).offset(self.offset, self.count)
+            self._views[pe] = view
+        return view
 
     def __getitem__(self, key: slice) -> "SymBuffer":
         if not isinstance(key, slice):

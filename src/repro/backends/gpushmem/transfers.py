@@ -64,6 +64,9 @@ def issue_put(
     engine = world.engine
     payload = as_array(src, count).copy()
     nbytes = count * payload.dtype.itemsize
+    # Resolve the destination view once at issue time; delivery only touches
+    # `.data` (which still performs the use-after-free check).
+    dst_view = dest.view_at(dst_pe)
     path = world.cluster.path(world.gpu_of(src_pe), world.gpu_of(dst_pe))
     if bandwidth_penalty <= 0 or bandwidth_penalty > 1:
         raise GpushmemError(f"invalid bandwidth penalty {bandwidth_penalty}")
@@ -74,7 +77,7 @@ def issue_put(
         engine.schedule(max(0.0, transfer.inject_done - engine.now), on_local_done)
 
     def deliver() -> None:
-        dest.view_at(dst_pe).data[:count] = payload
+        dst_view.data[:count] = payload
         dest.obj.notify()
         if signal is not None:
             sig, value, op = signal
@@ -118,13 +121,14 @@ def issue_get(
         raise GpushmemError(f"get of {count} elements from window of {src.count}")
     engine = world.engine
     nbytes = count * src.dtype.itemsize
+    src_view = src.view_at(dst_pe)
     # Gets traverse the reverse path: remote PE -> reader.
     path = world.cluster.path(world.gpu_of(dst_pe), world.gpu_of(src_pe))
     effective = int(np.ceil(nbytes / bandwidth_penalty))
     transfer = path.reserve(engine.now + extra_latency, effective)
 
     def deliver() -> None:
-        as_array(dest)[:count] = src.view_at(dst_pe).data[:count]
+        as_array(dest)[:count] = src_view.data[:count]
         if on_delivered is not None:
             on_delivered()
 

@@ -131,15 +131,35 @@ class MpiCommunicator:
         req.wait()
 
     def isend(self, buf: BufferLike, count: int, dst: int, tag: int = 0) -> Request:
-        """Nonblocking send."""
+        """Nonblocking send.
+
+        On the engine's fast path the host-call overhead is *deferred*
+        (``Engine.defer_busy``) instead of slept: the call returns without a
+        scheduler round-trip and the matcher registers the send on a timer
+        at the exact virtual time the eager-charging path would have — so a
+        burst of posts costs zero context switches but identical timestamps.
+        """
         self.ctx._check_live()
-        self._charge(self._profile.host_call_overhead)
+        overhead = self._profile.host_call_overhead
+        if self.engine.fast_path and overhead > 0:
+            delay = self.engine.defer_busy(overhead)
+            return self.ctx.world.matcher.post_send(
+                self, self._profile, buf, count, dst, tag, defer=delay
+            )
+        self._charge(overhead)
         return self.ctx.world.matcher.post_send(self, self._profile, buf, count, dst, tag)
 
     def irecv(self, buf: BufferLike, count: int, src: Optional[int], tag: Optional[int] = 0) -> Request:
-        """Nonblocking receive."""
+        """Nonblocking receive (overhead deferred on the fast path; see
+        :meth:`isend`)."""
         self.ctx._check_live()
-        self._charge(self._profile.host_call_overhead)
+        overhead = self._profile.host_call_overhead
+        if self.engine.fast_path and overhead > 0:
+            delay = self.engine.defer_busy(overhead)
+            return self.ctx.world.matcher.post_recv(
+                self, self._profile, buf, count, src, tag, defer=delay
+            )
+        self._charge(overhead)
         return self.ctx.world.matcher.post_recv(self, self._profile, buf, count, src, tag)
 
     def sendrecv(

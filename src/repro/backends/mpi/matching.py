@@ -110,33 +110,59 @@ class MessageEngine:
         count: int,
         dst: int,
         tag: int,
+        defer: float = 0.0,
     ) -> Request:
-        """Register a send; returns the sender-completion request."""
+        """Register a send; returns the sender-completion request.
+
+        With ``defer > 0`` the registration (snapshot, wire reservation,
+        trace, match scan) runs on a timer that many virtual seconds from
+        now — the exact time at which the eager-charging caller would have
+        reached this point after sleeping its host overhead — while the
+        argument validation still happens (and raises) in the caller's
+        frame. The caller must not modify ``buf`` before the request
+        completes, which MPI already requires of nonblocking sends.
+        """
         if not 0 <= dst < comm.size:
             raise MpiError(f"send: destination {dst} out of range [0,{comm.size})")
         src = comm.rank
         arr = as_array(buf, count)
         nbytes = int(count * arr.dtype.itemsize)
         request = Request(self.engine, f"send[{src}->{dst} tag={tag}]")
-        path = self.path_between(comm, src, dst)
 
-        if nbytes <= profile.eager_threshold:
-            rec = _SendRec(src, tag, count, nbytes, "eager")
-            rec.data = arr[:count].copy()
-            transfer = path.reserve(self.engine.now, nbytes)
-            rec.arrival_time = transfer.delivered
-            # The sender's buffer is free once the payload is on the wire.
-            self.engine.schedule(max(0.0, transfer.inject_done - self.engine.now), request.complete)
+        def register() -> None:
+            path = self.path_between(comm, src, dst)
+            if nbytes <= profile.eager_threshold:
+                rec = _SendRec(src, tag, count, nbytes, "eager")
+                rec.data = arr[:count].copy()
+                transfer = path.reserve(self.engine.now, nbytes)
+                rec.arrival_time = transfer.delivered
+                # The sender's buffer is free once the payload is on the wire.
+                self.engine.schedule(
+                    max(0.0, transfer.inject_done - self.engine.now), request.complete
+                )
+            else:
+                rec = _SendRec(src, tag, count, nbytes, "rdv")
+                rec.src_buf = buf
+                rec.path = path
+            rec.request = request
+            self.engine.trace("mpi.send", src=src, dst=dst, tag=tag, nbytes=nbytes,
+                              protocol=rec.kind, comm=comm.comm_id)
+            sends, recvs = self._queues(comm.comm_id, dst)
+            # Incremental matching: no pending (send, recv) pair matched
+            # before this post, so only the new send can complete a pair —
+            # scan the posted receives once, in FIFO order (MPI matching
+            # order).
+            for i, recv in enumerate(recvs):
+                if _tags_match(recv, rec):
+                    del recvs[i]
+                    self._fire(comm, profile, rec, recv, dst)
+                    return
+            sends.append(rec)
+
+        if defer > 0:
+            self.engine.schedule(defer, register)
         else:
-            rec = _SendRec(src, tag, count, nbytes, "rdv")
-            rec.src_buf = buf
-            rec.path = path
-        rec.request = request
-        self.engine.trace("mpi.send", src=src, dst=dst, tag=tag, nbytes=nbytes,
-                          protocol=rec.kind, comm=comm.comm_id)
-        sends, _ = self._queues(comm.comm_id, dst)
-        sends.append(rec)
-        self._match(comm, profile, dst)
+            register()
         return request
 
     def post_recv(
@@ -147,38 +173,40 @@ class MessageEngine:
         count: int,
         src: Optional[int],
         tag: Optional[int],
+        defer: float = 0.0,
     ) -> Request:
-        """Register a receive; returns the receive-completion request."""
+        """Register a receive; returns the receive-completion request.
+
+        ``defer`` works exactly as in :meth:`post_send`.
+        """
         if src is not ANY_SOURCE and not 0 <= src < comm.size:
             raise MpiError(f"recv: source {src} out of range [0,{comm.size})")
         dst = comm.rank
         as_array(buf, count)  # validates capacity
         request = Request(self.engine, f"recv[{src}->{dst} tag={tag}]")
-        rec = _RecvRec(src, tag, count, buf, request)
-        self.engine.trace("mpi.recv", src=src, dst=dst, tag=tag, comm=comm.comm_id)
-        _, recvs = self._queues(comm.comm_id, dst)
-        recvs.append(rec)
-        self._match(comm, profile, dst)
+
+        def register() -> None:
+            rec = _RecvRec(src, tag, count, buf, request)
+            self.engine.trace("mpi.recv", src=src, dst=dst, tag=tag, comm=comm.comm_id)
+            sends, recvs = self._queues(comm.comm_id, dst)
+            # Incremental matching (see post_send): only the new receive can
+            # complete a pair, against the earliest matching pending send.
+            for i, send in enumerate(sends):
+                if _tags_match(rec, send):
+                    del sends[i]
+                    self._fire(comm, profile, send, rec, dst)
+                    return
+            recvs.append(rec)
+
+        if defer > 0:
+            self.engine.schedule(defer, register)
+        else:
+            register()
         return request
 
     # ------------------------------------------------------------------ #
     # Matching and completion.
     # ------------------------------------------------------------------ #
-
-    def _match(self, comm, profile: MpiProfile, dst: int) -> None:
-        sends, recvs = self._queues(comm.comm_id, dst)
-        progress = True
-        while progress:
-            progress = False
-            for recv in recvs:
-                send = next((s for s in sends if _tags_match(recv, s)), None)
-                if send is None:
-                    continue
-                sends.remove(send)
-                recvs.remove(recv)
-                self._fire(comm, profile, send, recv, dst)
-                progress = True
-                break
 
     def _fire(self, comm, profile: MpiProfile, send: _SendRec, recv: _RecvRec, dst: int) -> None:
         if recv.count < send.count:

@@ -78,12 +78,26 @@ class DeviceBuffer:
     # ------------------------------------------------------------------ #
 
     def write(self, src: Union[np.ndarray, "DeviceBuffer"], count: int = None) -> None:
-        """Copy ``count`` elements (default: all of src) into this buffer."""
+        """Copy ``count`` elements (default: all of src) into this buffer.
+
+        The source dtype must be safely castable (numpy "same_kind"): a
+        float write into an int buffer is rejected instead of silently
+        truncating, matching what a typed ``cudaMemcpy`` wrapper would do.
+        """
         src_arr = src.data if isinstance(src, DeviceBuffer) else np.asarray(src)
         n = src_arr.size if count is None else count
         if n > self.size:
             raise GpuError(f"write of {n} elements into buffer of {self.size}")
-        self.data[:n] = src_arr.reshape(-1)[:n]
+        if not np.can_cast(src_arr.dtype, self.dtype, casting="same_kind"):
+            raise GpuError(
+                f"write of {src_arr.dtype} data into {self.dtype} buffer "
+                "(lossy cast; convert explicitly)"
+            )
+        # Common case: 1-D source, full-size write — no intermediate views.
+        if src_arr.ndim == 1:
+            self.data[:n] = src_arr if n == src_arr.size else src_arr[:n]
+        else:
+            self.data[:n] = src_arr.reshape(-1)[:n]
 
     def read(self, count: int = None) -> np.ndarray:
         """Snapshot ``count`` elements (default: all) as a host array."""

@@ -113,13 +113,13 @@ class TaskOp(StreamOp):
 class Stream:
     """One in-order execution queue on a device."""
 
-    _counter = 0
-
     def __init__(self, device: "Device", name: Optional[str] = None):
-        Stream._counter += 1
         self.device = device
         self.engine: Engine = device.engine
-        self.name = name or f"stream{Stream._counter}"
+        # Engine-scoped numbering: stream names (which appear in traces)
+        # must not depend on how many simulations ran earlier in the
+        # process, or traces stop being comparable run-to-run.
+        self.name = name or f"stream{self.engine.next_seq('stream')}"
         self._queue: Deque[StreamOp] = deque()
         self._active: Optional[StreamOp] = None
         self._last: Optional[StreamOp] = None

@@ -79,18 +79,24 @@ class Path:
     def __post_init__(self) -> None:
         if not self.links:
             raise HardwareError("a path needs at least one link")
+        # Link parameters are immutable after construction (only busy_until
+        # changes), so the aggregates are computed once — reserve() and the
+        # rendezvous handshake hit these on every message.
+        self._latency = sum(l.latency for l in self.links)
+        self._bandwidth = min(l.bandwidth for l in self.links)
+        self._name = "+".join(l.name for l in self.links)
 
     @property
     def latency(self) -> float:
-        return sum(l.latency for l in self.links)
+        return self._latency
 
     @property
     def bandwidth(self) -> float:
-        return min(l.bandwidth for l in self.links)
+        return self._bandwidth
 
     @property
     def name(self) -> str:
-        return "+".join(l.name for l in self.links)
+        return self._name
 
     def serialization_time(self, nbytes: int) -> float:
         """Time the wire is occupied by one message."""
@@ -98,14 +104,20 @@ class Path:
 
     def reserve(self, now: float, nbytes: int) -> Transfer:
         """Claim every link on the path for one cut-through message."""
-        start = max([now] + [l.busy_until for l in self.links])
+        if nbytes < 0:
+            raise HardwareError(f"negative message size {nbytes}")
+        start = now
+        for link in self.links:
+            if link.busy_until > start:
+                start = link.busy_until
         bottleneck = 0.0
         for link in self.links:
-            ser = link.serialization_time(nbytes)
+            ser = link.per_message_overhead + nbytes / link.bandwidth
             link.busy_until = start + ser
-            bottleneck = max(bottleneck, ser)
+            if ser > bottleneck:
+                bottleneck = ser
         inject_done = start + bottleneck
-        return Transfer(start, inject_done, inject_done + self.latency)
+        return Transfer(start, inject_done, inject_done + self._latency)
 
     def transfer_time(self, nbytes: int) -> float:
         """Uncontended end-to-end time for one message (no reservation)."""

@@ -102,6 +102,7 @@ def launch(
     n_nodes: Optional[int] = None,
     placement: str = "block",
     tracer: Optional[Tracer] = None,
+    stats_out: Optional[dict] = None,
 ) -> List[Any]:
     """Run ``fn(ctx, *args)`` on ``n_ranks`` simulated ranks; return results.
 
@@ -109,6 +110,9 @@ def launch(
     rank order; ``placement="spread"`` distributes ranks cyclically over
     ``n_nodes`` nodes (srun's cyclic distribution) — used by the inter-node
     two-GPU microbenchmarks.
+
+    ``stats_out``, if given, is filled with the engine's scheduler counters
+    plus ``virtual_time`` after the run (see ``EngineStats``).
     """
     spec = get_machine(machine) if isinstance(machine, str) else machine
     min_nodes = math.ceil(n_ranks / spec.gpus_per_node)
@@ -125,4 +129,9 @@ def launch(
     def body(rank: int) -> Any:
         return fn(RankContext(job, rank), *args)
 
-    return run_spmd(n_ranks, body, engine=engine)
+    try:
+        return run_spmd(n_ranks, body, engine=engine)
+    finally:
+        if stats_out is not None:
+            stats_out.update(engine.stats.as_dict())
+            stats_out["virtual_time"] = engine.now

@@ -6,13 +6,14 @@ expressed as events on that clock.
 """
 
 from .chrometrace import to_chrome_trace, write_chrome_trace
-from .engine import Engine, Task, Timer, current_engine
+from .engine import Engine, EngineStats, Task, Timer, current_engine
 from .spmd import run_spmd
 from .sync import Broadcast, Counter, SimEvent, SimQueue, wait_until
 from .trace import TraceRecord, Tracer
 
 __all__ = [
     "Engine",
+    "EngineStats",
     "Task",
     "Timer",
     "current_engine",

@@ -65,6 +65,12 @@ def to_chrome_trace(tracer: Tracer) -> List[dict]:
             "tid": stream or "?",
             "cat": "stream",
         })
+    # Canonical order: viewers sort by ts anyway, and tie-breaking on the
+    # event's full content makes the file independent of the incidental
+    # ordering of same-instant callbacks inside the engine — so two runs
+    # (or the two scheduler modes) that simulate the same timeline emit
+    # byte-identical traces.
+    events.sort(key=lambda e: (e["ts"], json.dumps(e, sort_keys=True)))
     return events
 
 

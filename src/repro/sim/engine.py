@@ -2,11 +2,23 @@
 
 Simulated processes ("tasks") are real Python threads scheduled
 *cooperatively*: exactly one task runs at any moment, and control is handed
-off explicitly through per-task semaphores. Virtual time only advances when
-every task is blocked, at which point the earliest pending timer fires.
-Because the ready queue is FIFO and timers are sequence-numbered, a given
-program produces the exact same interleaving and the exact same virtual
-timings on every run.
+off explicitly through per-task handoff channels. Virtual time only
+advances when every task is blocked, at which point the earliest pending
+timer fires. Because the ready queue is FIFO and timers are
+sequence-numbered, a given program produces the exact same interleaving and
+the exact same virtual timings on every run.
+
+Two scheduler implementations share those semantics:
+
+- the **fast path** (default) resumes a task inline — no handoff at all —
+  when its wake-up already happened and it is next in the FIFO ready queue,
+  and hands off through a raw lock otherwise;
+- the **slow path** (``REPRO_SIM_FASTPATH=0``) always pays a semaphore
+  release/acquire round trip per block, the original reference behaviour.
+
+Both produce bit-identical virtual-time traces; only host wall-clock
+differs. ``Engine.stats`` counts what the scheduler did so the difference
+is observable (see ``benchmarks/bench_wallclock.py``).
 
 This is the substrate every other subsystem (GPU runtime, MPI, GPUCCL,
 GPUSHMEM, Uniconn) is built on.
@@ -15,13 +27,14 @@ GPUSHMEM, Uniconn) is built on.
 from __future__ import annotations
 
 import heapq
+import os
 import threading
 from collections import deque
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import DeadlockError, EngineStateError, SimAborted
 
-__all__ = ["Engine", "Task", "Timer", "current_engine"]
+__all__ = ["Engine", "EngineStats", "Task", "Timer", "current_engine"]
 
 # States of a Task.
 _NEW = "new"
@@ -33,12 +46,52 @@ _DONE = "done"
 _thread_local = threading.local()
 
 
+def _fastpath_default() -> bool:
+    """Fast path unless REPRO_SIM_FASTPATH is 0/false/off."""
+    return os.environ.get("REPRO_SIM_FASTPATH", "1").lower() not in ("0", "false", "off")
+
+
 def current_engine() -> "Engine":
     """Return the engine driving the calling simulated task."""
     eng = getattr(_thread_local, "engine", None)
     if eng is None:
         raise EngineStateError("not inside a simulated task")
     return eng
+
+
+class EngineStats:
+    """Host-side scheduler counters (virtual time never depends on these).
+
+    - ``switches``: handoffs through a task's channel (each one costs a
+      release/acquire pair and, when the target is another thread, two OS
+      context switches);
+    - ``inline_resumes``: blocks resolved without any handoff (the wake-up
+      had already happened and the blocker was next in FIFO order);
+    - ``timers_fired``: virtual-time events executed;
+    - ``tasks_spawned``: simulated processes created;
+    - ``wakeups``: ``make_ready`` transitions (how many times a task was
+      moved to the ready queue — the thundering-herd indicator).
+    """
+
+    __slots__ = ("switches", "inline_resumes", "timers_fired", "tasks_spawned", "wakeups")
+
+    def __init__(self) -> None:
+        self.switches = 0
+        self.inline_resumes = 0
+        self.timers_fired = 0
+        self.tasks_spawned = 0
+        self.wakeups = 0
+
+    def events(self) -> int:
+        """Total scheduler events processed (the bench_wallclock metric)."""
+        return self.switches + self.inline_resumes + self.timers_fired
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__} | {"events": self.events()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = " ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"<EngineStats {body}>"
 
 
 class Timer:
@@ -56,6 +109,28 @@ class Timer:
         self.cancelled = True
 
 
+class _LockChannel:
+    """Binary handoff channel on a raw lock.
+
+    Semantically a Semaphore(0) restricted to strict release/acquire
+    alternation — which is exactly how the engine uses it — but a raw
+    ``threading.Lock`` is a C primitive, several times cheaper per handoff
+    than the pure-Python ``threading.Semaphore``.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._lock.acquire()
+
+    def acquire(self) -> None:
+        self._lock.acquire()
+
+    def release(self) -> None:
+        self._lock.release()
+
+
 class Task:
     """One simulated process, backed by a real (cooperatively run) thread."""
 
@@ -67,20 +142,30 @@ class Task:
         self.poisoned = False
         self.result: Any = None
         self.wait_reason: str = ""
-        self._sem = threading.Semaphore(0)
+        # Deferred host-busy time (see Engine.defer_busy): virtual time this
+        # task's host is committed through but has not yet slept off.
+        self.busy_until: float = 0.0
+        self._sem = _LockChannel() if engine.fast_path else threading.Semaphore(0)
         self._thread = threading.Thread(target=self._main, name=name, daemon=True)
+        self._ident: Optional[int] = None
         self._finish_waiters: List["Task"] = []
 
     # ------------------------------------------------------------------ #
 
     def _main(self) -> None:
         _thread_local.engine = self.engine
+        self._ident = threading.get_ident()
         self._sem.acquire()  # wait to be scheduled for the first time
         try:
             if self.poisoned:
                 raise SimAborted(self.name)
             self.state = _RUNNING
             self.result = self.fn()
+            if self.busy_until > self.engine.now:
+                # Settle deferred host-busy time so the task finishes (and
+                # releases joiners) at the same virtual time as if every
+                # charge had been slept eagerly.
+                self.engine.sleep(0.0)
         except SimAborted:
             pass
         except BaseException as exc:  # noqa: BLE001 - must capture everything
@@ -93,6 +178,7 @@ class Task:
         if self.state in (_BLOCKED, _NEW):
             self.state = _READY
             self.wait_reason = ""
+            self.engine.stats.wakeups += 1
             self.engine._ready.append(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -102,8 +188,10 @@ class Task:
 class Engine:
     """The virtual clock plus the cooperative task scheduler."""
 
-    def __init__(self) -> None:
+    def __init__(self, fast_path: Optional[bool] = None) -> None:
         self.now: float = 0.0
+        self.fast_path = _fastpath_default() if fast_path is None else bool(fast_path)
+        self.stats = EngineStats()
         self._heap: List[tuple] = []  # (when, seq, Timer)
         self._seq = 0
         self._ready: deque = deque()
@@ -113,6 +201,7 @@ class Engine:
         self._failure: Optional[BaseException] = None
         self._running = False
         self._finished = False
+        self._name_seqs: Dict[str, int] = {}
         self.trace_hook: Optional[Callable[..., None]] = None
 
     # ------------------------------------------------------------------ #
@@ -125,6 +214,7 @@ class Engine:
             raise EngineStateError("engine already finished")
         task = Task(self, fn, name)
         self._tasks.add(task)
+        self.stats.tasks_spawned += 1
         task._thread.start()
         task.make_ready()
         return task
@@ -156,10 +246,35 @@ class Engine:
         return timer
 
     def sleep(self, duration: float) -> None:
-        """Block the calling task for ``duration`` seconds of virtual time."""
+        """Block the calling task for ``duration`` seconds of virtual time.
+
+        Outstanding deferred host-busy time (see :meth:`defer_busy`) is
+        settled first: the sleep starts where the deferred work ends, just
+        as if the task had slept each deferred charge eagerly.
+        """
         task = self._require_current()
+        lag = task.busy_until - self.now
+        if lag > 0:
+            duration += lag
         self.schedule(duration, task.make_ready)
         self.block(f"sleep({duration:g})")
+
+    def defer_busy(self, seconds: float) -> float:
+        """Commit the calling task's host to ``seconds`` more busy time
+        *without blocking yet*; return the delay from now until that work
+        completes (for scheduling its effects at the exact virtual time the
+        eager ``sleep(seconds)`` path would produce them).
+
+        Fast-path only (callers keep the eager sleep on the slow path, so
+        effects stay synchronous there). The debt is settled — the task
+        blocked until ``busy_until`` — by the next ``sleep`` (which starts
+        after it) or the next ``block`` (which catches up before returning),
+        so the task can never observe ``now`` earlier than the slow path.
+        """
+        task = self._require_current()
+        start = task.busy_until if task.busy_until > self.now else self.now
+        task.busy_until = start + seconds
+        return task.busy_until - self.now
 
     def block(self, reason: str = "") -> None:
         """Suspend the calling task until someone calls ``make_ready`` on it.
@@ -167,16 +282,35 @@ class Engine:
         The caller must have already arranged its own wake-up (a timer, a
         registration on a sync object, ...). If the wake-up already happened
         synchronously the task is in the ready queue and will simply resume.
+        On the fast path, a task whose wake-up has happened by the time the
+        scheduler selects it — and which is next in FIFO order — resumes
+        *inline*, with no handoff at all (a "switchless" event).
         """
         task = self._require_current()
-        if task.state is _RUNNING:
-            task.state = _BLOCKED
-            task.wait_reason = reason
-        self._dispatch_next()
-        task._sem.acquire()
-        if task.poisoned:
-            raise SimAborted(task.name)
-        task.state = _RUNNING
+        while True:
+            if task.state is _RUNNING:
+                task.state = _BLOCKED
+                task.wait_reason = reason
+            nxt = self._select_next()
+            if nxt is task and self.fast_path:
+                if task.poisoned:
+                    raise SimAborted(task.name)
+                self.stats.inline_resumes += 1
+                task.state = _RUNNING
+            else:
+                if nxt is not None:
+                    self.stats.switches += 1
+                    nxt._sem.release()
+                task._sem.acquire()
+                if task.poisoned:
+                    raise SimAborted(task.name)
+                task.state = _RUNNING
+            if task.busy_until > self.now:
+                # Woken before its deferred host-busy time elapsed: the
+                # task may not observe `now` until the debt is settled.
+                self.schedule(task.busy_until - self.now, task.make_ready)
+                continue
+            return
 
     def join(self, other: Task) -> Any:
         """Block until ``other`` finishes; return its result."""
@@ -195,13 +329,24 @@ class Engine:
         if self.trace_hook is not None:
             self.trace_hook(kind, t=self.now, **fields)
 
+    def next_seq(self, kind: str) -> int:
+        """Monotonic per-kind sequence numbers, scoped to this engine.
+
+        Use these (not module globals) for generated names that can end up
+        in traces, so identical simulations name things identically no
+        matter how many ran earlier in the process.
+        """
+        n = self._name_seqs.get(kind, 0) + 1
+        self._name_seqs[kind] = n
+        return n
+
     # ------------------------------------------------------------------ #
     # Internals.
     # ------------------------------------------------------------------ #
 
     def _require_current(self) -> Task:
         task = self._current
-        if task is None or threading.current_thread() is not task._thread:
+        if task is None or threading.get_ident() != task._ident:
             raise EngineStateError("blocking call outside a simulated task")
         return task
 
@@ -220,48 +365,62 @@ class Engine:
     def _dispatch_next(self) -> None:
         """Hand control to the next runnable task, advancing time if needed.
 
-        Runs in the context of the task that is blocking/finishing (or the
-        host thread at start-up). Exactly one task is released.
+        Runs in the context of the task that is finishing (or the host
+        thread at start-up). Exactly one task is released.
+        """
+        nxt = self._select_next()
+        if nxt is not None:
+            self.stats.switches += 1
+            nxt._sem.release()
+
+    def _select_next(self) -> Optional[Task]:
+        """Pick the next runnable task, advancing virtual time if needed.
+
+        Sets ``_current`` to the chosen task and returns it *without*
+        releasing its channel (the caller decides between a handoff and an
+        inline resume). Returns None only when the whole simulation is
+        finished, after releasing the host thread.
         """
         if self._failure is not None:
-            self._drain()
-            return
+            return self._drain_select()
+        ready = self._ready
+        heap = self._heap
+        stats = self.stats
         while True:
-            if self._ready:
-                nxt = self._ready.popleft()
+            if ready:
+                nxt = ready.popleft()
                 self._current = nxt
-                nxt._sem.release()
-                return
+                return nxt
             fired = False
-            while self._heap and not fired:
-                when, _, timer = heapq.heappop(self._heap)
+            while heap and not fired:
+                when, _, timer = heapq.heappop(heap)
                 if timer.cancelled:
                     continue
                 if when > self.now:
                     self.now = when
                 timer.callback()
+                stats.timers_fired += 1
                 fired = True
             if fired:
                 continue
             # No runnable task and no future event.
             if self._tasks:
                 self._record_failure(DeadlockError(self._deadlock_report()))
-                self._drain()
-                return
+                return self._drain_select()
             self._current = None
             self._done_sem.release()
-            return
+            return None
 
-    def _drain(self) -> None:
-        """After a failure: unwind the remaining tasks one at a time."""
+    def _drain_select(self) -> Optional[Task]:
+        """After a failure: pick the next remaining task to unwind."""
         for task in list(self._tasks):
             if task.state in (_BLOCKED, _NEW, _READY):
                 task.poisoned = True
                 self._current = task
-                task._sem.release()
-                return
+                return task
         self._current = None
         self._done_sem.release()
+        return None
 
     def _deadlock_report(self) -> str:
         lines = []

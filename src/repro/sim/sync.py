@@ -3,6 +3,31 @@
 All primitives are engine-aware: ``wait`` suspends the calling simulated
 task (virtual time may pass), ``set``/``notify`` wake waiters in FIFO order
 so the simulation stays deterministic.
+
+Targeted-wakeup contract
+------------------------
+
+A ``Broadcast`` waiter may register a *predicate* with ``wait_for``. On the
+engine's fast path, ``notify_all`` then only wakes the waiters whose
+predicate currently holds; the rest stay registered, skipping the
+O(waiters) thundering herd of the naive condition-variable pattern. Two
+rules keep this deterministic and correct:
+
+- **mutators must notify**: any state change that could make a registered
+  predicate true must call ``notify_all`` on the broadcast guarding that
+  state (this was already required by the ``wait_until`` re-check loop);
+- **predicates must be pure**: they read shared simulated state and return
+  a bool, with no side effects — they can be evaluated any number of times
+  at notify points without changing behaviour.
+
+Registration is *persistent* in both modes: a waiter keeps its (FIFO) list
+position across notifies until it actually proceeds, and removes itself
+then. The slow path still wakes every waiter at every notify (the herd the
+benchmark measures) but never reorders them, so the order in which
+simultaneously-satisfied waiters proceed — and therefore the trace — is
+bit-identical between the two modes. A woken waiter still re-checks its
+predicate before proceeding (an earlier-woken task may have consumed the
+state) and simply blocks again, in place, if it no longer holds.
 """
 
 from __future__ import annotations
@@ -18,13 +43,14 @@ __all__ = ["SimEvent", "Broadcast", "SimQueue", "Counter", "wait_until"]
 class SimEvent:
     """A one-shot event: once set, every past and future waiter proceeds."""
 
-    __slots__ = ("engine", "_set", "_waiters", "name")
+    __slots__ = ("engine", "_set", "_waiters", "_callbacks", "name")
 
     def __init__(self, engine: Engine, name: str = "event"):
         self.engine = engine
         self.name = name
         self._set = False
         self._waiters: List[Task] = []
+        self._callbacks: List[Callable[[], None]] = []
 
     def is_set(self) -> bool:
         """True once the event fired."""
@@ -37,6 +63,10 @@ class SimEvent:
         waiters, self._waiters = self._waiters, []
         for task in waiters:
             task.make_ready()
+        if self._callbacks:
+            callbacks, self._callbacks = self._callbacks, []
+            for cb in callbacks:
+                cb()
 
     def wait(self) -> None:
         if self._set:
@@ -45,12 +75,46 @@ class SimEvent:
         self._waiters.append(task)
         self.engine.block(f"event:{self.name}")
 
+    def on_set(self, callback: Callable[[], None]) -> None:
+        """Fire ``callback`` once when the event sets (immediately if it
+        already did). Callbacks run after waiting tasks are made ready."""
+        if self._set:
+            callback()
+        else:
+            self._callbacks.append(callback)
+
+
+class _Waiter:
+    """A registered waiter: a task to wake, or a callback to fire.
+
+    ``predicate`` of None means "wake on any notify" (plain ``wait``).
+    Exactly one of ``task``/``callback`` is set. ``done`` entries are
+    skipped and dropped at the next notify sweep (waiters mark themselves
+    done when they proceed, so their list position stays stable until
+    then — that stability is what keeps fast/slow wake order identical).
+    """
+
+    __slots__ = ("task", "predicate", "callback", "done")
+
+    def __init__(
+        self,
+        task: Optional[Task],
+        predicate: Optional[Callable[[], bool]],
+        callback: Optional[Callable[[], None]] = None,
+    ):
+        self.task = task
+        self.predicate = predicate
+        self.callback = callback
+        self.done = False
+
 
 class Broadcast:
     """A multi-shot notification channel (condition variable without a lock).
 
-    ``wait`` returns after the *next* ``notify_all``. Use ``wait_until`` to
-    wait for a predicate over shared state.
+    ``wait`` returns after the *next* ``notify_all``; ``wait_for`` only
+    returns once its predicate holds (and on the fast path is only woken
+    then); ``watch`` fires a callback — without waking any task — the first
+    time a notify finds its predicate true.
     """
 
     __slots__ = ("engine", "_waiters", "name")
@@ -58,18 +122,77 @@ class Broadcast:
     def __init__(self, engine: Engine, name: str = "broadcast"):
         self.engine = engine
         self.name = name
-        self._waiters: List[Task] = []
+        self._waiters: List[_Waiter] = []
 
     def notify_all(self) -> None:
-        """Wake every waiter registered since the last notify."""
+        """Wake the waiters whose wake condition can now hold.
+
+        Fast path: only task waiters whose predicate is true are woken
+        (FIFO order). Slow path: every task waiter is woken — the
+        thundering herd the benchmark measures. In *both* modes waiters
+        stay registered at their original position until they proceed (a
+        woken-but-unsatisfied waiter blocks again in place), so the order
+        in which waiters eventually proceed is mode-independent.
+        Callback watchers are predicate-filtered in both modes (they have
+        no thread to herd-wake).
+        """
+        if not self._waiters:
+            return
         waiters, self._waiters = self._waiters, []
-        for task in waiters:
-            task.make_ready()
+        fast = self.engine.fast_path
+        keep: List[_Waiter] = []
+        for w in waiters:
+            if w.done:
+                continue
+            if w.callback is not None:
+                if w.predicate is None or w.predicate():
+                    w.done = True
+                    w.callback()
+                else:
+                    keep.append(w)
+            elif w.predicate is None:
+                # Plain wait: one-shot, consumed by this notify.
+                w.done = True
+                w.task.make_ready()
+            else:
+                if not fast or w.predicate():
+                    w.task.make_ready()
+                keep.append(w)
+        # Registrations made during callbacks land after the kept waiters.
+        keep.extend(self._waiters)
+        self._waiters = keep
 
     def wait(self) -> None:
+        """Block until the next notify (unconditional)."""
         task = self.engine._require_current()
-        self._waiters.append(task)
+        self._waiters.append(_Waiter(task, None))
         self.engine.block(f"broadcast:{self.name}")
+
+    def wait_for(self, predicate: Callable[[], bool]) -> None:
+        """Block until ``predicate()`` is true at (or after) a notify.
+
+        The registration persists across spurious wakeups — the waiter
+        re-checks on every wake and only deregisters when the predicate
+        finally holds, keeping its position in the waiter list stable.
+        """
+        task = self.engine._require_current()
+        w = _Waiter(task, predicate)
+        self._waiters.append(w)
+        try:
+            while True:
+                self.engine.block(f"broadcast:{self.name}")
+                if predicate():
+                    return
+        finally:
+            w.done = True
+
+    def watch(self, predicate: Callable[[], bool], callback: Callable[[], None]) -> None:
+        """Fire ``callback`` once, at the first notify where the predicate
+        holds — immediately if it already does. No task is woken."""
+        if predicate():
+            callback()
+            return
+        self._waiters.append(_Waiter(None, predicate, callback))
 
 
 def wait_until(broadcast: Broadcast, predicate: Callable[[], bool]) -> None:
@@ -78,8 +201,8 @@ def wait_until(broadcast: Broadcast, predicate: Callable[[], bool]) -> None:
     The predicate is re-checked each time ``broadcast`` is notified; state
     changes that can satisfy waiters must notify the broadcast.
     """
-    while not predicate():
-        broadcast.wait()
+    if not predicate():
+        broadcast.wait_for(predicate)
 
 
 class SimQueue:
@@ -142,3 +265,8 @@ class Counter:
         """Block until the predicate holds for the value; returns it."""
         wait_until(self._bcast, lambda: predicate(self._value))
         return self._value
+
+    def watch(self, predicate: Callable[[int], bool], callback: Callable[[], None]) -> None:
+        """Fire ``callback`` once the predicate first holds for the value
+        (immediately if it already does). No task is woken."""
+        self._bcast.watch(lambda: predicate(self._value), callback)

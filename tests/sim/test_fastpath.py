@@ -1,0 +1,322 @@
+"""The scheduler fast path (targeted wakeups + switchless dispatch).
+
+Two families of guarantees:
+
+1. **Determinism**: the fast path must be invisible in virtual time — full
+   Chrome traces of multi-rank application runs are byte-identical between
+   ``REPRO_SIM_FASTPATH=1`` and ``=0``.
+2. **It actually does something**: the stats counters show inline resumes
+   happening and the thundering herd disappearing where the slow path has
+   one.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.jacobi import JacobiConfig, launch_variant
+from repro.backends.mpi.request import Request, waitall
+from repro.errors import MpiError
+from repro.sim import Broadcast, Counter, Engine, SimEvent, Tracer, run_spmd, to_chrome_trace
+
+CFG = JacobiConfig(nx=96, ny=98, iters=3, warmup=1)
+
+
+def _traced_run(monkeypatch, variant: str, fast: bool):
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "1" if fast else "0")
+    tracer = Tracer()
+    stats: dict = {}
+    results = launch_variant(variant, CFG, 8, stats_out=stats, tracer=tracer)
+    trace = json.dumps({"traceEvents": to_chrome_trace(tracer)}, sort_keys=True)
+    return results, stats, trace
+
+
+@pytest.mark.parametrize(
+    "variant", ["mpi-native", "gpuccl-native", "gpushmem-host-native"]
+)
+def test_trace_byte_identical_fast_vs_slow(monkeypatch, variant):
+    res_fast, stats_fast, trace_fast = _traced_run(monkeypatch, variant, fast=True)
+    res_slow, stats_slow, trace_slow = _traced_run(monkeypatch, variant, fast=False)
+    assert [r.total_time for r in res_fast] == [r.total_time for r in res_slow]
+    assert stats_fast["virtual_time"] == stats_slow["virtual_time"]
+    assert trace_fast == trace_slow
+
+
+def test_fastpath_env_toggle(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
+    assert Engine().fast_path is False
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "1")
+    assert Engine().fast_path is True
+    monkeypatch.delenv("REPRO_SIM_FASTPATH")
+    assert Engine().fast_path is True  # default on
+    assert Engine(fast_path=False).fast_path is False  # explicit wins
+
+
+# --------------------------------------------------------------------------- #
+# EngineStats / switchless dispatch.
+# --------------------------------------------------------------------------- #
+
+
+def _solo_sleeper(engine: Engine) -> None:
+    def body():
+        for _ in range(5):
+            engine.sleep(1.0)
+
+    engine.spawn(body, name="sleeper")
+    engine.run()
+
+
+def test_solo_task_sleeps_resume_inline_on_fast_path():
+    engine = Engine(fast_path=True)
+    _solo_sleeper(engine)
+    assert engine.now == 5.0
+    assert engine.stats.timers_fired == 5
+    assert engine.stats.inline_resumes == 5  # every sleep resolved switchlessly
+    assert engine.stats.switches == 1  # only the initial dispatch
+
+
+def test_solo_task_sleeps_switch_on_slow_path():
+    engine = Engine(fast_path=False)
+    _solo_sleeper(engine)
+    assert engine.now == 5.0
+    assert engine.stats.timers_fired == 5
+    assert engine.stats.inline_resumes == 0
+    assert engine.stats.switches == 6  # initial dispatch + one per sleep
+
+
+def test_stats_as_dict_and_events():
+    engine = Engine(fast_path=True)
+    _solo_sleeper(engine)
+    d = engine.stats.as_dict()
+    assert d["events"] == d["switches"] + d["inline_resumes"] + d["timers_fired"]
+    assert d["tasks_spawned"] == 1
+    assert engine.stats.events() == d["events"]
+
+
+# --------------------------------------------------------------------------- #
+# Targeted wakeups.
+# --------------------------------------------------------------------------- #
+
+
+def _threshold_workload(fast: bool):
+    """Four tasks wait for increasing counter thresholds; one task counts up.
+
+    Returns (wake order, wakeups, final value). The wake order must not
+    depend on the scheduler mode; the number of herd wakeups must.
+    """
+    engine = Engine(fast_path=fast)
+    counter = Counter(engine, name="thresh")
+    order = []
+
+    def waiter(k):
+        def body():
+            counter.wait_for(lambda v: v >= k)
+            order.append(k)
+
+        return body
+
+    def bumper():
+        for _ in range(4):
+            engine.sleep(1.0)
+            counter.add(1)
+
+    for k in (1, 2, 3, 4):
+        engine.spawn(waiter(k), name=f"w{k}")
+    engine.spawn(bumper, name="bumper")
+    engine.run()
+    return order, engine.stats.wakeups, counter.value
+
+
+def test_targeted_wakeups_skip_the_herd():
+    order_fast, wakeups_fast, value_fast = _threshold_workload(fast=True)
+    order_slow, wakeups_slow, value_slow = _threshold_workload(fast=False)
+    assert order_fast == order_slow == [1, 2, 3, 4]
+    assert value_fast == value_slow == 4
+    # Slow mode wakes every still-waiting task at every add (the herd);
+    # fast mode only wakes the single task whose threshold was reached.
+    assert wakeups_fast < wakeups_slow
+
+
+def test_wait_for_woken_only_when_predicate_holds():
+    engine = Engine(fast_path=True)
+    bcast = Broadcast(engine, name="b")
+    state = {"x": 0}
+    log = []
+
+    def waiter():
+        bcast.wait_for(lambda: state["x"] >= 2)
+        log.append(("woke", state["x"]))
+
+    def driver():
+        for i in (1, 2):
+            engine.sleep(1.0)
+            state["x"] = i
+            bcast.notify_all()
+            log.append(("notified", i))
+
+    engine.spawn(waiter, name="waiter")
+    engine.spawn(driver, name="driver")
+    engine.run()
+    # The waiter must run strictly after the x=2 notify, never after x=1.
+    assert log == [("notified", 1), ("woke", 2), ("notified", 2)] or log == [
+        ("notified", 1),
+        ("notified", 2),
+        ("woke", 2),
+    ]
+    assert ("woke", 1) not in log
+
+
+def test_watch_fires_once_at_first_true_notify():
+    engine = Engine(fast_path=True)
+    bcast = Broadcast(engine, name="b")
+    state = {"x": 0}
+    fired = []
+
+    def body():
+        bcast.watch(lambda: state["x"] >= 2, lambda: fired.append(state["x"]))
+        for i in (1, 2, 3):
+            state["x"] = i
+            bcast.notify_all()
+
+    engine.spawn(body, name="t")
+    engine.run()
+    assert fired == [2]
+
+
+def test_watch_fires_immediately_if_already_true():
+    engine = Engine(fast_path=True)
+    fired = []
+
+    def body():
+        counter = Counter(engine, initial=5)
+        counter.watch(lambda v: v >= 3, lambda: fired.append("now"))
+
+    engine.spawn(body, name="t")
+    engine.run()
+    assert fired == ["now"]
+
+
+def test_on_set_orders_after_task_waiters():
+    """SimEvent.set wakes task waiters before running on_set callbacks."""
+    engine = Engine(fast_path=True)
+    event = SimEvent(engine, name="e")
+    log = []
+
+    def waiter():
+        event.wait()
+        log.append("task-woken")
+
+    def setter():
+        engine.sleep(1.0)
+        event.on_set(lambda: log.append("callback"))
+        event.set()
+        log.append("after-set")
+
+    engine.spawn(waiter, name="waiter")
+    engine.spawn(setter, name="setter")
+    engine.run()
+    # callback runs synchronously inside set(); the woken task runs later.
+    assert log == ["callback", "after-set", "task-woken"]
+
+
+def test_on_set_fires_immediately_when_already_set():
+    engine = Engine(fast_path=True)
+    log = []
+
+    def body():
+        event = SimEvent(engine, name="e")
+        event.set()
+        event.on_set(lambda: log.append("late"))
+
+    engine.spawn(body, name="t")
+    engine.run()
+    assert log == ["late"]
+
+
+# --------------------------------------------------------------------------- #
+# Batched waitall.
+# --------------------------------------------------------------------------- #
+
+
+def _waitall_workload(fast: bool):
+    """One task waits on three requests completing at t=1,2,3."""
+    engine = Engine(fast_path=fast)
+    out = {}
+
+    def body():
+        reqs = [Request(engine, name=f"r{i}") for i in range(3)]
+        for delay, req in zip((2.0, 1.0, 3.0), reqs):
+            engine.schedule(delay, req.complete)
+        waitall(reqs)
+        out["resumed_at"] = engine.now
+
+    engine.spawn(body, name="t")
+    engine.run()
+    out["wakeups"] = engine.stats.wakeups
+    return out
+
+
+def test_waitall_resumes_at_last_completion_in_both_modes():
+    fast = _waitall_workload(fast=True)
+    slow = _waitall_workload(fast=False)
+    assert fast["resumed_at"] == slow["resumed_at"] == 3.0
+    # Fast mode blocks once (woken by the last completion); slow mode is
+    # woken once per pending request.
+    assert fast["wakeups"] < slow["wakeups"]
+
+
+def test_waitall_raises_first_error_in_list_order():
+    engine = Engine(fast_path=True)
+    seen = {}
+
+    def body():
+        reqs = [Request(engine, name=f"r{i}") for i in range(3)]
+        engine.schedule(1.0, reqs[0].complete)
+        engine.schedule(2.0, lambda: reqs[1].fail(MpiError("boom-1")))
+        engine.schedule(0.5, lambda: reqs[2].fail(MpiError("boom-2")))
+        try:
+            waitall(reqs)
+        except MpiError as exc:
+            seen["error"] = str(exc)
+
+    engine.spawn(body, name="t")
+    engine.run()
+    # Both requests failed, but waitall reports them in list order.
+    assert seen["error"] == "boom-1"
+
+
+def test_waitall_noop_and_single_request():
+    engine = Engine(fast_path=True)
+
+    def body():
+        waitall([])
+        req = Request(engine, name="solo")
+        engine.schedule(1.5, req.complete)
+        waitall([req])
+        assert engine.now == 1.5
+
+    engine.spawn(body, name="t")
+    engine.run()
+
+
+# --------------------------------------------------------------------------- #
+# Cross-task handoff still works under the fast path.
+# --------------------------------------------------------------------------- #
+
+
+def test_spmd_interleaving_identical_fast_vs_slow():
+    def run(fast):
+        order = []
+
+        def body(rank):
+            eng = engines[fast]
+            for step in range(3):
+                eng.sleep(0.5 + rank * 0.1)
+                order.append((step, rank))
+
+        engines[fast] = Engine(fast_path=fast)
+        run_spmd(4, body, engine=engines[fast])
+        return order
+
+    engines = {}
+    assert run(True) == run(False)

@@ -1,0 +1,45 @@
+"""Perf-smoke invariants for the scheduler fast path.
+
+These assert the *deterministic* half of ``benchmarks/bench_wallclock.py``:
+the fast path must simulate the same virtual timeline with strictly less
+scheduler traffic. Wall-clock numbers themselves are checked by
+``bench_wallclock.py --smoke --check`` (see ``make perf-smoke``), not here —
+pytest runs on noisy shared machines.
+"""
+
+import pytest
+
+from repro.apps.jacobi import JacobiConfig, launch_variant
+
+CFG = JacobiConfig(nx=96, ny=98, iters=3, warmup=1)
+
+
+def _stats(monkeypatch, variant: str, fast: bool) -> dict:
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "1" if fast else "0")
+    stats: dict = {}
+    launch_variant(variant, CFG, 8, stats_out=stats)
+    return stats
+
+
+@pytest.mark.perf
+@pytest.mark.parametrize("variant", ["mpi-native", "gpuccl-native"])
+def test_fast_path_reduces_scheduler_traffic(monkeypatch, variant):
+    fast = _stats(monkeypatch, variant, fast=True)
+    slow = _stats(monkeypatch, variant, fast=False)
+    # Same simulation...
+    assert fast["virtual_time"] == slow["virtual_time"]
+    assert fast["timers_fired"] == slow["timers_fired"]
+    assert fast["tasks_spawned"] == slow["tasks_spawned"]
+    # ...with strictly fewer handoffs and wakeups.
+    assert fast["inline_resumes"] > 0
+    assert slow["inline_resumes"] == 0
+    assert fast["switches"] < slow["switches"]
+    assert fast["wakeups"] <= slow["wakeups"]
+
+
+@pytest.mark.perf
+def test_fast_path_is_the_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SIM_FASTPATH", raising=False)
+    stats: dict = {}
+    launch_variant("mpi-native", CFG, 8, stats_out=stats)
+    assert stats["inline_resumes"] > 0
