@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke bench-wallclock
+.PHONY: test perf-smoke bench-wallclock faults-demo
 
 # Tier-1: the full deterministic test suite.
 test:
@@ -13,6 +13,12 @@ test:
 perf-smoke:
 	$(PYTHON) -m pytest -x -q -m perf
 	$(PYTHON) benchmarks/bench_wallclock.py --smoke --check
+
+# Demonstrate fault injection + recovery end to end (docs/FAULTS.md):
+# Jacobi surviving transient message loss via MPI retransmission and via
+# checkpoint rollback, verified bitwise against the serial reference.
+faults-demo:
+	$(PYTHON) examples/jacobi_fault_recovery.py 4 64
 
 # Full-scale wall-clock benchmark; rewrites the committed baseline.
 bench-wallclock:

@@ -12,7 +12,14 @@ from typing import Optional
 
 from ...launcher import RankContext, launch
 from ...sim import Tracer
-from . import native_gpuccl, native_gpushmem_device, native_gpushmem_host, native_mpi, uniconn
+from . import (
+    native_gpuccl,
+    native_gpushmem_device,
+    native_gpushmem_host,
+    native_mpi,
+    resilient,
+    uniconn,
+)
 from .domain import JacobiConfig, init_global, partition_rows, serial_jacobi
 from .harness import JacobiResult, assemble
 from .kernels import JacobiState
@@ -35,6 +42,7 @@ NATIVE_VARIANTS = {
     "gpuccl-native": native_gpuccl.run,
     "gpushmem-host-native": native_gpushmem_host.run,
     "gpushmem-device-native": native_gpushmem_device.run,
+    "mpi-resilient": resilient.run,
 }
 
 
@@ -56,7 +64,9 @@ def run_variant(rank_ctx: RankContext, variant: str, cfg: JacobiConfig, collect:
 
 def launch_variant(variant: str, cfg: JacobiConfig, nranks: int, machine="perlmutter",
                    collect=False, stats_out: Optional[dict] = None,
-                   tracer: Optional[Tracer] = None):
+                   tracer: Optional[Tracer] = None,
+                   fault_plan=None, fault_seed: Optional[int] = None):
     """Launch a whole Jacobi job for one variant; returns per-rank results."""
     return launch(run_variant, nranks, machine=machine, args=(variant, cfg, collect),
-                  stats_out=stats_out, tracer=tracer)
+                  stats_out=stats_out, tracer=tracer,
+                  fault_plan=fault_plan, fault_seed=fault_seed)

@@ -1,0 +1,154 @@
+"""Fault-tolerant MPI Jacobi: in-memory checkpoints plus rollback-and-rerun.
+
+The graceful-degradation harness of the robustness layer (docs/FAULTS.md).
+The solver runs the same halo exchange as ``mpi-native`` but survives
+transient message loss injected by :mod:`repro.sim.faults`:
+
+- every ``checkpoint_every`` iterations each rank snapshots its solver
+  buffers (``a``, ``anew``, both halo staging buffers, ``bound_out``) and
+  the iteration counter into host memory;
+- each iteration ends with a one-word allreduce of a failure flag, so all
+  ranks agree on whether *anyone's* exchange gave up
+  (:class:`~repro.errors.MpiTimeoutError` after the retransmission budget);
+  the allreduce uses internal negative tags, so message faults aimed at the
+  application's tag-0 traffic never break the control plane;
+- on failure every rank rolls back to the last checkpoint and replays.
+  The retransmission backoff advanced virtual time, so replays eventually
+  start after a transient fault window ends and the run converges to the
+  exact fault-free result — only later.
+
+A fault that never clears makes the run exceed ``max_restarts`` rollbacks
+and raises :class:`~repro.errors.FaultInjectionError` instead of looping
+forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ...backends.mpi import MpiContext, waitall
+from ...errors import FaultInjectionError, MpiTimeoutError
+from ...gpu import GpuEvent, elapsed
+from ...launcher import RankContext
+from .domain import JacobiConfig
+from .harness import JacobiResult, collect_interior, launch_dims, make_state
+from .kernels import jacobi_kernel
+
+__all__ = ["run"]
+
+
+def run(
+    rank_ctx: RankContext,
+    cfg: JacobiConfig,
+    collect: bool = False,
+    checkpoint_every: int = 8,
+    max_restarts: int = 64,
+) -> JacobiResult:
+    """Run the checkpointing GPU-aware-MPI Jacobi on this rank."""
+    rank_ctx.set_device(rank_ctx.node_rank)
+    mpi = MpiContext(rank_ctx)
+    comm = mpi.comm_world
+    device = rank_ctx.require_device()
+    engine = rank_ctx.engine
+    stream = device.create_stream()
+
+    state = make_state(rank_ctx, cfg, alloc_comm=lambda n: device.malloc(n, np.float32))
+    part = state.part
+    nx = cfg.nx
+    grid, block = launch_dims(part)
+
+    snapshot: Dict[str, np.ndarray] = {}
+    snapshot_it = [-1]
+    restarts = [0]
+    flag = np.zeros(1, np.float32)
+    agreed = np.zeros(1, np.float32)
+
+    def take_checkpoint() -> None:
+        snapshot["a"] = state.a.data.copy()
+        snapshot["anew"] = state.anew.data.copy()
+        snapshot["halo0"] = state.halo_in[0].data.copy()
+        snapshot["halo1"] = state.halo_in[1].data.copy()
+        snapshot["bound"] = state.bound_out.data.copy()
+        snapshot_it[0] = state.it
+
+    def rollback() -> None:
+        restarts[0] += 1
+        if restarts[0] > max_restarts:
+            raise FaultInjectionError(
+                f"rank {rank_ctx.rank}: jacobi exceeded {max_restarts} rollbacks "
+                f"at t={engine.now:.9g}s — injected fault is not transient"
+            )
+        injector = engine.fault_injector
+        if injector is not None:
+            injector.record(
+                "fault.jacobi_rollback",
+                rank=rank_ctx.rank,
+                at_iter=state.it,
+                to_iter=snapshot_it[0],
+            )
+        state.a.write(snapshot["a"])
+        state.anew.write(snapshot["anew"])
+        state.halo_in[0].write(snapshot["halo0"])
+        state.halo_in[1].write(snapshot["halo1"])
+        state.bound_out.write(snapshot["bound"])
+        state.it = snapshot_it[0]
+
+    def exchange() -> None:
+        nxt = (state.it + 1) % 2
+        halo = state.halo_in[nxt]
+        out = state.bound_out
+        reqs = []
+        if part.has_top:
+            reqs.append(comm.isend(out.offset(0, nx), nx, part.top, tag=0))
+        if part.has_bottom:
+            reqs.append(comm.isend(out.offset(nx, nx), nx, part.bottom, tag=0))
+        if part.has_top:
+            reqs.append(comm.irecv(halo.offset(0, nx), nx, part.top, tag=0))
+        if part.has_bottom:
+            reqs.append(comm.irecv(halo.offset(nx, nx), nx, part.bottom, tag=0))
+        waitall(reqs)
+
+    def step() -> None:
+        """One recoverable iteration; advances ``state.it`` only on success."""
+        if state.it % checkpoint_every == 0 and state.it != snapshot_it[0]:
+            take_checkpoint()
+        device.launch(jacobi_kernel, grid, block, args=(state.freeze(),), stream=stream)
+        stream.synchronize()
+        failed = 0.0
+        try:
+            exchange()
+        except MpiTimeoutError:
+            failed = 1.0
+        # Lockstep recovery vote: all ranks learn whether any exchange gave
+        # up this iteration, so rollback is global and nobody runs ahead.
+        flag[0] = failed
+        comm.allreduce(flag, agreed, 1, "sum")
+        if agreed[0] > 0.0:
+            rollback()
+        else:
+            state.swap()
+
+    while state.it < cfg.warmup:
+        step()
+    comm.barrier()
+    stream.synchronize()
+    start, end = GpuEvent(device, "start"), GpuEvent(device, "end")
+    start.record(stream)
+    while state.it < cfg.warmup + cfg.iters:
+        step()
+    end.record(stream)
+    end.synchronize()
+    total = elapsed(start, end)
+
+    result = JacobiResult(
+        rank=rank_ctx.rank,
+        nranks=rank_ctx.world_size,
+        total_time=total,
+        time_per_iter=total / cfg.iters,
+        interior=collect_interior(state) if collect else None,
+        restarts=restarts[0],
+    )
+    mpi.finalize()
+    return result

@@ -102,6 +102,10 @@ class _CommShared:
         self.profile = profile
         self.nranks = nranks
         self.gpu_ids: Dict[int, int] = {}
+        self.global_ranks: Dict[int, int] = {}
+        # First asynchronous error observed on this communicator (shared by
+        # all ranks, as in NCCL where the comm itself goes into error state).
+        self.error: Optional[GpucclError] = None
         self.board = RendezvousBoard(engine)
         self._queues: Dict[Tuple[int, int], Tuple[List[_P2PEntry], List[_P2PEntry]]] = {}
         self.coll_slots: Dict[int, object] = {}
@@ -219,6 +223,7 @@ class GpucclComm:
         if self.shared.nranks != nranks:
             raise GpucclError("inconsistent nranks across comm_init_rank calls")
         self.shared.gpu_ids[rank] = device.gpu_id
+        self.shared.global_ranks[rank] = rank_ctx.rank
         self._coll_seq = 0
         self._destroyed = False
         # Bootstrap: all ranks must arrive before any communication.
@@ -228,10 +233,59 @@ class GpucclComm:
     # ------------------------------------------------------------------ #
 
     def _check(self, peer: int) -> None:
+        if self.shared.error is not None:
+            raise self.shared.error
         if self._destroyed:
             raise GpucclError("use of destroyed gpuccl communicator")
         if not 0 <= peer < self.size:
             raise GpucclError(f"peer {peer} out of range [0,{self.size})")
+
+    def async_error_query(self) -> Optional[GpucclError]:
+        """ncclCommGetAsyncError: poll for errors without blocking.
+
+        Returns the communicator's error state (None = healthy). Under fault
+        injection this is how surviving ranks detect a crashed peer: the
+        first query after the crash latches a :class:`GpucclError` naming the
+        unresponsive rank(s) into the shared comm state, and the caller is
+        expected to :meth:`abort` rather than wait on operations that can
+        never complete.
+        """
+        shared = self.shared
+        if shared.error is not None:
+            return shared.error
+        injector = self.engine.fault_injector
+        if injector is not None and injector.crashed_ranks:
+            crashed = injector.crashed_among(shared.global_ranks.values())
+            if crashed:
+                shared.error = GpucclError(
+                    f"gpuccl async error: remote rank(s) {crashed} unresponsive "
+                    f"(detected at t={self.engine.now:.9g}s)"
+                )
+                injector.record("fault.gpuccl_error", rank=self.rank, crashed=crashed)
+        return shared.error
+
+    def abort(self, reason: str = "") -> None:
+        """ncclCommAbort: tear the communicator down without waiting.
+
+        Marks the comm destroyed and errored for every rank, records the
+        abort on the fault log, then raises :class:`GpucclError` carrying
+        the diagnostics (who aborted, why, and at what virtual time) so the
+        caller unwinds instead of deadlocking on unmatched operations.
+        """
+        shared = self.shared
+        self._destroyed = True
+        cause = shared.error
+        detail = reason or (str(cause) if cause is not None else "application abort")
+        error = GpucclError(
+            f"gpuccl comm aborted by rank {self.rank}/{self.size} "
+            f"at t={self.engine.now:.9g}s: {detail}"
+        )
+        if shared.error is None:
+            shared.error = error
+        injector = self.engine.fault_injector
+        if injector is not None:
+            injector.record("fault.gpuccl_abort", rank=self.rank, reason=detail)
+        raise error
 
     def _submit(self, entry: _P2PEntry, stream: Stream) -> None:
         task = _current_task()

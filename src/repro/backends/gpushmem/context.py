@@ -181,9 +181,18 @@ class ShmemContext:
         self._issue_put(dest, src, count, pe, signal=(sig, value, op))
         self._outstanding.wait_for(lambda v: v <= before)
 
-    def signal_wait_until(self, sig: SymBuffer, cmp: str, value: int) -> int:
-        """Block the host until the local signal satisfies the comparison."""
-        wait_until(sig.obj.updated, _signal_predicate(sig, cmp, value))
+    def signal_wait_until(self, sig: SymBuffer, cmp: str, value: int,
+                          timeout: Optional[float] = None) -> int:
+        """Block the host until the local signal satisfies the comparison.
+
+        ``timeout`` (virtual seconds) bounds the wait: a signal that never
+        arrives — e.g. because the producing PE crashed under fault
+        injection — raises :class:`~repro.errors.SimTimeoutError` instead of
+        hanging the simulation.
+        """
+        wait_until(sig.obj.updated, _signal_predicate(sig, cmp, value),
+                   timeout=timeout,
+                   what=f"signal_wait_until(sym{sig.obj.index} {cmp} {value}) on PE {self.my_pe}")
         return int(sig.local.data[0])
 
     def quiet(self) -> None:

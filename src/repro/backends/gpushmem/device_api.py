@@ -106,9 +106,14 @@ class ShmemDevice:
     # Synchronization.
     # ------------------------------------------------------------------ #
 
-    def signal_wait_until(self, sig: SymBuffer, cmp: str, value: int) -> int:
-        """Spin the kernel until the local signal satisfies the compare."""
-        return self._ctx.signal_wait_until(sig, cmp, value)
+    def signal_wait_until(self, sig: SymBuffer, cmp: str, value: int,
+                          timeout: Optional[float] = None) -> int:
+        """Spin the kernel until the local signal satisfies the compare.
+
+        ``timeout`` (virtual seconds) bounds the spin — see the host-side
+        :meth:`ShmemContext.signal_wait_until`.
+        """
+        return self._ctx.signal_wait_until(sig, cmp, value, timeout=timeout)
 
     def quiet(self) -> None:
         """Complete all outstanding nonblocking puts from this PE."""

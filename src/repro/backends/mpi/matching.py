@@ -18,11 +18,11 @@ allowed, messages between a pair never overtake each other.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ...errors import MpiError
+from ...errors import MpiError, MpiTimeoutError
 from ...hardware.profiles import MpiProfile
 from ..common import BufferLike, as_array
 from .request import Request
@@ -209,6 +209,9 @@ class MessageEngine:
     # ------------------------------------------------------------------ #
 
     def _fire(self, comm, profile: MpiProfile, send: _SendRec, recv: _RecvRec, dst: int) -> None:
+        injector = self.engine.fault_injector
+        if injector is not None and injector.has_message_faults:
+            return self._fire_faulty(comm, profile, send, recv, dst, injector)
         if recv.count < send.count:
             # Reported on the receive side (MPI_ERR_TRUNC); the sender is
             # unaffected, matching real MPI behaviour.
@@ -252,6 +255,98 @@ class MessageEngine:
                 self.engine.schedule(max(0.0, transfer.delivered - self.engine.now), deliver)
 
             self.engine.schedule(handshake, start_transfer)
+
+    # ------------------------------------------------------------------ #
+    # Fault-injected delivery: retransmission with exponential backoff.
+    # ------------------------------------------------------------------ #
+
+    def _fire_faulty(
+        self, comm, profile: MpiProfile, send: _SendRec, recv: _RecvRec, dst: int, injector
+    ) -> None:
+        """Matched-pair delivery when a fault plan targets MPI messages.
+
+        Each wire attempt asks the injector for its fate when the delivery
+        is scheduled. A dropped (or checksum-corrupted) attempt is
+        retransmitted after ``retry_base * 2**attempt`` virtual seconds of
+        backoff; ``max_retries`` exhaustion completes the receive request —
+        and, for rendezvous, the send request too — with
+        :class:`MpiTimeoutError`. A message no fault matches takes exactly
+        the timing of the healthy path.
+        """
+        if recv.count < send.count:
+            recv.request.fail(
+                MpiError(
+                    f"message truncation: recv count {recv.count} < send count "
+                    f"{send.count} (src={send.src}, dst={dst}, tag={send.tag})"
+                )
+            )
+            send.request.complete()
+            return
+        engine = self.engine
+        plan = injector.plan
+        src_g = comm.global_rank_of(send.src)
+        dst_g = comm.global_rank_of(dst)
+        path = send.path if send.path is not None else self.path_between(comm, send.src, dst)
+
+        def payload() -> np.ndarray:
+            if send.kind == "eager":
+                return send.data
+            return as_array(send.src_buf, send.count).copy()
+
+        def deliver_from(data: np.ndarray) -> Callable[[], None]:
+            def deliver() -> None:
+                as_array(recv.buf)[: send.count] = data
+                recv.request.complete()
+
+            return deliver
+
+        def give_up(attempts: int) -> None:
+            error = MpiTimeoutError(
+                f"transfer {src_g}->{dst_g} tag={send.tag} ({send.nbytes} B) gave up "
+                f"after {attempts} retransmissions at t={engine.now:.9g}s"
+            )
+            injector.record("fault.mpi_giveup", src=src_g, dst=dst_g, tag=send.tag,
+                            attempts=attempts)
+            recv.request.fail(error)
+            if send.kind == "rdv":
+                send.request.fail(error)
+
+        def attempt(k: int) -> None:
+            verdict = injector.message_verdict(src_g, dst_g, send.tag, engine.now)
+            if verdict is None:
+                if send.kind == "eager" and k == 0 and send.arrival_time > engine.now:
+                    # First eager attempt: the wire was reserved at post
+                    # time; keep the healthy path's delivery instant.
+                    engine.schedule(send.arrival_time - engine.now, deliver_from(send.data))
+                elif send.kind == "eager" and k == 0:
+                    copy_cost = send.nbytes / profile.eager_copy_bandwidth
+                    engine.schedule(copy_cost, deliver_from(send.data))
+                else:
+                    transfer = path.reserve(engine.now, send.nbytes)
+                    if send.kind == "rdv" and not send.request.done:
+                        engine.schedule(
+                            max(0.0, transfer.inject_done - engine.now),
+                            send.request.complete,
+                        )
+                    engine.schedule(
+                        max(0.0, transfer.delivered - engine.now), deliver_from(payload())
+                    )
+                if k > 0:
+                    injector.record("fault.mpi_recovered", src=src_g, dst=dst_g,
+                                    tag=send.tag, attempt=k)
+                return
+            injector.record(f"fault.mpi_{verdict}", src=src_g, dst=dst_g,
+                            tag=send.tag, attempt=k, nbytes=send.nbytes)
+            if k >= plan.max_retries:
+                give_up(k)
+                return
+            engine.schedule(plan.retry_base * (2 ** k), lambda: attempt(k + 1))
+
+        if send.kind == "eager":
+            attempt(0)
+        else:
+            handshake = profile.rendezvous_rtt_factor * path.latency
+            engine.schedule(handshake, lambda: attempt(0))
 
     # ------------------------------------------------------------------ #
 

@@ -32,9 +32,25 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--machine", default="perlmutter",
                         choices=["perlmutter", "lumi", "marenostrum5"])
 
+    def _fault_args(sp):
+        sp.add_argument("--fault-spec", default=None, metavar="SPEC",
+                        help="deterministic fault plan (FaultPlan.parse syntax; "
+                             "clauses ';'-separated, e.g. "
+                             "'down,link=nic-out[0],start=1e-4,end=5e-4;"
+                             "crash,rank=1,at=1e-3')")
+        sp.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the plan's probabilistic decisions")
+
     sp = sub.add_parser("machines", help="print the Table I machine models")
 
-    sp = sub.add_parser("jacobi", help="run the Jacobi 2D solver")
+    sp = sub.add_parser(
+        "jacobi", help="run the Jacobi 2D solver",
+        epilog="Fault injection (see docs/FAULTS.md): --fault-spec installs a "
+               "deterministic fault plan, e.g. "
+               "'drop,tag=0,start=1e-4,end=3e-4' for a transient message "
+               "outage; --resilient runs the checkpoint/rollback variant "
+               "that survives it. A worked example lives in "
+               "examples/jacobi_fault_recovery.py.")
     common(sp)
     sp.add_argument("--backend", default="gpuccl")
     sp.add_argument("--mode", default="PureHost",
@@ -43,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--size", type=int, default=256, help="grid edge (nx)")
     sp.add_argument("--iters", type=int, default=20)
     sp.add_argument("--verify", action="store_true")
+    _fault_args(sp)
+    sp.add_argument("--resilient", action="store_true",
+                    help="run the fault-tolerant mpi-resilient variant "
+                         "(checkpoint + rollback; ignores --backend/--mode)")
+    sp.add_argument("--checkpoint-every", type=int, default=8,
+                    help="iterations between in-memory checkpoints (--resilient)")
 
     sp = sub.add_parser("cg", help="run the Conjugate Gradient solver")
     common(sp)
@@ -68,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--backend", default="gpuccl")
     sp.add_argument("--gpus", type=int, default=4)
     sp.add_argument("--out", default="trace.json")
+    _fault_args(sp)
     return p
 
 
@@ -85,15 +108,32 @@ def _cmd_machines(args, out) -> int:
 
 def _cmd_jacobi(args, out) -> int:
     from .apps.jacobi import JacobiConfig, assemble, launch_variant, serial_jacobi
+    from .apps.jacobi import resilient
+    from .launcher import launch
 
     cfg = JacobiConfig(nx=args.size, ny=args.size + 2, iters=args.iters,
                        warmup=max(1, args.iters // 10))
-    variant = f"uniconn:{args.backend}" + ("" if args.mode == "PureHost" else f":{args.mode}")
-    results = launch_variant(variant, cfg, args.gpus, machine=args.machine,
-                             collect=args.verify)
+    stats: dict = {}
+    if args.resilient:
+        variant = "mpi-resilient"
+        results = launch(resilient.run, args.gpus, machine=args.machine,
+                         args=(cfg, args.verify, args.checkpoint_every),
+                         stats_out=stats,
+                         fault_plan=args.fault_spec, fault_seed=args.fault_seed)
+    else:
+        variant = f"uniconn:{args.backend}" + ("" if args.mode == "PureHost" else f":{args.mode}")
+        results = launch_variant(variant, cfg, args.gpus, machine=args.machine,
+                                 collect=args.verify, stats_out=stats,
+                                 fault_plan=args.fault_spec, fault_seed=args.fault_seed)
     t = max(r.time_per_iter for r in results)
     print(f"jacobi {cfg.nx}x{cfg.ny} x{args.gpus} GPUs [{variant}] on {args.machine}: "
           f"{t * 1e6:.2f} us/iter", file=out)
+    for when, kind, fields in stats.get("faults", ()):
+        detail = " ".join(f"{k}={v}" for k, v in fields.items())
+        print(f"  fault t={when:.6g}s {kind} {detail}", file=out)
+    restarts = max((getattr(r, "restarts", 0) for r in results), default=0)
+    if restarts:
+        print(f"  recovered via {restarts} checkpoint rollback(s)", file=out)
     if args.verify:
         ref = serial_jacobi(cfg, iters=cfg.warmup + cfg.iters)
         ok = np.array_equal(assemble(cfg, results), ref)
@@ -157,7 +197,8 @@ def _cmd_trace(args, out) -> int:
     tracer = Tracer()
     cfg = JacobiConfig(nx=64, ny=66, iters=5, warmup=1)
     launch(lambda ctx: run_variant(ctx, f"uniconn:{args.backend}", cfg),
-           args.gpus, machine=args.machine, tracer=tracer)
+           args.gpus, machine=args.machine, tracer=tracer,
+           fault_plan=args.fault_spec, fault_seed=args.fault_seed)
     write_chrome_trace(tracer, args.out)
     print(f"{len(tracer.records)} events -> {args.out} "
           f"(open in chrome://tracing or Perfetto)", file=out)

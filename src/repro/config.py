@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Iterator
+from typing import Iterator, Optional
 
 from .hardware.profiles import UniconnCosts
 
@@ -29,6 +29,11 @@ class UniconnConfig:
     # of two-sided send/recv. Requires communication buffers from
     # Memory.alloc, which become window-backed under this flag.
     mpi_rma: bool = False
+    # Fault injection (repro.sim.faults): a FaultPlan.parse spec string plus
+    # the seed for its probabilistic decisions. None = healthy runs with
+    # zero injection overhead. Explicit launch() arguments override these.
+    fault_spec: Optional[str] = None
+    fault_seed: int = 0
 
 
 _config = UniconnConfig()

@@ -13,7 +13,7 @@ Public surface (paper Section IV):
 """
 
 from .backend import Backend, GpucclBackend, GpushmemBackend, MPIBackend, resolve_backend
-from .communicator import Communicator, DeviceComm
+from .communicator import CommHealth, Communicator, DeviceComm
 from .coordinator import IN_PLACE, Coordinator
 from .device import UniconnDevice, attach_device_api
 from .environment import Environment
@@ -27,6 +27,7 @@ __all__ = [
     "GpushmemBackend",
     "MPIBackend",
     "resolve_backend",
+    "CommHealth",
     "Communicator",
     "DeviceComm",
     "IN_PLACE",

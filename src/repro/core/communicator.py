@@ -8,7 +8,8 @@ selected already (GPUCCL and GPUSHMEM both need it).
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -18,7 +19,16 @@ from ..gpu.stream import Stream
 from .backend import GpucclBackend, GpushmemBackend, MPIBackend
 from .environment import Environment
 
-__all__ = ["Communicator", "DeviceComm"]
+__all__ = ["CommHealth", "Communicator", "DeviceComm"]
+
+
+@dataclass(frozen=True)
+class CommHealth:
+    """Snapshot of a communicator's liveness (see ``Communicator.health``)."""
+
+    ok: bool
+    crashed_ranks: Tuple[int, ...] = ()
+    detail: str = ""
 
 
 class DeviceComm:
@@ -123,6 +133,56 @@ class Communicator:
                 f"to_device() requires GPUSHMEM"
             )
         return DeviceComm(self._team, self.global_size(), self.global_rank())
+
+    # ------------------------------------------------------------------ #
+    # Robustness (fault injection, repro.sim.faults).
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> CommHealth:
+        """Nonblocking liveness probe of the communicator's members.
+
+        Consults the backend's asynchronous error state (GPUCCL
+        ``async_error_query``) and the installed fault injector (all
+        backends). A healthy, fault-free run always returns ``ok=True``
+        with no overhead beyond the checks themselves.
+        """
+        if self._ccl_comm is not None:
+            error = self._ccl_comm.async_error_query()
+            if error is not None:
+                injector = self.engine.fault_injector
+                crashed = (
+                    tuple(injector.crashed_among(range(self.env.world_size())))
+                    if injector is not None
+                    else ()
+                )
+                return CommHealth(ok=False, crashed_ranks=crashed, detail=str(error))
+        injector = self.engine.fault_injector
+        if injector is not None and injector.crashed_ranks:
+            crashed = tuple(injector.crashed_among(range(self.env.world_size())))
+            if crashed:
+                return CommHealth(
+                    ok=False,
+                    crashed_ranks=crashed,
+                    detail=f"rank(s) {list(crashed)} crashed "
+                    f"(observed at t={self.engine.now:.9g}s)",
+                )
+        return CommHealth(ok=True)
+
+    def abort(self, reason: str = "") -> None:
+        """Tear the communicator down with diagnostics instead of hanging.
+
+        Delegates to GPUCCL's ``comm.abort()`` when that backend is active;
+        otherwise raises :class:`UniconnError` carrying the reason and the
+        current health snapshot. Always raises.
+        """
+        if self._ccl_comm is not None:
+            self._ccl_comm.abort(reason)
+        health = self.health()
+        detail = reason or health.detail or "application abort"
+        raise UniconnError(
+            f"communicator aborted by rank {self.global_rank()}/"
+            f"{self.global_size()} at t={self.engine.now:.9g}s: {detail}"
+        )
 
     # Internal accessors used by the Coordinator.
 

@@ -14,13 +14,31 @@ class SimError(ReproError):
 class DeadlockError(SimError):
     """All simulated processes are blocked and no future event exists.
 
-    Carries a human-readable report of what each live task was waiting on,
-    which is the simulated analogue of a hung MPI job.
+    Carries a human-readable report of the virtual time of the hang and the
+    pending operation (wait reason, including message tags where the waiter
+    recorded them) of each live task — the simulated analogue of a hung MPI
+    job. ``when`` is the virtual time at which the hang was detected.
     """
 
-    def __init__(self, report: str):
-        super().__init__(f"simulation deadlock:\n{report}")
+    def __init__(self, report: str, when: float = 0.0):
+        super().__init__(f"simulation deadlock at t={when:.9g}s:\n{report}")
         self.report = report
+        self.when = when
+
+
+class SimTimeoutError(SimError):
+    """A blocking wait exceeded its (virtual-time) timeout.
+
+    Raised by the engine's watchdog on any blocking wait, and by primitives
+    that accept explicit timeouts (GPUSHMEM signal waits). Carries the same
+    waiter report a :class:`DeadlockError` would, so a hang under fault
+    injection is as actionable as a true deadlock.
+    """
+
+    def __init__(self, message: str, report: str = "", when: float = 0.0):
+        super().__init__(message)
+        self.report = report
+        self.when = when
 
 
 class SimAborted(SimError):
@@ -51,6 +69,16 @@ class MpiError(BackendError):
     """Errors from the simulated MPI library."""
 
 
+class MpiTimeoutError(MpiError):
+    """A (retried) MPI transfer gave up: the request completed with an
+    error after exhausting its retransmission budget under fault injection.
+
+    Raised from ``Request.wait`` on the side(s) whose operation could not be
+    completed, mirroring how a GPU-aware MPI surfaces a NACKed/undeliverable
+    message as a per-request failure rather than a global abort.
+    """
+
+
 class GpucclError(BackendError):
     """Errors from the simulated GPUCCL (NCCL/RCCL-like) library."""
 
@@ -61,3 +89,8 @@ class GpushmemError(BackendError):
 
 class UniconnError(ReproError):
     """Errors raised by the Uniconn layer itself (misuse of the API)."""
+
+
+class FaultInjectionError(ReproError):
+    """Invalid fault plan/spec, or an injected failure declared unrecoverable
+    (e.g. a checkpoint-restart harness exhausting its restart budget)."""

@@ -45,7 +45,29 @@ class Device:
         self.gpu_id = gpu_id
         self.model: GpuModel = cluster.machine.gpu
         self.allocated_bytes = 0
+        # Straggler factor from the fault injector (repro.sim.faults): all
+        # kernel/launch times on this device are multiplied by it. 1.0 for
+        # healthy GPUs, and the scaling below is guarded by `!= 1.0` so
+        # fault-free runs stay bitwise identical.
+        self.time_scale = 1.0
+        injector = getattr(engine, "fault_injector", None)
+        if injector is not None:
+            self.time_scale = injector.straggler_factor(gpu_id)
         self.default_stream = Stream(self, name=f"default[{gpu_id}]")
+
+    def kernel_time(self, cost) -> float:
+        """Roofline time of a cost on *this* device (straggler-scaled)."""
+        t = self.model.kernel_time(cost)
+        if self.time_scale != 1.0:
+            t *= self.time_scale
+        return t
+
+    def launch_time(self, cost) -> float:
+        """Launch overhead + roofline time on this device (straggler-scaled)."""
+        t = self.model.launch_time(cost)
+        if self.time_scale != 1.0:
+            t *= self.time_scale
+        return t
 
     # ------------------------------------------------------------------ #
     # Memory.
@@ -146,7 +168,7 @@ class Device:
                 self.engine.sleep(self.model.launch_overhead)
                 result = kernel.fn(ctx, *args)
                 if ctx.pending_cost.bytes_moved or ctx.pending_cost.flops:
-                    self.engine.sleep(self.model.kernel_time(ctx.pending_cost))
+                    self.engine.sleep(self.kernel_time(ctx.pending_cost))
                 return result
 
             stream.enqueue(TaskOp(self.engine, kernel.name, body))
@@ -155,7 +177,7 @@ class Device:
                 kernel.fn(ctx, *args)
 
             def duration() -> float:
-                return self.model.launch_time(kernel.cost_of(ctx, args))
+                return self.launch_time(kernel.cost_of(ctx, args))
 
             stream.enqueue(TimedOp(self.engine, kernel.name, duration, action))
 

@@ -68,7 +68,7 @@ class DeviceCtx:
                 "(declare it with @device_kernel); compute-only kernels "
                 "declare their cost at the KernelSpec level"
             )
-        self.device.engine.sleep(self.device.model.kernel_time(cost))
+        self.device.engine.sleep(self.device.kernel_time(cost))
 
     def charge(self, cost: KernelCost) -> None:
         """Accumulate cost to be paid when the kernel finishes."""

@@ -18,7 +18,7 @@ Routing:
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..errors import HardwareError
 from .link import Link, Path
@@ -42,6 +42,16 @@ class Cluster:
         self._nic_out: Dict[int, Link] = {}
         self._nic_in: Dict[int, Link] = {}
         self._paths: Dict[Tuple[int, int], Path] = {}
+        # Fault-injection hook (repro.sim.faults): links are created lazily,
+        # so an installed injector decorates each new link with its matching
+        # fault windows here. None = healthy cluster, zero overhead.
+        self.link_fault_hook: Optional[Callable[[Link], None]] = None
+
+    def _register_link(self, link: Link) -> Link:
+        """Run the fault hook (if any) over a freshly created link."""
+        if self.link_fault_hook is not None:
+            self.link_fault_hook(link)
+        return link
 
     # ------------------------------------------------------------------ #
     # Placement helpers.
@@ -79,7 +89,7 @@ class Cluster:
                 bandwidth=m.gpu.mem_bandwidth / 2.0,  # read + write of HBM
                 per_message_overhead=5.0e-8,
             )
-            self._loop[gpu] = link
+            self._loop[gpu] = self._register_link(link)
         return link
 
     def _intra_link(self, src: int, dst: int) -> Link:
@@ -93,7 +103,7 @@ class Cluster:
                 bandwidth=m.intra_bandwidth,
                 per_message_overhead=m.intra_msg_overhead,
             )
-            self._intra[key] = link
+            self._intra[key] = self._register_link(link)
         return link
 
     def nic_egress(self, gpu: int) -> Link:
@@ -107,7 +117,7 @@ class Cluster:
                 bandwidth=m.nic_bandwidth,
                 per_message_overhead=m.nic_msg_overhead,
             )
-            self._nic_out[gpu] = link
+            self._nic_out[gpu] = self._register_link(link)
         return link
 
     def nic_ingress(self, gpu: int) -> Link:
@@ -121,7 +131,7 @@ class Cluster:
                 bandwidth=m.nic_bandwidth,
                 per_message_overhead=0.0,
             )
-            self._nic_in[gpu] = link
+            self._nic_in[gpu] = self._register_link(link)
         return link
 
     def path(self, src: int, dst: int) -> Path:

@@ -103,6 +103,8 @@ def launch(
     placement: str = "block",
     tracer: Optional[Tracer] = None,
     stats_out: Optional[dict] = None,
+    fault_plan: Union["FaultPlan", str, None] = None,
+    fault_seed: Optional[int] = None,
 ) -> List[Any]:
     """Run ``fn(ctx, *args)`` on ``n_ranks`` simulated ranks; return results.
 
@@ -113,6 +115,13 @@ def launch(
 
     ``stats_out``, if given, is filled with the engine's scheduler counters
     plus ``virtual_time`` after the run (see ``EngineStats``).
+
+    ``fault_plan`` (a :class:`~repro.sim.FaultPlan` or a spec string for
+    ``FaultPlan.parse``) installs deterministic fault injection seeded by
+    ``fault_seed`` — see :mod:`repro.sim.faults`. When omitted, the global
+    config's ``fault_spec``/``fault_seed`` apply; the default (no plan)
+    adds nothing to the run. With a plan and ``stats_out``, the injected
+    fault log lands in ``stats_out["faults"]``.
     """
     spec = get_machine(machine) if isinstance(machine, str) else machine
     min_nodes = math.ceil(n_ranks / spec.gpus_per_node)
@@ -124,6 +133,7 @@ def launch(
     if tracer is not None:
         tracer.install(engine)
     cluster = Cluster(spec, n_nodes)
+    injector = _make_injector(engine, cluster, fault_plan, fault_seed)
     job = Job(engine, cluster, n_ranks, placement=placement)
 
     def body(rank: int) -> Any:
@@ -135,3 +145,26 @@ def launch(
         if stats_out is not None:
             stats_out.update(engine.stats.as_dict())
             stats_out["virtual_time"] = engine.now
+            if injector is not None:
+                stats_out["faults"] = list(injector.log)
+
+
+def _make_injector(engine, cluster, fault_plan, fault_seed):
+    """Resolve launch()'s fault arguments (falling back to the global
+    config) into an installed FaultInjector, or None for healthy runs."""
+    from .config import get_config
+
+    if fault_plan is None:
+        cfg = get_config()
+        fault_plan = cfg.fault_spec
+        if fault_seed is None:
+            fault_seed = cfg.fault_seed
+    if fault_plan is None:
+        return None
+    from .sim.faults import FaultInjector, FaultPlan
+
+    if isinstance(fault_plan, str):
+        fault_plan = FaultPlan.parse(fault_plan)
+    if fault_plan.empty():
+        return None
+    return FaultInjector(fault_plan, seed=fault_seed or 0).install(engine, cluster)

@@ -7,6 +7,14 @@ expressed as events on that clock.
 
 from .chrometrace import to_chrome_trace, write_chrome_trace
 from .engine import Engine, EngineStats, Task, Timer, current_engine
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    MessageFault,
+    RankCrash,
+    Straggler,
+)
 from .spmd import run_spmd
 from .sync import Broadcast, Counter, SimEvent, SimQueue, wait_until
 from .trace import TraceRecord, Tracer
@@ -27,4 +35,10 @@ __all__ = [
     "Tracer",
     "to_chrome_trace",
     "write_chrome_trace",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFault",
+    "MessageFault",
+    "RankCrash",
+    "Straggler",
 ]

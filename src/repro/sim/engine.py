@@ -32,7 +32,7 @@ import threading
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional
 
-from ..errors import DeadlockError, EngineStateError, SimAborted
+from ..errors import DeadlockError, EngineStateError, SimAborted, SimTimeoutError
 
 __all__ = ["Engine", "EngineStats", "Task", "Timer", "current_engine"]
 
@@ -140,6 +140,9 @@ class Task:
         self.name = name
         self.state = _NEW
         self.poisoned = False
+        # Error to raise in this task the next time it resumes from a block
+        # (the engine-watchdog delivery channel; see Engine.block).
+        self._pending_error: Optional[BaseException] = None
         self.result: Any = None
         self.wait_reason: str = ""
         # Deferred host-busy time (see Engine.defer_busy): virtual time this
@@ -203,6 +206,11 @@ class Engine:
         self._finished = False
         self._name_seqs: Dict[str, int] = {}
         self.trace_hook: Optional[Callable[..., None]] = None
+        # Fault-injection hooks (see repro.sim.faults). Both default to the
+        # disabled state so the fault layer costs one attribute check when
+        # no plan is installed.
+        self.fault_injector: Optional[Any] = None
+        self.watchdog_timeout: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # Public API used by simulated code.
@@ -285,8 +293,19 @@ class Engine:
         On the fast path, a task whose wake-up has happened by the time the
         scheduler selects it — and which is next in FIFO order — resumes
         *inline*, with no handoff at all (a "switchless" event).
+
+        When a watchdog timeout is installed (``watchdog_timeout``), a block
+        that outlives it raises :class:`SimTimeoutError` in the blocked task,
+        carrying the deadlock-style waiter report — a hang under injected
+        faults becomes an actionable per-task error instead of waiting for
+        whole-simulation quiescence.
         """
         task = self._require_current()
+        watchdog = None
+        if self.watchdog_timeout is not None:
+            watchdog = self.schedule(
+                self.watchdog_timeout, lambda: self._watchdog_expire(task)
+            )
         while True:
             if task.state is _RUNNING:
                 task.state = _BLOCKED
@@ -310,6 +329,11 @@ class Engine:
                 # task may not observe `now` until the debt is settled.
                 self.schedule(task.busy_until - self.now, task.make_ready)
                 continue
+            if watchdog is not None:
+                watchdog.cancel()
+                if task._pending_error is not None:
+                    error, task._pending_error = task._pending_error, None
+                    raise error
             return
 
     def join(self, other: Task) -> Any:
@@ -405,7 +429,7 @@ class Engine:
                 continue
             # No runnable task and no future event.
             if self._tasks:
-                self._record_failure(DeadlockError(self._deadlock_report()))
+                self._record_failure(DeadlockError(self._waiter_report(), when=self.now))
                 return self._drain_select()
             self._current = None
             self._done_sem.release()
@@ -422,8 +446,33 @@ class Engine:
         self._done_sem.release()
         return None
 
-    def _deadlock_report(self) -> str:
+    def _waiter_report(self) -> str:
+        """One line per live task: its name and pending operation.
+
+        Wait reasons carry the operation and message tag where the blocking
+        primitive recorded them (e.g. ``event:req:recv[1->0 tag=0]``), so
+        both deadlock and watchdog-timeout reports name the stuck transfer.
+        """
         lines = []
         for task in sorted(self._tasks, key=lambda t: t.name):
             lines.append(f"  {task.name}: blocked on {task.wait_reason or '<unknown>'}")
         return "\n".join(lines)
+
+    def _watchdog_expire(self, task: Task) -> None:
+        """Fire a watchdog for one block: deliver SimTimeoutError to the task.
+
+        A task that already resumed (its block cancelled this timer, or it
+        sits in the ready queue with its wake-up done) is left alone.
+        """
+        if task.state is not _BLOCKED or task._pending_error is not None:
+            return
+        report = self._waiter_report()
+        task._pending_error = SimTimeoutError(
+            f"blocking wait exceeded watchdog timeout "
+            f"{self.watchdog_timeout:g}s at t={self.now:.9g}s: {task.name} "
+            f"waiting on {task.wait_reason or '<unknown>'}\n{report}",
+            report=report,
+            when=self.now,
+        )
+        self.trace("fault.watchdog", task=task.name, reason=task.wait_reason)
+        task.make_ready()

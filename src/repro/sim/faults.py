@@ -1,0 +1,343 @@
+"""Deterministic, seed-driven fault injection on the virtual clock.
+
+A :class:`FaultPlan` declares *what* can go wrong — transient link outages
+and bandwidth-degradation windows, message drop/corruption on matching
+transfers, rank crashes at a virtual time, straggler GPUs — and a
+:class:`FaultInjector` binds one plan plus one seed to one engine/cluster
+for one job. Everything is reproducible: the engine's interleaving is
+deterministic, the injector's RNG is seeded, and all decisions are drawn in
+simulation order, so the same (plan, seed, program) produces the identical
+fault schedule, identical virtual-time results, and an identical trace.
+
+The layer is free when idle: with no plan installed every hook is a single
+``engine.fault_injector is None`` (or equivalent) check, no timers are
+scheduled, and traces stay byte-identical to a build without this module
+(``tests/sim/test_fastpath.py`` asserts this).
+
+Spec grammar (``FaultPlan.parse``), clauses separated by ``;``, fields by
+``,``, first token is the clause kind::
+
+    down,link=nic-out[0],start=1e-3,end=2e-3       # link carries nothing
+    degrade,link=nvlink*,factor=4,start=0,end=1    # serialization x factor
+    drop,src=0,dst=1,tag=0,p=0.5,start=0,end=1e-3  # MPI wire drop
+    corrupt,src=0,dst=1,p=0.1                      # detected via checksum
+    crash,rank=2,at=5e-4                           # rank dies at t
+    straggler,gpu=1,factor=2                       # kernels run x factor
+    retry,base=2e-5,max=6                          # MPI backoff parameters
+    watchdog,timeout=0.5                           # engine watchdog (s)
+
+``link`` values are :mod:`fnmatch` patterns over :class:`Link` names;
+``src``/``dst``/``tag`` are optional filters (omitted = any) over *global*
+ranks and MPI tags; ``p`` is a per-attempt probability drawn from the
+seeded RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from fnmatch import fnmatchcase
+from typing import Any, List, Optional, Tuple
+
+from ..errors import FaultInjectionError
+from .engine import Engine
+
+__all__ = [
+    "LinkFault",
+    "MessageFault",
+    "RankCrash",
+    "Straggler",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A window during which a link is down or degraded.
+
+    ``kind="down"``: the link carries nothing during ``[start, end)``;
+    transfers arriving in the window wait for it to end (the physical layer
+    recovers by itself, at a virtual-time cost). ``kind="degrade"``:
+    serialization time is multiplied by ``factor`` for transfers starting in
+    the window.
+    """
+
+    link: str  # fnmatch pattern over Link.name
+    start: float
+    end: float
+    kind: str = "down"  # "down" | "degrade"
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("down", "degrade"):
+            raise FaultInjectionError(f"unknown link fault kind {self.kind!r}")
+        if self.end <= self.start:
+            raise FaultInjectionError(f"empty fault window [{self.start}, {self.end})")
+        if self.kind == "degrade" and self.factor < 1.0:
+            raise FaultInjectionError(f"degrade factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Drop or corrupt matching MPI wire transfers inside a window.
+
+    ``None`` filters match anything. Corruption is detected by the modelled
+    transport checksum, so both kinds trigger the retransmission path; they
+    differ only in the recorded event kind.
+    """
+
+    kind: str  # "drop" | "corrupt"
+    src: Optional[int] = None  # global rank filters
+    dst: Optional[int] = None
+    tag: Optional[int] = None
+    start: float = 0.0
+    end: float = _INF
+    p: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("drop", "corrupt"):
+            raise FaultInjectionError(f"unknown message fault kind {self.kind!r}")
+        if not 0.0 < self.p <= 1.0:
+            raise FaultInjectionError(f"fault probability must be in (0, 1], got {self.p}")
+
+    def matches(self, src: int, dst: int, tag: int, now: float) -> bool:
+        """True when this fault's filters and window cover the transfer."""
+        if self.src is not None and self.src != src:
+            return False
+        if self.dst is not None and self.dst != dst:
+            return False
+        if self.tag is not None and self.tag != tag:
+            return False
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Kill one rank's simulated process at a virtual time."""
+
+    rank: int
+    at: float
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Scale one GPU's kernel/launch costs by ``factor`` (>= 1)."""
+
+    gpu: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise FaultInjectionError(f"straggler factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative schedule of faults plus the recovery parameters."""
+
+    link_faults: Tuple[LinkFault, ...] = ()
+    message_faults: Tuple[MessageFault, ...] = ()
+    crashes: Tuple[RankCrash, ...] = ()
+    stragglers: Tuple[Straggler, ...] = ()
+    retry_base: float = 2e-5  # first MPI retransmission backoff (s)
+    max_retries: int = 6  # retransmission budget per transfer
+    watchdog: Optional[float] = None  # engine watchdog timeout (s)
+
+    def empty(self) -> bool:
+        """True when the plan injects nothing and installs no watchdog."""
+        return not (
+            self.link_faults
+            or self.message_faults
+            or self.crashes
+            or self.stragglers
+            or self.watchdog is not None
+        )
+
+    @staticmethod
+    def parse(spec: str) -> "FaultPlan":
+        """Build a plan from the compact CLI spec string (see module doc)."""
+        plan = FaultPlan()
+        links: List[LinkFault] = []
+        messages: List[MessageFault] = []
+        crashes: List[RankCrash] = []
+        stragglers: List[Straggler] = []
+        for clause in filter(None, (c.strip() for c in spec.split(";"))):
+            parts = [p.strip() for p in clause.split(",")]
+            kind, kv = parts[0], {}
+            for item in parts[1:]:
+                if "=" not in item:
+                    raise FaultInjectionError(
+                        f"malformed fault field {item!r} in clause {clause!r}"
+                    )
+                key, value = item.split("=", 1)
+                kv[key.strip()] = value.strip()
+            try:
+                if kind in ("down", "degrade"):
+                    links.append(LinkFault(
+                        link=kv.pop("link"),
+                        start=float(kv.pop("start", 0.0)),
+                        end=float(kv.pop("end", _INF)),
+                        kind=kind,
+                        factor=float(kv.pop("factor", 1.0)),
+                    ))
+                elif kind in ("drop", "corrupt"):
+                    messages.append(MessageFault(
+                        kind=kind,
+                        src=int(kv.pop("src")) if "src" in kv else None,
+                        dst=int(kv.pop("dst")) if "dst" in kv else None,
+                        tag=int(kv.pop("tag")) if "tag" in kv else None,
+                        start=float(kv.pop("start", 0.0)),
+                        end=float(kv.pop("end", _INF)),
+                        p=float(kv.pop("p", 1.0)),
+                    ))
+                elif kind == "crash":
+                    crashes.append(RankCrash(rank=int(kv.pop("rank")), at=float(kv.pop("at"))))
+                elif kind == "straggler":
+                    stragglers.append(Straggler(gpu=int(kv.pop("gpu")), factor=float(kv.pop("factor"))))
+                elif kind == "retry":
+                    plan = replace(plan,
+                                   retry_base=float(kv.pop("base", plan.retry_base)),
+                                   max_retries=int(kv.pop("max", plan.max_retries)))
+                elif kind == "watchdog":
+                    plan = replace(plan, watchdog=float(kv.pop("timeout")))
+                else:
+                    raise FaultInjectionError(f"unknown fault clause kind {kind!r}")
+            except KeyError as exc:
+                raise FaultInjectionError(
+                    f"fault clause {clause!r} is missing required field {exc.args[0]!r}"
+                ) from None
+            except ValueError as exc:
+                raise FaultInjectionError(f"bad value in fault clause {clause!r}: {exc}") from None
+            if kv:
+                raise FaultInjectionError(
+                    f"unknown field(s) {sorted(kv)} in fault clause {clause!r}"
+                )
+        return replace(plan,
+                       link_faults=tuple(links),
+                       message_faults=tuple(messages),
+                       crashes=tuple(crashes),
+                       stragglers=tuple(stragglers))
+
+
+class FaultInjector:
+    """One plan + one seed bound to one engine/cluster for one job.
+
+    The injector is the single consultation point for every layer: the
+    hardware model asks for link windows at install time, the MPI matcher
+    asks :meth:`message_verdict` per wire attempt, GPUCCL asks
+    :meth:`crashed_among`, devices ask :meth:`straggler_factor`. Every
+    injected event and recovery is appended to :attr:`log` and emitted as a
+    ``fault.*`` trace record, so injected faults are visible in the Chrome
+    trace next to the traffic they perturb.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int = 0):
+        self.plan = plan
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.crashed_ranks: set = set()
+        self.log: List[Tuple[float, str, dict]] = []
+        self.engine: Optional[Engine] = None
+
+    # ------------------------------------------------------------------ #
+    # Installation.
+    # ------------------------------------------------------------------ #
+
+    def install(self, engine: Engine, cluster: Any = None) -> "FaultInjector":
+        """Attach to an engine (and optionally its cluster); returns self."""
+        if self.engine is not None:
+            raise FaultInjectionError("fault injector already installed")
+        self.engine = engine
+        engine.fault_injector = self
+        if self.plan.watchdog is not None:
+            engine.watchdog_timeout = self.plan.watchdog
+        if cluster is not None and self.plan.link_faults:
+            cluster.link_fault_hook = self._decorate_link
+            for links in (cluster._loop, cluster._intra, cluster._nic_out, cluster._nic_in):
+                for link in links.values():
+                    self._decorate_link(link)
+            for path in cluster._paths.values():
+                path.refresh_fault_check()
+        for crash in self.plan.crashes:
+            engine.schedule(crash.at, lambda c=crash: self._crash(c))
+        # Window markers: injected faults show up on the trace timeline even
+        # when no transfer happens to sample them.
+        for lf in self.plan.link_faults:
+            engine.schedule(lf.start, lambda f=lf: self.record(
+                f"fault.link_{f.kind}", link=f.link, factor=f.factor, until=f.end))
+            if lf.end != _INF:
+                engine.schedule(lf.end, lambda f=lf: self.record(
+                    "fault.link_restored", link=f.link))
+        return self
+
+    def _decorate_link(self, link: Any) -> None:
+        """Attach this plan's matching fault windows to one link."""
+        windows = sorted(
+            (f.start, f.end, f.kind, f.factor)
+            for f in self.plan.link_faults
+            if fnmatchcase(link.name, f.link)
+        )
+        if windows:
+            link.fault_windows = windows
+
+    # ------------------------------------------------------------------ #
+    # Queries (one per subsystem).
+    # ------------------------------------------------------------------ #
+
+    @property
+    def has_message_faults(self) -> bool:
+        """True when the MPI matcher must route through the fault path."""
+        return bool(self.plan.message_faults)
+
+    def message_verdict(self, src: int, dst: int, tag: int, now: float) -> Optional[str]:
+        """Fate of one MPI wire attempt: ``"drop"``, ``"corrupt"`` or None.
+
+        Probabilities are drawn from the seeded RNG in simulation order, so
+        the verdict stream is reproducible run to run.
+        """
+        for fault in self.plan.message_faults:
+            if fault.matches(src, dst, tag, now):
+                if fault.p >= 1.0 or self.rng.random() < fault.p:
+                    return fault.kind
+        return None
+
+    def straggler_factor(self, gpu: int) -> float:
+        """Kernel-time multiplier for one GPU (1.0 = healthy)."""
+        factor = 1.0
+        for s in self.plan.stragglers:
+            if s.gpu == gpu:
+                factor = max(factor, s.factor)
+        return factor
+
+    def crashed_among(self, ranks) -> List[int]:
+        """The subset of ``ranks`` that have crashed so far, sorted."""
+        return sorted(r for r in ranks if r in self.crashed_ranks)
+
+    # ------------------------------------------------------------------ #
+    # Event recording.
+    # ------------------------------------------------------------------ #
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append to the fault log and emit a ``fault.*`` trace record."""
+        engine = self.engine
+        self.log.append((engine.now if engine else 0.0, kind, dict(fields)))
+        if engine is not None:
+            engine.trace(kind, **fields)
+
+    def _crash(self, crash: RankCrash) -> None:
+        """Kill the rank's task: it stops dead, releasing nothing."""
+        self.crashed_ranks.add(crash.rank)
+        self.record("fault.crash", rank=crash.rank)
+        engine = self.engine
+        name = f"rank{crash.rank}"
+        for task in list(engine._tasks):
+            if task.name == name:
+                task.poisoned = True
+                task.make_ready()
+                break
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultInjector seed={self.seed} events={len(self.log)}>"

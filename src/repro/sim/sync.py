@@ -195,14 +195,48 @@ class Broadcast:
         self._waiters.append(_Waiter(None, predicate, callback))
 
 
-def wait_until(broadcast: Broadcast, predicate: Callable[[], bool]) -> None:
+def wait_until(
+    broadcast: Broadcast,
+    predicate: Callable[[], bool],
+    timeout: Optional[float] = None,
+    what: str = "",
+) -> None:
     """Block the calling task until ``predicate()`` is true.
 
     The predicate is re-checked each time ``broadcast`` is notified; state
     changes that can satisfy waiters must notify the broadcast.
+
+    With ``timeout`` (virtual seconds), a wait that outlives it raises
+    :class:`~repro.errors.SimTimeoutError`; ``what`` names the wait in the
+    error message. A timeout that never fires leaves no observable effect
+    (the timer is cancelled), so timed and untimed waits that complete
+    produce identical virtual timings.
     """
-    if not predicate():
+    if predicate():
+        return
+    if timeout is None:
         broadcast.wait_for(predicate)
+        return
+    from ..errors import SimTimeoutError
+
+    engine = broadcast.engine
+    expired = [False]
+
+    def expire() -> None:
+        expired[0] = True
+        broadcast.notify_all()
+
+    timer = engine.schedule(timeout, expire)
+    try:
+        broadcast.wait_for(lambda: expired[0] or predicate())
+    finally:
+        timer.cancel()
+    if expired[0] and not predicate():
+        raise SimTimeoutError(
+            f"{what or f'wait on {broadcast.name}'} timed out after {timeout:g}s "
+            f"of virtual time at t={engine.now:.9g}s",
+            when=engine.now,
+        )
 
 
 class SimQueue:
@@ -261,9 +295,16 @@ class Counter:
         self._value += delta
         self._bcast.notify_all()
 
-    def wait_for(self, predicate: Callable[[int], bool]) -> int:
-        """Block until the predicate holds for the value; returns it."""
-        wait_until(self._bcast, lambda: predicate(self._value))
+    def wait_for(
+        self, predicate: Callable[[int], bool], timeout: Optional[float] = None
+    ) -> int:
+        """Block until the predicate holds for the value; returns it.
+
+        ``timeout`` (virtual seconds) turns an unbounded wait into a
+        :class:`~repro.errors.SimTimeoutError` — see :func:`wait_until`.
+        """
+        wait_until(self._bcast, lambda: predicate(self._value), timeout=timeout,
+                   what=f"counter wait on {self._bcast.name}")
         return self._value
 
     def watch(self, predicate: Callable[[int], bool], callback: Callable[[], None]) -> None:

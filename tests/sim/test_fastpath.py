@@ -22,11 +22,12 @@ from repro.sim import Broadcast, Counter, Engine, SimEvent, Tracer, run_spmd, to
 CFG = JacobiConfig(nx=96, ny=98, iters=3, warmup=1)
 
 
-def _traced_run(monkeypatch, variant: str, fast: bool):
+def _traced_run(monkeypatch, variant: str, fast: bool, fault_plan=None):
     monkeypatch.setenv("REPRO_SIM_FASTPATH", "1" if fast else "0")
     tracer = Tracer()
     stats: dict = {}
-    results = launch_variant(variant, CFG, 8, stats_out=stats, tracer=tracer)
+    results = launch_variant(variant, CFG, 8, stats_out=stats, tracer=tracer,
+                             fault_plan=fault_plan)
     trace = json.dumps({"traceEvents": to_chrome_trace(tracer)}, sort_keys=True)
     return results, stats, trace
 
@@ -40,6 +41,24 @@ def test_trace_byte_identical_fast_vs_slow(monkeypatch, variant):
     assert [r.total_time for r in res_fast] == [r.total_time for r in res_slow]
     assert stats_fast["virtual_time"] == stats_slow["virtual_time"]
     assert trace_fast == trace_slow
+
+
+def test_trace_byte_identical_without_and_with_inert_fault_plan(monkeypatch):
+    """Fault injection is free when it does nothing.
+
+    A run with no plan and a run whose plan's fault window never overlaps
+    the job (forcing every MPI message through the fault-aware delivery
+    path, where every verdict is 'healthy') must produce byte-identical
+    traces — injected-fault support cannot perturb fault-free timings.
+    """
+    _, stats_none, trace_none = _traced_run(monkeypatch, "mpi-native", fast=True)
+    inert = "drop,tag=0,start=1e6,end=2e6;straggler,gpu=0,factor=1"
+    _, stats_inert, trace_inert = _traced_run(
+        monkeypatch, "mpi-native", fast=True, fault_plan=inert
+    )
+    assert stats_none["virtual_time"] == stats_inert["virtual_time"]
+    assert trace_none == trace_inert
+    assert stats_inert["faults"] == []  # installed, but nothing ever fired
 
 
 def test_fastpath_env_toggle(monkeypatch):

@@ -48,3 +48,7 @@ def test_auto_backend_example():
 
 def test_jacobi2d_tiles_example():
     run_example("jacobi2d_tiles.py", ["4", "48"])
+
+
+def test_jacobi_fault_recovery_example():
+    run_example("jacobi_fault_recovery.py", ["4", "48"])
