@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke bench-wallclock faults-demo
+.PHONY: test perf-smoke bench-wallclock faults-demo obs-smoke check-deprecations
 
 # Tier-1: the full deterministic test suite.
 test:
@@ -19,6 +19,25 @@ perf-smoke:
 # checkpoint rollback, verified bitwise against the serial reference.
 faults-demo:
 	$(PYTHON) examples/jacobi_fault_recovery.py 4 64
+
+# Observability smoke: run `repro report` on a 4-rank Jacobi and assert the
+# emitted JSON satisfies the repro.obs.report schema with a populated
+# breakdown and critical path (docs/OBSERVABILITY.md).
+obs-smoke:
+	$(PYTHON) -m repro report --gpus 4 --size 64 --iters 8 --metrics-out /tmp/obs_report.json
+	$(PYTHON) -c "import json; from repro.obs import validate_report; \
+	doc = json.load(open('/tmp/obs_report.json')); validate_report(doc); \
+	assert len(doc['ranks']) == 4 and doc['critical_path'] and doc['metrics']['counters']; \
+	print('obs-smoke OK')"
+
+# Deprecation lane: the new keyword-only API surface must be warning-clean.
+# Old-API tier-1 tests keep running under the default filters elsewhere;
+# here DeprecationWarning is a hard error over the new-API tests and the
+# migrated examples.
+check-deprecations:
+	$(PYTHON) -m pytest -q -W error::DeprecationWarning tests/obs tests/core/test_api_shims.py tests/core/test_split_equivalence.py
+	$(PYTHON) -W error::DeprecationWarning examples/quickstart.py
+	$(PYTHON) -W error::DeprecationWarning examples/jacobi2d.py perlmutter 4 64
 
 # Full-scale wall-clock benchmark; rewrites the committed baseline.
 bench-wallclock:

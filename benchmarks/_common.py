@@ -47,3 +47,38 @@ def cg_sizes() -> dict:
 
 def cg_iters() -> int:
     return 100 if SCALE == "paper" else 12
+
+
+def jacobi_attribution(variant: str, nranks: int = 4, machine: str = "perlmutter",
+                       nx: int = 128, iters: int = 10) -> dict:
+    """Where a Jacobi run's time goes, per the observability subsystem.
+
+    Runs the variant once at obs level "spans" and reduces the per-rank
+    compute/comm/sync/idle breakdown (docs/OBSERVABILITY.md) to makespan
+    shares, so EXPERIMENTS.md can attribute each variant's overhead rather
+    than just report its total.
+    """
+    from repro.apps.jacobi import JacobiConfig, launch_variant
+    from repro.obs import analyze_records
+    from repro.sim import Tracer
+
+    cfg = JacobiConfig(nx=nx, ny=nx + 2, iters=iters, warmup=max(1, iters // 10))
+    tracer = Tracer()
+    report = launch_variant(variant, cfg, nranks, machine=machine,
+                            tracer=tracer, obs="spans")
+    analysis = analyze_records(tracer.records, n_ranks=nranks,
+                               total_time=report.stats.get("virtual_time"))
+    total = analysis.total_time or 1.0
+    shares = {"compute": 0.0, "comm": 0.0, "sync": 0.0, "idle": 0.0}
+    for rank in analysis.ranks:
+        for bucket in shares:
+            shares[bucket] += getattr(rank, bucket)
+    n = max(1, len(analysis.ranks))
+    critical = sum(seg.duration for seg in analysis.critical_path)
+    return {
+        "variant": variant,
+        "nranks": nranks,
+        "virtual_time_s": total,
+        "shares_pct": {k: 100.0 * v / (n * total) for k, v in shares.items()},
+        "critical_path_pct": 100.0 * critical / total,
+    }

@@ -1,0 +1,52 @@
+"""Overhead attribution for the Jacobi variants (beyond the paper).
+
+The paper reports *total* Uniconn-vs-native differences; with the
+observability subsystem (docs/OBSERVABILITY.md) we can also say where the
+time goes. Each variant runs once at obs level "spans"; the per-rank
+compute/comm/sync/idle breakdown and critical-path coverage land in
+``results/obs_attribution.json`` and the matching EXPERIMENTS.md section.
+
+Run: ``python -m benchmarks.bench_obs_attribution``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks._common import jacobi_attribution
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+OUT = os.path.join(HERE, "results", "obs_attribution.json")
+
+VARIANTS = [
+    "uniconn:mpi",
+    "uniconn:gpuccl",
+    "uniconn:gpushmem",
+    "uniconn:gpushmem:PureDevice",
+    "mpi-native",
+    "gpuccl-native",
+]
+
+
+def run() -> dict:
+    results = {}
+    for variant in VARIANTS:
+        results[variant] = jacobi_attribution(variant, nranks=4)
+        shares = results[variant]["shares_pct"]
+        print(f"{variant:30s} compute {shares['compute']:5.1f}%  "
+              f"comm {shares['comm']:5.1f}%  sync {shares['sync']:5.1f}%  "
+              f"idle {shares['idle']:5.1f}%")
+    return results
+
+
+def main() -> None:
+    results = run()
+    os.makedirs(os.path.dirname(OUT), exist_ok=True)
+    with open(OUT, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -63,18 +63,18 @@ OSU_CFG = {
 def _run_jacobi(backend: str, scale: str) -> dict:
     nx, ny, iters, warmup = JACOBI_DIMS[scale]
     cfg = JacobiConfig(nx=nx, ny=ny, iters=iters, warmup=warmup)
-    stats: dict = {}
     t0 = time.perf_counter()
-    launch_variant(backend, cfg, JACOBI_RANKS, stats_out=stats)
+    report = launch_variant(backend, cfg, JACOBI_RANKS)
+    stats = dict(report.stats)
     stats["host_seconds"] = time.perf_counter() - t0
     return stats
 
 
 def _run_osu(scale: str) -> dict:
     cfg = OSU_CFG[scale]
-    stats: dict = {}
     t0 = time.perf_counter()
-    launch(BANDWIDTH_VARIANTS["mpi-native"], 2, args=(cfg,), stats_out=stats)
+    report = launch(BANDWIDTH_VARIANTS["mpi-native"], 2, args=(cfg,))
+    stats = dict(report.stats)
     stats["host_seconds"] = time.perf_counter() - t0
     return stats
 

@@ -55,14 +55,13 @@ def main():
     print(f"Jacobi {cfg.nx}x{cfg.ny}, {cfg.iters} iters on {gpus} GPUs (perlmutter)")
     print(f"{'scenario':42s} {'virtual time':>13s} {'faults':>7s} {'rollbacks':>10s}")
     for variant, plan, label in runs:
-        stats = {}
         results = launch_variant(variant, cfg, gpus, collect=True,
-                                 stats_out=stats, fault_plan=plan, fault_seed=1)
+                                 fault_plan=plan, fault_seed=1)
         ok = np.array_equal(assemble(cfg, results), reference)
         assert ok, f"{label}: diverged from the serial reference"
-        n_faults = len(stats.get("faults", ()))
+        n_faults = len(results.faults)
         restarts = max(r.restarts for r in results)
-        print(f"{label:42s} {stats['virtual_time'] * 1e3:10.4f} ms "
+        print(f"{label:42s} {results.stats['virtual_time'] * 1e3:10.4f} ms "
               f"{n_faults:>7d} {restarts:>10d}")
     print("all runs bitwise-identical to the serial solver; "
           "faults cost time, never correctness")

@@ -20,39 +20,38 @@ BACKEND = sys.argv[1] if len(sys.argv) > 1 else "gpuccl"
 
 def app(ctx):
     # Setup (paper Listing 4): Environment -> device -> Communicator.
-    env = Environment(BACKEND, ctx)
-    env.set_device(env.node_rank())
-    comm = Communicator(env)
-    stream = env.device.create_stream()
-    coord = Coordinator(env, stream)
+    # Both are context managers; teardown happens in reverse order on exit.
+    with Environment(ctx, backend=BACKEND) as env:
+        env.set_device(env.node_rank())
+        with Communicator(env) as comm:
+            stream = env.device.create_stream()
+            coord = Coordinator(env, stream=stream)
 
-    p, me = comm.global_size(), comm.global_rank()
-    right, left = (me + 1) % p, (me - 1 + p) % p
+            p, me = comm.global_size(), comm.global_rank()
+            right, left = (me + 1) % p, (me - 1 + p) % p
 
-    # Communication buffers come from Memory (symmetric under GPUSHMEM).
-    send = Memory.alloc(env, 4)
-    recv = Memory.alloc(env, 4)
-    sig = Memory.alloc(env, 1, np.uint64) if env.backend.supports_device_api else None
-    send.write(np.full(4, float(me), np.float32))
-    comm.barrier(stream)
+            # Communication buffers come from Memory (symmetric under GPUSHMEM).
+            send = Memory.alloc(env, 4)
+            recv = Memory.alloc(env, 4)
+            sig = (Memory.alloc(env, 1, dtype=np.uint64)
+                   if env.backend.supports_device_api else None)
+            send.write(np.full(4, float(me), np.float32))
+            comm.barrier(stream=stream)
 
-    # One halo exchange: Post to the right, Acknowledge from the left.
-    coord.comm_start()
-    coord.post(send, recv, 4, sig, 1, right, comm)
-    coord.acknowledge(recv, 4, sig, 1, left, comm)
-    coord.comm_end()
+            # One halo exchange: Post to the right, Acknowledge from the left.
+            coord.comm_start()
+            coord.post(send, recv, 4, sig, 1, right, comm)
+            coord.acknowledge(recv, 4, sig, 1, left, comm)
+            coord.comm_end()
 
-    # And a collective: global sum of the rank ids.
-    total = Memory.alloc(env, 1)
-    mine = Memory.alloc(env, 1)
-    mine.write(np.array([float(me)], np.float32))
-    coord.all_reduce(mine, total, 1, "sum", comm)
+            # And a collective: global sum of the rank ids.
+            total = Memory.alloc(env, 1)
+            mine = Memory.alloc(env, 1)
+            mine.write(np.array([float(me)], np.float32))
+            coord.all_reduce(mine, total, 1, "sum", comm)
 
-    stream.synchronize()
-    got = recv.read()[0]
-    sum_ = total.read()[0]
-    env.close()
-    return me, got, sum_
+            stream.synchronize()
+            return me, recv.read()[0], total.read()[0]
 
 
 def main():

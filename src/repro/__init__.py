@@ -31,7 +31,7 @@ from .core import (
     ReductionOperator,
     ThreadGroup,
 )
-from .launcher import Job, RankContext, launch
+from .launcher import Job, RankContext, RunReport, launch
 
 __version__ = "1.0.0"
 
@@ -54,5 +54,6 @@ __all__ = [
     "launch",
     "Job",
     "RankContext",
+    "RunReport",
     "__version__",
 ]

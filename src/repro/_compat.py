@@ -1,0 +1,27 @@
+"""Deprecation shims for the pre-observability API surface.
+
+The core-four classes (Environment/Communicator/Coordinator/Memory) and
+``launcher.launch`` moved optional parameters to keyword-only form; the old
+positional spellings keep working through these warn-once shims. Each
+distinct call shape warns a single time per process so migrated code stays
+quiet and unmigrated code is nudged without drowning output — and the CI
+deprecation lane (``-W error::DeprecationWarning``) turns any use into a
+hard failure for code that claims to be on the new API.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_once"]
+
+_warned: Set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` once per process for each distinct key."""
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)

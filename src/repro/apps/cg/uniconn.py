@@ -65,15 +65,15 @@ def run(
     collect: bool = False,
 ) -> CgResult:
     """Run the Uniconn CG on this rank for any backend/launch mode."""
-    env = Environment(backend, rank_ctx)
+    env = Environment(rank_ctx, backend=backend)
     env.set_device(env.node_rank())
     comm = Communicator(env)
     device = env.device
     stream = device.create_stream()
-    coord = Coordinator(env, stream, launch_mode=launch_mode)
+    coord = Coordinator(env, stream=stream, launch_mode=launch_mode)
     mode = coord.launch_mode
 
-    state = setup_state(rank_ctx, problem, alloc_comm=lambda n: Memory.alloc(env, n, np.float64))
+    state = setup_state(rank_ctx, problem, alloc_comm=lambda n: Memory.alloc(env, n, dtype=np.float64))
     grid, block = dim3(max(1, state.n_local // 256)), dim3(256)
 
     coord.all_reduce(IN_PLACE, state.rs, 1, "sum", comm)
@@ -101,6 +101,6 @@ def run(
             coord.all_reduce(IN_PLACE, state.rs_new, 1, "sum", comm)
             device.launch(k_pupdate, grid, block, args=(state,), stream=stream)
 
-    result = measure_cg(rank_ctx, cfg, stream, iteration, lambda: comm.barrier(stream), collect, state)
+    result = measure_cg(rank_ctx, cfg, stream, iteration, lambda: comm.barrier(stream=stream), collect, state)
     env.close()
     return result

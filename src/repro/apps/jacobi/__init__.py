@@ -65,8 +65,17 @@ def run_variant(rank_ctx: RankContext, variant: str, cfg: JacobiConfig, collect:
 def launch_variant(variant: str, cfg: JacobiConfig, nranks: int, machine="perlmutter",
                    collect=False, stats_out: Optional[dict] = None,
                    tracer: Optional[Tracer] = None,
-                   fault_plan=None, fault_seed: Optional[int] = None):
-    """Launch a whole Jacobi job for one variant; returns per-rank results."""
-    return launch(run_variant, nranks, machine=machine, args=(variant, cfg, collect),
-                  stats_out=stats_out, tracer=tracer,
-                  fault_plan=fault_plan, fault_seed=fault_seed)
+                   fault_plan=None, fault_seed: Optional[int] = None,
+                   *, obs: Optional[str] = None, trace_out: Optional[str] = None):
+    """Launch a whole Jacobi job for one variant.
+
+    Returns the :class:`~repro.launcher.RunReport` (a list of per-rank
+    results carrying ``stats``/``metrics``/``faults``). ``stats_out`` is
+    still filled when given, for callers predating the report object.
+    """
+    report = launch(run_variant, nranks, machine=machine, args=(variant, cfg, collect),
+                    tracer=tracer, fault_plan=fault_plan, fault_seed=fault_seed,
+                    obs=obs, trace_out=trace_out)
+    if stats_out is not None:
+        stats_out.update(report.stats)
+    return report

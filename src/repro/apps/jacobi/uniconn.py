@@ -81,20 +81,20 @@ def run(
 ) -> JacobiResult:
     # --- Setup phase (Listing 4, lines 1-29) -------------------------- #
     """Run the Uniconn Jacobi on this rank for any backend/launch mode."""
-    env = Environment(backend, rank_ctx)
+    env = Environment(rank_ctx, backend=backend)
     env.set_device(env.node_rank())
     comm = Communicator(env)
     device = env.device
     stream = device.create_stream()
-    coord = Coordinator(env, stream, launch_mode=launch_mode)
+    coord = Coordinator(env, stream=stream, launch_mode=launch_mode)
     mode = coord.launch_mode
 
     needs_sig = coord.uses_signals
     state = make_state(
         rank_ctx,
         cfg,
-        alloc_comm=lambda n: Memory.alloc(env, n, np.float32),
-        alloc_sig=(lambda n: Memory.alloc(env, n, np.uint64)) if needs_sig else None,
+        alloc_comm=lambda n: Memory.alloc(env, n, dtype=np.float32),
+        alloc_sig=(lambda n: Memory.alloc(env, n, dtype=np.uint64)) if needs_sig else None,
     )
     part = state.part
     nx = cfg.nx
@@ -109,7 +109,7 @@ def run(
                           args=lambda: (state.freeze(), comm_d))
         coord.bind_kernel(LaunchMode.PureDevice, _jacobi_f_dev, d_grid, d_block,
                           args=lambda: (state.freeze(), comm_d))
-    comm.barrier(stream)
+    comm.barrier(stream=stream)
 
     # --- Progression: the time loop (Listing 4, lines 30-41) ---------- #
     def step() -> None:
@@ -136,7 +136,7 @@ def run(
         coord.comm_end()
         state.swap()
 
-    total, per_iter = measure_loop(rank_ctx, cfg, stream, step, lambda: comm.barrier(stream))
+    total, per_iter = measure_loop(rank_ctx, cfg, stream, step, lambda: comm.barrier(stream=stream))
     stream.synchronize()
 
     # --- Termination (Listing 4, lines 42-49; Environment is RAII) ---- #

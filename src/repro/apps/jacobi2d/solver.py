@@ -161,12 +161,12 @@ def run_2d(
     collect: bool = False,
 ) -> Jacobi2DResult:
     """Run the 2D-decomposed Uniconn Jacobi on this rank."""
-    env = Environment(backend, rank_ctx)
+    env = Environment(rank_ctx, backend=backend)
     env.set_device(env.node_rank())
     comm = Communicator(env)
     device = env.device
     stream = device.create_stream()
-    coord = Coordinator(env, stream, launch_mode=launch_mode)
+    coord = Coordinator(env, stream=stream, launch_mode=launch_mode)
     mode = coord.launch_mode
 
     grid = make_grid(cfg.nx, cfg.ny, rank_ctx.world_size)
@@ -185,7 +185,7 @@ def run_2d(
     )
     halo_in = (Memory.alloc(env, strip), Memory.alloc(env, strip))
     bound_out = Memory.alloc(env, strip)
-    sig = Memory.alloc(env, 8, np.uint64) if coord.uses_signals else None
+    sig = Memory.alloc(env, 8, dtype=np.uint64) if coord.uses_signals else None
     state = _State(tile, a, anew, halo_in, bound_out, sig)
 
     bx, by = 16, 16
@@ -196,7 +196,7 @@ def run_2d(
         comm_d = comm.to_device()
         coord.bind_kernel(LaunchMode.PureDevice, _device_kernel, h_grid, dim3(bx, by),
                           args=lambda: (state.freeze(), comm_d))
-    comm.barrier(stream)
+    comm.barrier(stream=stream)
 
     def step() -> None:
         coord.launch_kernel()
@@ -217,7 +217,7 @@ def run_2d(
 
     for _ in range(cfg.warmup):
         step()
-    comm.barrier(stream)
+    comm.barrier(stream=stream)
     stream.synchronize()
     start, end = GpuEvent(device, "j2d-start"), GpuEvent(device, "j2d-end")
     start.record(stream)

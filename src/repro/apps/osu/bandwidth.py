@@ -208,19 +208,19 @@ def bandwidth_gpushmem_device_native(ctx: RankContext, cfg: OsuConfig) -> Dict[i
 
 
 def _bandwidth_uniconn_host(ctx: RankContext, cfg: OsuConfig, backend: str) -> Dict[int, float]:
-    env = Environment(backend, ctx)
+    env = Environment(ctx, backend=backend)
     env.set_device(env.node_rank())
     comm = Communicator(env)
     stream = env.device.create_stream()
-    coord = Coordinator(env, stream, launch_mode="PureHost")
+    coord = Coordinator(env, stream=stream, launch_mode="PureHost")
     me, peer = comm.global_rank(), 1 - comm.global_rank()
     has_sig = env.backend.supports_device_api
     out = {}
     for nbytes in cfg.sizes:
         n = _count(nbytes)
-        data = Memory.alloc(env, n * cfg.window, np.float32)
-        rbuf = Memory.alloc(env, n * cfg.window, np.float32)
-        sig = Memory.alloc(env, 2, np.uint64) if has_sig else None
+        data = Memory.alloc(env, n * cfg.window, dtype=np.float32)
+        rbuf = Memory.alloc(env, n * cfg.window, dtype=np.float32)
+        sig = Memory.alloc(env, 2, dtype=np.uint64) if has_sig else None
         seq = {"it": 0}
 
         def one_round():
@@ -244,7 +244,7 @@ def _bandwidth_uniconn_host(ctx: RankContext, cfg: OsuConfig, backend: str) -> D
                 coord.post(data.offset_by(0, 1), rbuf.offset_by(0, 1), 1, s1, it, peer, comm)
 
         out[nbytes] = _measure_bw(ctx.engine, cfg, nbytes, one_round, sync=stream.synchronize)
-        comm.barrier(stream)
+        comm.barrier(stream=stream)
         stream.synchronize()
         if sig is not None:
             Memory.free(env, sig)
@@ -281,18 +281,18 @@ def _bandwidth_uniconn_device(ctx: RankContext, cfg: OsuConfig) -> Dict[int, flo
     from ...core import Coordinator, LaunchMode
     from ...bench.timing import paper_mean as _pm
 
-    env = Environment("gpushmem", ctx)
+    env = Environment(ctx, backend="gpushmem")
     env.set_device(env.node_rank())
     comm = Communicator(env)
     stream = env.device.create_stream()
-    coord = Coordinator(env, stream, launch_mode="PureDevice")
+    coord = Coordinator(env, stream=stream, launch_mode="PureDevice")
     comm_d = comm.to_device()
     out = {}
     for nbytes in cfg.sizes:
         n = _count(nbytes)
-        data = Memory.alloc(env, n * cfg.window, np.float32)
-        rbuf = Memory.alloc(env, n * cfg.window, np.float32)
-        sig = Memory.alloc(env, 2, np.uint64)
+        data = Memory.alloc(env, n * cfg.window, dtype=np.float32)
+        rbuf = Memory.alloc(env, n * cfg.window, dtype=np.float32)
+        sig = Memory.alloc(env, 2, dtype=np.uint64)
         iters, warmup = cfg.iters_for(nbytes)
 
         def reset_signals():

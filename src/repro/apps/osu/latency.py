@@ -204,18 +204,18 @@ def latency_gpushmem_device_native(ctx: RankContext, cfg: OsuConfig) -> Dict[int
 
 
 def _latency_uniconn_host(ctx: RankContext, cfg: OsuConfig, backend: str) -> Dict[int, float]:
-    env = Environment(backend, ctx)
+    env = Environment(ctx, backend=backend)
     env.set_device(env.node_rank())
     comm = Communicator(env)
     stream = env.device.create_stream()
-    coord = Coordinator(env, stream, launch_mode="PureHost")
+    coord = Coordinator(env, stream=stream, launch_mode="PureHost")
     me, peer = comm.global_rank(), 1 - comm.global_rank()
     out = {}
     for nbytes in cfg.sizes:
         n = _count(nbytes)
-        data = Memory.alloc(env, n, np.float32)
-        rbuf = Memory.alloc(env, n, np.float32)
-        sig = Memory.alloc(env, 2, np.uint64) if coord.uses_signals else None
+        data = Memory.alloc(env, n, dtype=np.float32)
+        rbuf = Memory.alloc(env, n, dtype=np.float32)
+        sig = Memory.alloc(env, 2, dtype=np.uint64) if coord.uses_signals else None
         seq = {"it": 0}
 
         def one_round():
@@ -231,7 +231,7 @@ def _latency_uniconn_host(ctx: RankContext, cfg: OsuConfig, backend: str) -> Dic
                 coord.post(data, rbuf, n, s1, it, peer, comm)
 
         out[nbytes] = _measure(ctx.engine, cfg, nbytes, one_round, sync=stream.synchronize)
-        comm.barrier(stream)
+        comm.barrier(stream=stream)
         stream.synchronize()
         if sig is not None:
             Memory.free(env, sig)
@@ -259,18 +259,18 @@ def _latency_uniconn_dev_kernel(ctx, data, rbuf, sig, n, rounds, comm_d, out_tim
 
 
 def _latency_uniconn_device(ctx: RankContext, cfg: OsuConfig) -> Dict[int, float]:
-    env = Environment("gpushmem", ctx)
+    env = Environment(ctx, backend="gpushmem")
     env.set_device(env.node_rank())
     comm = Communicator(env)
     stream = env.device.create_stream()
-    coord = Coordinator(env, stream, launch_mode="PureDevice")
+    coord = Coordinator(env, stream=stream, launch_mode="PureDevice")
     comm_d = comm.to_device()
     out = {}
     for nbytes in cfg.sizes:
         n = _count(nbytes)
-        data = Memory.alloc(env, n, np.float32)
-        rbuf = Memory.alloc(env, n, np.float32)
-        sig = Memory.alloc(env, 2, np.uint64)
+        data = Memory.alloc(env, n, dtype=np.float32)
+        rbuf = Memory.alloc(env, n, dtype=np.float32)
+        sig = Memory.alloc(env, 2, dtype=np.uint64)
         iters, warmup = cfg.iters_for(nbytes)
         samples = []
         def reset_signals():

@@ -15,6 +15,7 @@ import numpy as np
 
 from ...errors import GpucclError
 from ...gpu.stream import ExternalOp, Stream
+from ...obs import size_class
 from ..common import BufferLike, apply_reduce, as_array
 
 __all__ = ["all_reduce", "broadcast", "reduce", "all_gather", "reduce_scatter"]
@@ -93,6 +94,11 @@ class _CollSlot:
 def _submit(comm, stream: Stream, kind: str, send: BufferLike, recv: Optional[BufferLike],
             count: int, snapshot_count: int, op: Optional[str], root: Optional[int]) -> None:
     comm._check(0 if root is None else root)
+    metrics = comm.engine.metrics
+    if metrics.enabled:
+        nbytes = int(count * as_array(send).dtype.itemsize)
+        metrics.inc("gpuccl_collectives_total", kind=kind, algorithm="ring",
+                    size=size_class(nbytes), rank=comm.rank)
     comm._coll_seq += 1
     seq = comm._coll_seq
     shared = comm.shared

@@ -21,6 +21,7 @@ import numpy as np
 from ...errors import GpucclError
 from ...gpu.stream import ExternalOp, Stream
 from ...launcher import RankContext
+from ...obs import record_transfer, size_class
 from ..common import BufferLike, as_array
 from ..rendezvous import RendezvousBoard
 from .rings import RingModel
@@ -78,6 +79,10 @@ class _FusedOp(ExternalOp):
 
     def _launch(self, _op: ExternalOp) -> None:
         profile = self.comm.profile
+        metrics = self.engine.metrics
+        if metrics.enabled:
+            metrics.observe("gpuccl_group_size", len(self.entries),
+                            rank=self.comm.rank)
         delay = profile.comm_launch_overhead + profile.per_op_overhead * len(self.entries)
 
         def register() -> None:
@@ -132,7 +137,14 @@ class _CommShared:
                 f"({send.src}->{send.dst})"
             )
         path = self.cluster.path(self.gpu_ids[send.src], self.gpu_ids[send.dst])
-        transfer = path.reserve(self.engine.now + self.profile.protocol_overhead, send.nbytes)
+        requested = self.engine.now + self.profile.protocol_overhead
+        transfer = path.reserve(requested, send.nbytes)
+        metrics = self.engine.metrics
+        if metrics.enabled:
+            record_transfer(metrics, "gpuccl", requested, transfer)
+            metrics.inc("gpuccl_messages_total", size=size_class(send.nbytes),
+                        rank=send.src)
+            metrics.inc("gpuccl_bytes_total", send.nbytes, rank=send.src)
         payload = as_array(send.buf, send.count).copy()
 
         def deliver() -> None:
@@ -328,6 +340,11 @@ class GpucclComm:
         group = sorted((p for p in payloads.values() if p[0] == color), key=lambda p: (p[1], p[2]))
         new_rank = [g for _, _, g in group].index(self.rank)
         return GpucclComm(self.rank_ctx, uid[color], len(group), new_rank)
+
+    @property
+    def destroyed(self) -> bool:
+        """True once the communicator was destroyed or aborted."""
+        return self._destroyed
 
     def destroy(self) -> None:
         """ncclCommDestroy."""

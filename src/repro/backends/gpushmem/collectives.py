@@ -197,6 +197,10 @@ class ShmemTeam:
         snapshot_count: Optional[int] = None,
     ):
         """Join a collective; blocks the task, or enqueues on ``stream``."""
+        metrics = self.world.engine.metrics
+        if metrics.enabled:
+            metrics.inc("shmem_collectives_total", kind=kind, algorithm="put-tree",
+                        team_size=self.size, rank=self.members[self.my_pe])
         slot = self._slot(kind, count, op, root)
         n_snap = count if snapshot_count is None else snapshot_count
         team_pe = self.my_pe

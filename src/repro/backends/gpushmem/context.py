@@ -190,6 +190,7 @@ class ShmemContext:
         injection — raises :class:`~repro.errors.SimTimeoutError` instead of
         hanging the simulation.
         """
+        self.engine.metrics.inc("shmem_signal_waits_total", kind="host", rank=self.my_pe)
         wait_until(sig.obj.updated, _signal_predicate(sig, cmp, value),
                    timeout=timeout,
                    what=f"signal_wait_until(sym{sig.obj.index} {cmp} {value}) on PE {self.my_pe}")
@@ -255,6 +256,7 @@ class ShmemContext:
     def signal_wait_until_on_stream(self, sig: SymBuffer, cmp: str, value: int,
                                     stream: Stream) -> None:
         """Block the *stream* until the local signal satisfies the compare."""
+        self.engine.metrics.inc("shmem_signal_waits_total", kind="stream", rank=self.my_pe)
         pred = _signal_predicate(sig, cmp, value)
 
         def on_start(op: ExternalOp) -> None:

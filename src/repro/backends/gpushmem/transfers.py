@@ -14,6 +14,7 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 
 from ...errors import GpushmemError
+from ...obs import record_transfer, size_class
 from ..common import BufferLike, as_array
 from .heap import SIGNAL_ADD, SIGNAL_SET, SymBuffer
 
@@ -72,6 +73,11 @@ def issue_put(
         raise GpushmemError(f"invalid bandwidth penalty {bandwidth_penalty}")
     effective = int(np.ceil(nbytes / bandwidth_penalty))
     transfer = path.reserve(engine.now + extra_latency, effective)
+    metrics = engine.metrics
+    if metrics.enabled:
+        record_transfer(metrics, "gpushmem", engine.now + extra_latency, transfer)
+        metrics.inc("shmem_puts_total", size=size_class(nbytes), rank=src_pe)
+        metrics.inc("shmem_bytes_total", nbytes, op="put", rank=src_pe)
 
     if on_local_done is not None:
         engine.schedule(max(0.0, transfer.inject_done - engine.now), on_local_done)
@@ -126,6 +132,11 @@ def issue_get(
     path = world.cluster.path(world.gpu_of(dst_pe), world.gpu_of(src_pe))
     effective = int(np.ceil(nbytes / bandwidth_penalty))
     transfer = path.reserve(engine.now + extra_latency, effective)
+    metrics = engine.metrics
+    if metrics.enabled:
+        record_transfer(metrics, "gpushmem", engine.now + extra_latency, transfer)
+        metrics.inc("shmem_gets_total", size=size_class(nbytes), rank=src_pe)
+        metrics.inc("shmem_bytes_total", nbytes, op="get", rank=src_pe)
 
     def deliver() -> None:
         as_array(dest)[:count] = src_view.data[:count]

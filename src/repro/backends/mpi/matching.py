@@ -24,6 +24,7 @@ import numpy as np
 
 from ...errors import MpiError, MpiTimeoutError
 from ...hardware.profiles import MpiProfile
+from ...obs import record_transfer, size_class
 from ..common import BufferLike, as_array
 from .request import Request
 
@@ -130,11 +131,13 @@ class MessageEngine:
         request = Request(self.engine, f"send[{src}->{dst} tag={tag}]")
 
         def register() -> None:
+            metrics = self.engine.metrics
             path = self.path_between(comm, src, dst)
             if nbytes <= profile.eager_threshold:
                 rec = _SendRec(src, tag, count, nbytes, "eager")
                 rec.data = arr[:count].copy()
                 transfer = path.reserve(self.engine.now, nbytes)
+                record_transfer(metrics, "mpi", self.engine.now, transfer)
                 rec.arrival_time = transfer.delivered
                 # The sender's buffer is free once the payload is on the wire.
                 self.engine.schedule(
@@ -145,6 +148,10 @@ class MessageEngine:
                 rec.src_buf = buf
                 rec.path = path
             rec.request = request
+            if metrics.enabled:
+                metrics.inc("mpi_messages_total", protocol=rec.kind,
+                            size=size_class(nbytes), rank=src)
+                metrics.inc("mpi_bytes_total", nbytes, protocol=rec.kind, rank=src)
             self.engine.trace("mpi.send", src=src, dst=dst, tag=tag, nbytes=nbytes,
                               protocol=rec.kind, comm=comm.comm_id)
             sends, recvs = self._queues(comm.comm_id, dst)
@@ -158,6 +165,11 @@ class MessageEngine:
                     self._fire(comm, profile, rec, recv, dst)
                     return
             sends.append(rec)
+            # Depth of the unexpected-message queue at this receiver; the
+            # high-water mark surfaces receives posted chronically late.
+            if metrics.enabled:
+                metrics.set_gauge("mpi_match_queue_depth", len(sends),
+                                  queue="unexpected", rank=dst)
 
         if defer > 0:
             self.engine.schedule(defer, register)
@@ -197,6 +209,10 @@ class MessageEngine:
                     self._fire(comm, profile, send, rec, dst)
                     return
             recvs.append(rec)
+            metrics = self.engine.metrics
+            if metrics.enabled:
+                metrics.set_gauge("mpi_match_queue_depth", len(recvs),
+                                  queue="posted", rank=dst)
 
         if defer > 0:
             self.engine.schedule(defer, register)
@@ -242,6 +258,7 @@ class MessageEngine:
 
             def start_transfer() -> None:
                 transfer = send.path.reserve(self.engine.now, send.nbytes)
+                record_transfer(self.engine.metrics, "mpi", self.engine.now, transfer)
                 payload = as_array(send.src_buf, send.count).copy()
                 self.engine.schedule(
                     max(0.0, transfer.inject_done - self.engine.now),
@@ -323,6 +340,7 @@ class MessageEngine:
                     engine.schedule(copy_cost, deliver_from(send.data))
                 else:
                     transfer = path.reserve(engine.now, send.nbytes)
+                    record_transfer(engine.metrics, "mpi", engine.now, transfer)
                     if send.kind == "rdv" and not send.request.done:
                         engine.schedule(
                             max(0.0, transfer.inject_done - engine.now),

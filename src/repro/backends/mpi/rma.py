@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ...errors import MpiError
+from ...obs import record_transfer, size_class
 from ...sim import Broadcast, Counter, SimEvent, wait_until
 from ..common import BufferLike, apply_reduce, as_array
 
@@ -95,6 +96,12 @@ class MpiWindow:
     def _launch(self, target: int, nbytes: int, on_delivered: Callable[[], None]) -> None:
         self.engine.sleep(self.ctx.profile.host_call_overhead)
         transfer = self._path_to(target).reserve(self.engine.now, nbytes)
+        metrics = self.engine.metrics
+        if metrics.enabled:
+            record_transfer(metrics, "mpi", self.engine.now, transfer)
+            metrics.inc("mpi_rma_messages_total", size=size_class(nbytes),
+                        rank=self.comm.rank)
+            metrics.inc("mpi_rma_bytes_total", nbytes, rank=self.comm.rank)
         self._outstanding.add(1)
         self._per_target[target] = self._per_target.get(target, 0) + 1
 

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro bandwidth --variant gpuccl-native
     python -m repro tune    --machine perlmutter -o table.json
     python -m repro trace   --out trace.json     # Chrome-trace of a Jacobi run
+    python -m repro report  --gpus 4             # per-rank time breakdown
 """
 
 from __future__ import annotations
@@ -91,6 +92,25 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--gpus", type=int, default=4)
     sp.add_argument("--out", default="trace.json")
     _fault_args(sp)
+
+    sp = sub.add_parser(
+        "report", help="run a Jacobi job with span tracing and print the "
+                       "per-rank compute/comm/sync/idle breakdown",
+        epilog="The analysis (docs/OBSERVABILITY.md) runs at obs level "
+               "'spans'; --metrics-out writes the full report document "
+               "(schema repro.obs.report) as JSON for tooling.")
+    common(sp)
+    sp.add_argument("--backend", default="gpuccl")
+    sp.add_argument("--mode", default="PureHost",
+                    choices=["PureHost", "PartialDevice", "PureDevice"])
+    sp.add_argument("--gpus", type=int, default=4)
+    sp.add_argument("--size", type=int, default=128, help="grid edge (nx)")
+    sp.add_argument("--iters", type=int, default=10)
+    sp.add_argument("--metrics-out", default=None, metavar="FILE",
+                    help="write the JSON report document here")
+    sp.add_argument("--trace-out", default=None, metavar="FILE",
+                    help="also write the Chrome trace (with spans) here")
+    _fault_args(sp)
     return p
 
 
@@ -113,22 +133,20 @@ def _cmd_jacobi(args, out) -> int:
 
     cfg = JacobiConfig(nx=args.size, ny=args.size + 2, iters=args.iters,
                        warmup=max(1, args.iters // 10))
-    stats: dict = {}
     if args.resilient:
         variant = "mpi-resilient"
         results = launch(resilient.run, args.gpus, machine=args.machine,
                          args=(cfg, args.verify, args.checkpoint_every),
-                         stats_out=stats,
                          fault_plan=args.fault_spec, fault_seed=args.fault_seed)
     else:
         variant = f"uniconn:{args.backend}" + ("" if args.mode == "PureHost" else f":{args.mode}")
         results = launch_variant(variant, cfg, args.gpus, machine=args.machine,
-                                 collect=args.verify, stats_out=stats,
+                                 collect=args.verify,
                                  fault_plan=args.fault_spec, fault_seed=args.fault_seed)
     t = max(r.time_per_iter for r in results)
     print(f"jacobi {cfg.nx}x{cfg.ny} x{args.gpus} GPUs [{variant}] on {args.machine}: "
           f"{t * 1e6:.2f} us/iter", file=out)
-    for when, kind, fields in stats.get("faults", ()):
+    for when, kind, fields in results.faults:
         detail = " ".join(f"{k}={v}" for k, v in fields.items())
         print(f"  fault t={when:.6g}s {kind} {detail}", file=out)
     restarts = max((getattr(r, "restarts", 0) for r in results), default=0)
@@ -205,6 +223,44 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _cmd_report(args, out) -> int:
+    from .apps.jacobi import JacobiConfig, launch_variant
+    from .obs import SCHEMA_NAME, SCHEMA_VERSION, analyze_records, format_report, validate_report
+    from .sim import Tracer
+
+    variant = f"uniconn:{args.backend}" + ("" if args.mode == "PureHost" else f":{args.mode}")
+    cfg = JacobiConfig(nx=args.size, ny=args.size + 2, iters=args.iters,
+                       warmup=max(1, args.iters // 10))
+    tracer = Tracer()
+    report = launch_variant(variant, cfg, args.gpus, machine=args.machine,
+                            tracer=tracer, obs="spans", trace_out=args.trace_out,
+                            fault_plan=args.fault_spec, fault_seed=args.fault_seed)
+    analysis = analyze_records(tracer.records, n_ranks=args.gpus,
+                               total_time=report.stats.get("virtual_time"))
+    print(f"jacobi {cfg.nx}x{cfg.ny} x{args.gpus} GPUs [{variant}] on {args.machine}",
+          file=out)
+    print(format_report(analysis), file=out)
+    if args.trace_out:
+        print(f"chrome trace -> {args.trace_out}", file=out)
+    if args.metrics_out:
+        import json
+
+        doc = {"schema": SCHEMA_NAME, "version": SCHEMA_VERSION}
+        doc.update(analysis.as_dict())
+        doc["metrics"] = report.metrics.as_dict()
+        doc["stats"] = {k: v for k, v in report.stats.items() if k != "faults"}
+        doc["faults"] = [
+            {"t": when, "kind": kind, "fields": dict(fields)}
+            for when, kind, fields in report.faults
+        ]
+        validate_report(doc)
+        with open(args.metrics_out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report document -> {args.metrics_out}", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -221,4 +277,6 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_tune(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "report":
+        return _cmd_report(args, out)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -34,6 +34,12 @@ class UniconnConfig:
     # zero injection overhead. Explicit launch() arguments override these.
     fault_spec: Optional[str] = None
     fault_seed: int = 0
+    # Observability level (repro.obs): "off" disables the metrics registry,
+    # "metrics" (default) collects host-side counters only, "spans" also
+    # emits begin/end span records on the virtual clock for the analyzer /
+    # `repro report`. The default level never emits trace records, keeping
+    # fast-path traces byte-identical. launch(obs=...) overrides this.
+    obs_level: str = "metrics"
 
 
 _config = UniconnConfig()

@@ -13,13 +13,19 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .._compat import warn_once
 from ..backends.gpuccl import GpucclComm, GpucclUniqueId
 from ..errors import UniconnError
 from ..gpu.stream import Stream
+from ..obs import span
 from .backend import GpucclBackend, GpushmemBackend, MPIBackend
 from .environment import Environment
 
 __all__ = ["CommHealth", "Communicator", "DeviceComm"]
+
+from contextlib import nullcontext
+
+_NULL = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -64,6 +70,13 @@ class Communicator:
                 )
             elif self.backend is GpushmemBackend:
                 self._team = env.shmem.team_world
+        self._closed = False
+        self.engine.metrics.inc(
+            "communicator_init_total",
+            backend=self.backend.name,
+            rank=env.world_rank(),
+            kind="split" if _parts is not None else "world",
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -85,32 +98,58 @@ class Communicator:
 
     # ------------------------------------------------------------------ #
 
-    def barrier(self, stream: Optional[Stream] = None) -> None:
+    def barrier(self, *args, stream: Optional[Stream] = None) -> None:
         """Synchronize all processes of the communicator.
 
         MPI: host barrier (after draining the stream — MPI is not stream
         aware). GPUCCL: a stream-ordered zero-payload allreduce. GPUSHMEM:
-        the native barrier (stream-ordered when a stream is given).
-        """
-        self.engine.sleep(self.env.costs.dispatch)
-        if self.backend is MPIBackend:
-            if stream is not None:
-                stream.synchronize()
-            self._mpi_comm.barrier()
-        elif self.backend is GpucclBackend:
-            s = stream if stream is not None else self.env.device.default_stream
-            token = np.zeros(1, np.float32)
-            self._ccl_comm.all_reduce(token, token, 1, "sum", s)
-            if stream is None:
-                s.synchronize()
-        else:
-            if stream is not None:
-                self.env.shmem.barrier_all_on_stream(stream)
-            else:
-                self.env.shmem.barrier_all()
+        the communicator's team barrier (stream-ordered when a stream is
+        given), so split sub-communicators synchronize only their members.
 
-    def split(self, color: int, key: int = 0) -> "Communicator":
+        ``stream`` is keyword-only; the old positional spelling
+        ``barrier(stream)`` works through a warn-once deprecation shim.
+        """
+        if args:
+            warn_once(
+                "Communicator.barrier.positional",
+                "Communicator.barrier(stream) with a positional stream is "
+                "deprecated; use barrier(stream=...)",
+            )
+            if stream is not None or len(args) > 1:
+                raise TypeError("barrier() takes at most one stream argument")
+            stream = args[0]
+        self.engine.metrics.inc(
+            "uniconn_calls_total",
+            op="barrier",
+            backend=self.backend.name,
+            rank=self.global_rank(),
+        )
+        with self._span("barrier", "sync"):
+            self.engine.sleep(self.env.costs.dispatch)
+            if self.backend is MPIBackend:
+                if stream is not None:
+                    stream.synchronize()
+                self._mpi_comm.barrier()
+            elif self.backend is GpucclBackend:
+                s = stream if stream is not None else self.env.device.default_stream
+                token = np.zeros(1, np.float32)
+                self._ccl_comm.all_reduce(token, token, 1, "sum", s)
+                if stream is None:
+                    s.synchronize()
+            else:
+                self._team.run_collective("barrier", None, None, 0, stream=stream)
+
+    def split(self, color: int, *args, key: int = 0) -> "Communicator":
         """Create a sub-communicator (collective over all members)."""
+        if args:
+            warn_once(
+                "Communicator.split.positional",
+                "Communicator.split(color, key) with a positional key is "
+                "deprecated; use split(color, key=...)",
+            )
+            if len(args) > 1:
+                raise TypeError("split() takes at most color and key")
+            key = args[0]
         self.engine.sleep(self.env.costs.dispatch)
         if self.backend is MPIBackend:
             return Communicator(self.env, _parts=(self._mpi_comm.split(color, key), None, None))
@@ -183,6 +222,50 @@ class Communicator:
             f"communicator aborted by rank {self.global_rank()}/"
             f"{self.global_size()} at t={self.engine.now:.9g}s: {detail}"
         )
+
+    # ------------------------------------------------------------------ #
+    # Structured teardown (context-manager form of the paper's RAII).
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release backend communicator state (idempotent).
+
+        Destroys the underlying GPUCCL communicator when this communicator
+        owns one; MPI communicators and GPUSHMEM teams are torn down with
+        the Environment.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._ccl_comm is not None and not self._ccl_comm.destroyed:
+            self._ccl_comm.destroy()
+
+    def __enter__(self) -> "Communicator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._closed = True  # skip backend teardown during unwind
+
+    def _span(self, name: str, cat: str, **fields):
+        """A span context for one communicator operation (no-op unless the
+        run opted into span tracing)."""
+        engine = self.engine
+        if engine.obs_spans and engine.trace_hook is not None:
+            device = self.env.rank_ctx.device
+            if device is not None:
+                fields.setdefault("gpu", device.gpu_id)
+            return span(
+                engine,
+                name,
+                cat=cat,
+                rank=self.global_rank(),
+                backend=self.backend.name,
+                **fields,
+            )
+        return _NULL
 
     # Internal accessors used by the Coordinator.
 

@@ -29,12 +29,16 @@ from typing import Any, List, Optional, Sequence, Union
 
 import numpy as np
 
+from contextlib import nullcontext
+
+from .._compat import warn_once
 from ..backends.gpuccl import group_end as _ccl_group_end, group_start as _ccl_group_start
 from ..backends.gpushmem import SymBuffer
 from ..backends.mpi import waitall as _mpi_waitall
 from ..errors import UniconnError
 from ..gpu.kernel import DeviceCtx, KernelSpec
 from ..gpu.stream import Stream, TimedOp
+from ..obs import begin_span, end_span, span
 from .backend import GpucclBackend, GpushmemBackend, MPIBackend
 from .communicator import Communicator
 from .environment import Environment
@@ -42,6 +46,8 @@ from .launch_mode import LaunchMode, resolve_launch_mode
 from .reduction import resolve_op
 
 __all__ = ["Coordinator", "IN_PLACE"]
+
+_NULL = nullcontext()
 
 # Sentinel for the paper's "+In-Place" collective variants.
 IN_PLACE = object()
@@ -64,13 +70,28 @@ class Coordinator:
     def __init__(
         self,
         env: Environment,
-        stream: Stream,
+        *args,
+        stream: Optional[Stream] = None,
         launch_mode: Union[str, LaunchMode, None] = None,
     ):
+        if args:
+            warn_once(
+                "Coordinator.positional",
+                "Coordinator(env, stream, launch_mode) with positional "
+                "stream/launch_mode is deprecated; use "
+                "Coordinator(env, stream=..., launch_mode=...)",
+            )
+            if stream is not None or len(args) > 2:
+                raise TypeError("stream given twice")
+            stream = args[0]
+            if len(args) == 2:
+                if launch_mode is not None:
+                    raise TypeError("launch_mode given twice")
+                launch_mode = args[1]
         self.env = env
         self.backend = env.backend
         self.engine = env.engine
-        self.stream = stream
+        self.stream = stream if stream is not None else env.device.default_stream
         self.launch_mode = resolve_launch_mode(launch_mode)
         if self.launch_mode.uses_device_api and not self.backend.supports_device_api:
             raise UniconnError(
@@ -91,6 +112,44 @@ class Coordinator:
         return self.backend.supports_device_api or self._mpi_one_sided
 
     # ------------------------------------------------------------------ #
+    # Observability (repro.obs).
+    # ------------------------------------------------------------------ #
+
+    def _span(self, name: str, cat: str, **fields):
+        """Span context for one coordinator operation; no-op unless the run
+        opted into span tracing (launch(obs="spans"))."""
+        engine = self.engine
+        if engine.obs_spans and engine.trace_hook is not None:
+            return span(
+                engine,
+                name,
+                cat=cat,
+                rank=self.env.world_rank(),
+                gpu=self.stream.device.gpu_id,
+                backend=self.backend.name,
+                **fields,
+            )
+        return _NULL
+
+    def _rec(self, op: str) -> None:
+        """Count one Uniconn call in the engine's metrics registry."""
+        metrics = self.engine.metrics
+        if metrics.enabled:
+            metrics.inc(
+                "uniconn_calls_total",
+                op=op,
+                backend=self.backend.name,
+                rank=self.env.world_rank(),
+            )
+
+    @staticmethod
+    def _nbytes(buf, count: int) -> int:
+        try:
+            return int(count) * int(np.dtype(buf.dtype).itemsize)
+        except (TypeError, AttributeError, ValueError):
+            return 0
+
+    # ------------------------------------------------------------------ #
     # Kernel management (paper Section IV-E2).
     # ------------------------------------------------------------------ #
 
@@ -100,6 +159,7 @@ class Coordinator:
         kernel: KernelSpec,
         grid,
         block,
+        *legacy,
         shmem_bytes: int = 0,
         args: Sequence[Any] = (),
     ) -> None:
@@ -111,7 +171,21 @@ class Coordinator:
         launch — the analogue of CUDA's launch-time capture of the host
         variables the ``kernelArgs`` array points at (which is how the
         paper's bind-once pattern survives pointer swaps in the time loop).
+
+        ``shmem_bytes`` and ``args`` are keyword-only; the old positional
+        spelling works through a warn-once deprecation shim.
         """
+        if legacy:
+            warn_once(
+                "Coordinator.bind_kernel.positional",
+                "bind_kernel(..., shmem_bytes, args) with positional "
+                "shmem_bytes/args is deprecated; pass them by keyword",
+            )
+            if len(legacy) > 2:
+                raise TypeError("bind_kernel() takes at most 6 positional arguments")
+            shmem_bytes = legacy[0]
+            if len(legacy) == 2:
+                args = legacy[1]
         mode = resolve_launch_mode(mode)
         if mode is not self.launch_mode:
             return
@@ -130,28 +204,34 @@ class Coordinator:
 
     def launch_kernel(self) -> None:
         """Launch the bound kernel with the backend-appropriate mechanism."""
-        self.engine.sleep(self.env.costs.dispatch)
         b = self._binding
         if b is None:
             raise UniconnError(
                 f"no kernel bound for launch mode {self.launch_mode.name}"
             )
-        launch_args = b.args() if callable(b.args) else b.args
-        if self.launch_mode is LaunchMode.PureHost:
-            self.env.device.launch(b.kernel, b.grid, b.block, args=launch_args, stream=self.stream)
-            return
-        # Device modes: inject the Uniconn device API and launch collectively.
-        from .device import attach_device_api
+        self._rec("launch_kernel")
+        with self._span(f"launch:{b.kernel.name}", "dispatch"):
+            self.engine.sleep(self.env.costs.dispatch)
+            launch_args = b.args() if callable(b.args) else b.args
+            if self.launch_mode is LaunchMode.PureHost:
+                self.env.device.launch(
+                    b.kernel, b.grid, b.block, args=launch_args, stream=self.stream
+                )
+                return
+            # Device modes: inject the Uniconn device API and launch collectively.
+            from .device import attach_device_api
 
-        inner = b.kernel.fn
-        env = self.env
+            inner = b.kernel.fn
+            env = self.env
 
-        def wrapped(ctx: DeviceCtx, *a):
-            attach_device_api(ctx, env)
-            return inner(ctx, *a)
+            def wrapped(ctx: DeviceCtx, *a):
+                attach_device_api(ctx, env)
+                return inner(ctx, *a)
 
-        spec = KernelSpec(fn=wrapped, name=b.kernel.name, uses_device_comm=True)
-        self.env.shmem.collective_launch(spec, b.grid, b.block, args=launch_args, stream=self.stream)
+            spec = KernelSpec(fn=wrapped, name=b.kernel.name, uses_device_comm=True)
+            self.env.shmem.collective_launch(
+                spec, b.grid, b.block, args=launch_args, stream=self.stream
+            )
 
     # ------------------------------------------------------------------ #
     # Operation grouping (paper Section IV-G).
@@ -159,25 +239,45 @@ class Coordinator:
 
     def comm_start(self) -> None:
         """Begin a non-blocking group of communication operations."""
-        self.engine.sleep(self.env.costs.dispatch)
         if self._grouping:
             raise UniconnError("comm_start inside an open group")
+        self._rec("comm_start")
+        begin_span(
+            self.engine,
+            "comm_group",
+            cat="comm",
+            rank=self.env.world_rank(),
+            gpu=self.stream.device.gpu_id,
+            backend=self.backend.name,
+        )
+        self.engine.sleep(self.env.costs.dispatch)
         self._grouping = True
         if self.backend is GpucclBackend:
             _ccl_group_start()
 
     def comm_end(self) -> None:
         """Complete all operations registered since :meth:`comm_start`."""
-        self.engine.sleep(self.env.costs.dispatch)
         if not self._grouping:
             raise UniconnError("comm_end without comm_start")
+        self._rec("comm_end")
+        self.engine.sleep(self.env.costs.dispatch)
         self._grouping = False
-        if self.backend is GpucclBackend:
-            _ccl_group_end()
-        elif self.backend is MPIBackend:
-            reqs, self._pending = self._pending, []
-            _mpi_waitall(reqs)
-        # GPUSHMEM: stream-ordered one-sided ops need no group completion.
+        try:
+            if self.backend is GpucclBackend:
+                _ccl_group_end()
+            elif self.backend is MPIBackend:
+                reqs, self._pending = self._pending, []
+                _mpi_waitall(reqs)
+            # GPUSHMEM: stream-ordered one-sided ops need no group completion.
+        finally:
+            end_span(
+                self.engine,
+                "comm_group",
+                cat="comm",
+                rank=self.env.world_rank(),
+                gpu=self.stream.device.gpu_id,
+                backend=self.backend.name,
+            )
 
     # ------------------------------------------------------------------ #
     # P2P primitives (paper Section IV-F2).
@@ -192,14 +292,31 @@ class Coordinator:
         sig_val: int,
         dest: int,
         comm: Communicator,
+        *legacy,
         tag: int = 0,
     ) -> None:
         """Send ``count`` elements to ``dest``.
 
         ``recvbuf`` is the (symmetric) destination address and ``sig`` the
         signal location — both used by the one-sided backend and ignored by
-        the two-sided ones, so one call site serves every backend.
+        the two-sided ones, so one call site serves every backend. ``tag``
+        is keyword-only (warn-once shim for the old positional form).
         """
+        if legacy:
+            warn_once(
+                "Coordinator.post.positional",
+                "post(..., tag) with a positional tag is deprecated; use tag=...",
+            )
+            if len(legacy) > 1:
+                raise TypeError("post() takes at most 8 positional arguments")
+            tag = legacy[0]
+        self._rec("post")
+        with self._span(
+            "post", "comm", peer=dest, nbytes=self._nbytes(sendbuf, count)
+        ):
+            self._post(sendbuf, recvbuf, count, sig, sig_val, dest, comm, tag)
+
+    def _post(self, sendbuf, recvbuf, count, sig, sig_val, dest, comm, tag) -> None:
         costs = self.env.costs
         if self.backend is MPIBackend:
             self._mpi_pre()
@@ -246,9 +363,29 @@ class Coordinator:
         sig_val: int,
         src: int,
         comm: Communicator,
+        *legacy,
         tag: int = 0,
     ) -> None:
-        """Complete the reception of a matching :meth:`post`."""
+        """Complete the reception of a matching :meth:`post`.
+
+        ``tag`` is keyword-only (warn-once shim for the old positional form).
+        """
+        if legacy:
+            warn_once(
+                "Coordinator.acknowledge.positional",
+                "acknowledge(..., tag) with a positional tag is deprecated; "
+                "use tag=...",
+            )
+            if len(legacy) > 1:
+                raise TypeError("acknowledge() takes at most 7 positional arguments")
+            tag = legacy[0]
+        self._rec("acknowledge")
+        with self._span(
+            "acknowledge", "comm", peer=src, nbytes=self._nbytes(recvbuf, count)
+        ):
+            self._acknowledge(recvbuf, count, sig, sig_val, src, comm, tag)
+
+    def _acknowledge(self, recvbuf, count, sig, sig_val, src, comm, tag) -> None:
         costs = self.env.costs
         if self.backend is MPIBackend:
             self._mpi_pre()
@@ -281,54 +418,70 @@ class Coordinator:
         op = resolve_op(op)
         if sendbuf is IN_PLACE:
             sendbuf = recvbuf
-        if self.backend is MPIBackend:
-            self._mpi_pre()
-            comm.mpi.allreduce(sendbuf, recvbuf, count, op)
-        elif self.backend is GpucclBackend:
-            self.engine.sleep(self.env.costs.dispatch)
-            comm.ccl.all_reduce(sendbuf, recvbuf, count, op, self.stream)
-        else:
-            self.engine.sleep(self.env.costs.dispatch)
-            self.env.shmem.allreduce(sendbuf, recvbuf, count, op, team=comm.team, stream=self.stream)
+        self._rec("all_reduce")
+        with self._span("all_reduce", "comm", nbytes=self._nbytes(recvbuf, count)):
+            if self.backend is MPIBackend:
+                self._mpi_pre()
+                comm.mpi.allreduce(sendbuf, recvbuf, count, op)
+            elif self.backend is GpucclBackend:
+                self.engine.sleep(self.env.costs.dispatch)
+                comm.ccl.all_reduce(sendbuf, recvbuf, count, op, self.stream)
+            else:
+                self.engine.sleep(self.env.costs.dispatch)
+                self.env.shmem.allreduce(
+                    sendbuf, recvbuf, count, op, team=comm.team, stream=self.stream
+                )
 
     def reduce(self, sendbuf, recvbuf, count: int, op, root: int, comm: Communicator) -> None:
         """Uniconn Reduce to a root (IN_PLACE accepted)."""
         op = resolve_op(op)
         if sendbuf is IN_PLACE:
             sendbuf = recvbuf
-        if self.backend is MPIBackend:
-            self._mpi_pre()
-            comm.mpi.reduce(sendbuf, recvbuf, count, op, root)
-        elif self.backend is GpucclBackend:
-            self.engine.sleep(self.env.costs.dispatch)
-            comm.ccl.reduce(sendbuf, recvbuf, count, op, root, self.stream)
-        else:
-            self.engine.sleep(self.env.costs.dispatch)
-            self.env.shmem.reduce(sendbuf, recvbuf, count, op, root, team=comm.team, stream=self.stream)
+        self._rec("reduce")
+        with self._span("reduce", "comm", nbytes=self._nbytes(recvbuf, count), root=root):
+            if self.backend is MPIBackend:
+                self._mpi_pre()
+                comm.mpi.reduce(sendbuf, recvbuf, count, op, root)
+            elif self.backend is GpucclBackend:
+                self.engine.sleep(self.env.costs.dispatch)
+                comm.ccl.reduce(sendbuf, recvbuf, count, op, root, self.stream)
+            else:
+                self.engine.sleep(self.env.costs.dispatch)
+                self.env.shmem.reduce(
+                    sendbuf, recvbuf, count, op, root, team=comm.team, stream=self.stream
+                )
 
     def broadcast(self, buf, count: int, root: int, comm: Communicator) -> None:
         """Uniconn Broadcast from a root."""
-        if self.backend is MPIBackend:
-            self._mpi_pre()
-            comm.mpi.bcast(buf, count, root)
-        elif self.backend is GpucclBackend:
-            self.engine.sleep(self.env.costs.dispatch)
-            comm.ccl.broadcast(buf, buf, count, root, self.stream)
-        else:
-            self.engine.sleep(self.env.costs.dispatch)
-            self.env.shmem.broadcast(buf, buf, count, root, team=comm.team, stream=self.stream)
+        self._rec("broadcast")
+        with self._span("broadcast", "comm", nbytes=self._nbytes(buf, count), root=root):
+            if self.backend is MPIBackend:
+                self._mpi_pre()
+                comm.mpi.bcast(buf, count, root)
+            elif self.backend is GpucclBackend:
+                self.engine.sleep(self.env.costs.dispatch)
+                comm.ccl.broadcast(buf, buf, count, root, self.stream)
+            else:
+                self.engine.sleep(self.env.costs.dispatch)
+                self.env.shmem.broadcast(
+                    buf, buf, count, root, team=comm.team, stream=self.stream
+                )
 
     def all_gather(self, sendbuf, recvbuf, count: int, comm: Communicator) -> None:
         """Uniconn AllGather (equal counts)."""
-        if self.backend is MPIBackend:
-            self._mpi_pre()
-            comm.mpi.allgather(sendbuf, recvbuf, count)
-        elif self.backend is GpucclBackend:
-            self.engine.sleep(self.env.costs.dispatch)
-            comm.ccl.all_gather(sendbuf, recvbuf, count, self.stream)
-        else:
-            self.engine.sleep(self.env.costs.dispatch)
-            self.env.shmem.fcollect(sendbuf, recvbuf, count, team=comm.team, stream=self.stream)
+        self._rec("all_gather")
+        with self._span("all_gather", "comm", nbytes=self._nbytes(sendbuf, count)):
+            if self.backend is MPIBackend:
+                self._mpi_pre()
+                comm.mpi.allgather(sendbuf, recvbuf, count)
+            elif self.backend is GpucclBackend:
+                self.engine.sleep(self.env.costs.dispatch)
+                comm.ccl.all_gather(sendbuf, recvbuf, count, self.stream)
+            else:
+                self.engine.sleep(self.env.costs.dispatch)
+                self.env.shmem.fcollect(
+                    sendbuf, recvbuf, count, team=comm.team, stream=self.stream
+                )
 
     def all_gather_v(
         self,
@@ -340,32 +493,40 @@ class Coordinator:
         comm: Communicator,
     ) -> None:
         """Vectorized allgather (the CG solver's exchange primitive)."""
-        if self.backend is MPIBackend:
-            self._mpi_pre()
-            comm.mpi.allgatherv(sendbuf, sendcount, recvbuf, counts, displs)
-            return
-        self.engine.sleep(self.env.costs.dispatch)
-        p = comm.global_size()
-        me = comm.global_rank()
-        if self.backend is GpucclBackend:
-            # No native allgatherv: grouped P2P composition.
-            ccl = comm.ccl
-            _ccl_group_start()
-            for dst in range(p):
-                ccl.send(sendbuf, sendcount, dst, self.stream)
-            for src in range(p):
-                view = self._slice(recvbuf, displs[src], counts[src])
-                ccl.recv(view, counts[src], src, self.stream)
-            _ccl_group_end()
-            return
-        # GPUSHMEM: put my block into every PE's symmetric recv buffer, then
-        # a stream-ordered barrier closes the round (put/get + barriers).
-        self._require_sym(recvbuf, "all_gather_v")
-        window = recvbuf.offset_by(displs[me], sendcount)
-        for shift in range(p):
-            pe = (me + shift) % p
-            self.env.shmem.put_on_stream(window, sendbuf, sendcount, comm.team.translate(pe), self.stream)
-        self.env.shmem.barrier_all_on_stream(self.stream)
+        self._rec("all_gather_v")
+        with self._span(
+            "all_gather_v", "comm", nbytes=self._nbytes(sendbuf, sendcount)
+        ):
+            if self.backend is MPIBackend:
+                self._mpi_pre()
+                comm.mpi.allgatherv(sendbuf, sendcount, recvbuf, counts, displs)
+                return
+            self.engine.sleep(self.env.costs.dispatch)
+            p = comm.global_size()
+            me = comm.global_rank()
+            if self.backend is GpucclBackend:
+                # No native allgatherv: grouped P2P composition.
+                ccl = comm.ccl
+                _ccl_group_start()
+                for dst in range(p):
+                    ccl.send(sendbuf, sendcount, dst, self.stream)
+                for src in range(p):
+                    view = self._slice(recvbuf, displs[src], counts[src])
+                    ccl.recv(view, counts[src], src, self.stream)
+                _ccl_group_end()
+                return
+            # GPUSHMEM: put my block into every PE's symmetric recv buffer,
+            # then a stream-ordered team barrier closes the round (put/get +
+            # barriers). The barrier is scoped to the communicator's team so
+            # split sub-communicators don't synchronize the whole world.
+            self._require_sym(recvbuf, "all_gather_v")
+            window = recvbuf.offset_by(displs[me], sendcount)
+            for shift in range(p):
+                pe = (me + shift) % p
+                self.env.shmem.put_on_stream(
+                    window, sendbuf, sendcount, comm.team.translate(pe), self.stream
+                )
+            comm.team.run_collective("barrier", None, None, 0, stream=self.stream)
 
     def gather(self, sendbuf, recvbuf, count: int, root: int, comm: Communicator) -> None:
         """Uniconn Gather (equal counts) to a root."""
@@ -386,26 +547,32 @@ class Coordinator:
         me = comm.global_rank()
         if sendbuf is IN_PLACE:
             sendbuf = self._slice(recvbuf, displs[me], counts[me])
-        if self.backend is MPIBackend:
-            self._mpi_pre()
-            comm.mpi.gatherv(sendbuf, sendcount, recvbuf, counts, displs, root)
-            return
-        self.engine.sleep(self.env.costs.dispatch)
-        p = comm.global_size()
-        if self.backend is GpucclBackend:
-            ccl = comm.ccl
-            _ccl_group_start()
-            ccl.send(sendbuf, sendcount, root, self.stream)
-            if me == root:
-                for src in range(p):
-                    view = self._slice(recvbuf, displs[src], counts[src])
-                    ccl.recv(view, counts[src], src, self.stream)
-            _ccl_group_end()
-            return
-        self._require_sym(recvbuf, "gather_v")
-        window = recvbuf.offset_by(displs[me], sendcount)
-        self.env.shmem.put_on_stream(window, sendbuf, sendcount, comm.team.translate(root), self.stream)
-        self.env.shmem.barrier_all_on_stream(self.stream)
+        self._rec("gather_v")
+        with self._span(
+            "gather_v", "comm", nbytes=self._nbytes(recvbuf, sendcount), root=root
+        ):
+            if self.backend is MPIBackend:
+                self._mpi_pre()
+                comm.mpi.gatherv(sendbuf, sendcount, recvbuf, counts, displs, root)
+                return
+            self.engine.sleep(self.env.costs.dispatch)
+            p = comm.global_size()
+            if self.backend is GpucclBackend:
+                ccl = comm.ccl
+                _ccl_group_start()
+                ccl.send(sendbuf, sendcount, root, self.stream)
+                if me == root:
+                    for src in range(p):
+                        view = self._slice(recvbuf, displs[src], counts[src])
+                        ccl.recv(view, counts[src], src, self.stream)
+                _ccl_group_end()
+                return
+            self._require_sym(recvbuf, "gather_v")
+            window = recvbuf.offset_by(displs[me], sendcount)
+            self.env.shmem.put_on_stream(
+                window, sendbuf, sendcount, comm.team.translate(root), self.stream
+            )
+            comm.team.run_collective("barrier", None, None, 0, stream=self.stream)
 
     def scatter(self, sendbuf, recvbuf, count: int, root: int, comm: Communicator) -> None:
         """Uniconn Scatter (equal counts) from a root."""
@@ -424,49 +591,57 @@ class Coordinator:
     ) -> None:
         """Uniconn vectorized Scatter."""
         me = comm.global_rank()
-        if self.backend is MPIBackend:
-            self._mpi_pre()
-            comm.mpi.scatterv(sendbuf, counts, displs, recvbuf, recvcount, root)
-            return
-        self.engine.sleep(self.env.costs.dispatch)
-        p = comm.global_size()
-        if self.backend is GpucclBackend:
-            ccl = comm.ccl
-            _ccl_group_start()
+        self._rec("scatter_v")
+        with self._span(
+            "scatter_v", "comm", nbytes=self._nbytes(recvbuf, recvcount), root=root
+        ):
+            if self.backend is MPIBackend:
+                self._mpi_pre()
+                comm.mpi.scatterv(sendbuf, counts, displs, recvbuf, recvcount, root)
+                return
+            self.engine.sleep(self.env.costs.dispatch)
+            p = comm.global_size()
+            if self.backend is GpucclBackend:
+                ccl = comm.ccl
+                _ccl_group_start()
+                if me == root:
+                    for dst in range(p):
+                        view = self._slice(sendbuf, displs[dst], counts[dst])
+                        ccl.send(view, counts[dst], dst, self.stream)
+                ccl.recv(recvbuf, recvcount, root, self.stream)
+                _ccl_group_end()
+                return
+            self._require_sym(recvbuf, "scatter_v")
             if me == root:
                 for dst in range(p):
                     view = self._slice(sendbuf, displs[dst], counts[dst])
-                    ccl.send(view, counts[dst], dst, self.stream)
-            ccl.recv(recvbuf, recvcount, root, self.stream)
-            _ccl_group_end()
-            return
-        self._require_sym(recvbuf, "scatter_v")
-        if me == root:
-            for dst in range(p):
-                view = self._slice(sendbuf, displs[dst], counts[dst])
-                self.env.shmem.put_on_stream(
-                    recvbuf, view, counts[dst], comm.team.translate(dst), self.stream
-                )
-        self.env.shmem.barrier_all_on_stream(self.stream)
+                    self.env.shmem.put_on_stream(
+                        recvbuf, view, counts[dst], comm.team.translate(dst), self.stream
+                    )
+            comm.team.run_collective("barrier", None, None, 0, stream=self.stream)
 
     def all_to_all(self, sendbuf, recvbuf, count: int, comm: Communicator) -> None:
         """Uniconn AlltoAll."""
-        if self.backend is MPIBackend:
-            self._mpi_pre()
-            comm.mpi.alltoall(sendbuf, recvbuf, count)
-            return
-        self.engine.sleep(self.env.costs.dispatch)
-        p = comm.global_size()
-        if self.backend is GpucclBackend:
-            ccl = comm.ccl
-            _ccl_group_start()
-            for dst in range(p):
-                ccl.send(self._slice(sendbuf, dst * count, count), count, dst, self.stream)
-            for src in range(p):
-                ccl.recv(self._slice(recvbuf, src * count, count), count, src, self.stream)
-            _ccl_group_end()
-            return
-        self.env.shmem.alltoall(sendbuf, recvbuf, count, team=comm.team, stream=self.stream)
+        self._rec("all_to_all")
+        with self._span("all_to_all", "comm", nbytes=self._nbytes(sendbuf, count)):
+            if self.backend is MPIBackend:
+                self._mpi_pre()
+                comm.mpi.alltoall(sendbuf, recvbuf, count)
+                return
+            self.engine.sleep(self.env.costs.dispatch)
+            p = comm.global_size()
+            if self.backend is GpucclBackend:
+                ccl = comm.ccl
+                _ccl_group_start()
+                for dst in range(p):
+                    ccl.send(self._slice(sendbuf, dst * count, count), count, dst, self.stream)
+                for src in range(p):
+                    ccl.recv(self._slice(recvbuf, src * count, count), count, src, self.stream)
+                _ccl_group_end()
+                return
+            self.env.shmem.alltoall(
+                sendbuf, recvbuf, count, team=comm.team, stream=self.stream
+            )
 
     # ------------------------------------------------------------------ #
     # Internals.
@@ -481,7 +656,8 @@ class Coordinator:
         """
         costs = self.env.costs
         self.engine.sleep(costs.dispatch + costs.mpi_decision + costs.mpi_stream_query)
-        self.stream.synchronize()
+        with self._span("stream.sync", "sync"):
+            self.stream.synchronize()
 
     @staticmethod
     def _slice(buf, start: int, count: int):

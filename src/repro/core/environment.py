@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from .._compat import warn_once
 from ..backends.gpushmem import ShmemContext
 from ..backends.mpi import MpiContext
 from ..config import get_config
@@ -25,9 +26,36 @@ __all__ = ["Environment"]
 
 
 class Environment:
-    """Backend-parameterized library setup/teardown for one rank."""
+    """Backend-parameterized library setup/teardown for one rank.
 
-    def __init__(self, backend: BackendLike = None, rank_ctx: RankContext = None):
+    Canonical form (the rank context is the one mandatory input)::
+
+        with Environment(ctx, backend=GpucclBackend) as env:
+            ...
+
+    The legacy backend-first spelling ``Environment(backend, rank_ctx)``
+    still works through a warn-once deprecation shim.
+    """
+
+    def __init__(self, *args, backend: BackendLike = None, rank_ctx: RankContext = None):
+        if args:
+            if isinstance(args[0], RankContext):
+                if rank_ctx is not None or len(args) > 1:
+                    raise TypeError("Environment(rank_ctx, *, backend=...) takes one positional argument")
+                rank_ctx = args[0]
+            else:
+                warn_once(
+                    "Environment.positional",
+                    "Environment(backend, rank_ctx) is deprecated; use "
+                    "Environment(rank_ctx, backend=...)",
+                )
+                if backend is not None or len(args) > 2:
+                    raise TypeError("backend given twice")
+                backend = args[0]
+                if len(args) == 2:
+                    if rank_ctx is not None:
+                        raise TypeError("rank_ctx given twice")
+                    rank_ctx = args[1]
         if rank_ctx is None:
             raise UniconnError("Environment needs the rank context (the simulated process)")
         self.backend = resolve_backend(backend)
@@ -39,6 +67,9 @@ class Environment:
         self.mpi = MpiContext(rank_ctx)
         self._shmem: Optional[ShmemContext] = None
         self._closed = False
+        self.engine.metrics.inc(
+            "environment_init_total", backend=self.backend.name, rank=rank_ctx.rank
+        )
 
     # ------------------------------------------------------------------ #
     # Process/topology queries (paper's WorldRank/WorldSize/NodeRank).
@@ -116,8 +147,14 @@ class Environment:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if not self._closed and exc_type is None:
-            self.close()
+        if not self._closed:
+            if exc_type is None:
+                self.close()
+            else:
+                # Unwinding after a failure: mark torn down locally without
+                # running the collective finalize (peers may be dead, and a
+                # collective would turn one rank's error into a hang).
+                self._closed = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Environment backend={self.backend.name} rank={self.world_rank()}/{self.world_size()}>"

@@ -11,13 +11,15 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from ._compat import warn_once
 from .errors import HardwareError
 from .gpu.device import Device
 from .hardware.cluster import Cluster
 from .hardware.machines import MachineSpec, get_machine
+from .obs.metrics import MetricsRegistry
 from .sim import Engine, Tracer, run_spmd
 
-__all__ = ["Job", "RankContext", "launch"]
+__all__ = ["Job", "RankContext", "RunReport", "launch"]
 
 
 class Job:
@@ -58,6 +60,32 @@ class Job:
         if key not in self._shared:
             self._shared[key] = factory()
         return self._shared[key]
+
+
+class RunReport(list):
+    """Per-rank results plus run-level observability, returned by ``launch``.
+
+    A ``RunReport`` *is* the per-rank results list (indexing, iteration and
+    equality behave exactly as before the redesign), with run-level data as
+    attributes:
+
+    - ``stats``: engine scheduler counters plus ``virtual_time`` (and
+      ``faults`` when an injector was installed) — the old ``stats_out``
+      payload;
+    - ``metrics``: the run's :class:`~repro.obs.MetricsRegistry`;
+    - ``faults``: the injected-fault log (empty list for healthy runs);
+    - ``trace_path``: where the Chrome trace was written (``trace_out=``),
+      or None.
+    """
+
+    __slots__ = ("stats", "metrics", "faults", "trace_path")
+
+    def __init__(self, results=()):
+        super().__init__(results)
+        self.stats: Dict[str, Any] = {}
+        self.metrics: MetricsRegistry = MetricsRegistry(enabled=False)
+        self.faults: List[Any] = []
+        self.trace_path: Optional[str] = None
 
 
 class RankContext:
@@ -105,31 +133,62 @@ def launch(
     stats_out: Optional[dict] = None,
     fault_plan: Union["FaultPlan", str, None] = None,
     fault_seed: Optional[int] = None,
-) -> List[Any]:
-    """Run ``fn(ctx, *args)`` on ``n_ranks`` simulated ranks; return results.
+    obs: Optional[str] = None,
+    trace_out: Optional[str] = None,
+) -> "RunReport":
+    """Run ``fn(ctx, *args)`` on ``n_ranks`` simulated ranks.
+
+    Returns a :class:`RunReport` — the per-rank results list, carrying the
+    run's ``stats``, ``metrics``, ``faults`` and ``trace_path`` as
+    attributes.
 
     ``placement="block"`` (default, the paper's experiments) fills nodes in
     rank order; ``placement="spread"`` distributes ranks cyclically over
     ``n_nodes`` nodes (srun's cyclic distribution) — used by the inter-node
     two-GPU microbenchmarks.
 
-    ``stats_out``, if given, is filled with the engine's scheduler counters
-    plus ``virtual_time`` after the run (see ``EngineStats``).
+    ``obs`` selects the observability level (``"off"``/``"metrics"``/
+    ``"spans"``, default from ``UniconnConfig.obs_level``): ``"metrics"``
+    collects host-side counters in ``report.metrics`` with zero effect on
+    virtual time or traces; ``"spans"`` additionally emits begin/end span
+    records for the :mod:`repro.obs` analyzer and ``repro report``.
+    ``trace_out``, if given, writes the Chrome trace there after the run
+    (creating a tracer when the caller passed none) and records the path
+    in ``report.trace_path``.
+
+    ``stats_out`` is a deprecated alias for ``report.stats`` — a dict the
+    engine's scheduler counters plus ``virtual_time`` are copied into.
 
     ``fault_plan`` (a :class:`~repro.sim.FaultPlan` or a spec string for
     ``FaultPlan.parse``) installs deterministic fault injection seeded by
     ``fault_seed`` — see :mod:`repro.sim.faults`. When omitted, the global
     config's ``fault_spec``/``fault_seed`` apply; the default (no plan)
-    adds nothing to the run. With a plan and ``stats_out``, the injected
-    fault log lands in ``stats_out["faults"]``.
+    adds nothing to the run. The injected fault log lands in
+    ``report.faults`` (and ``stats["faults"]``).
     """
+    from .config import get_config
+
+    if stats_out is not None:
+        warn_once(
+            "launch.stats_out",
+            "launch(stats_out=...) is deprecated; use the returned "
+            "RunReport's .stats attribute instead",
+        )
     spec = get_machine(machine) if isinstance(machine, str) else machine
     min_nodes = math.ceil(n_ranks / spec.gpus_per_node)
     if n_nodes is None:
         n_nodes = min_nodes
     elif placement == "block" and n_nodes < min_nodes:
         raise HardwareError(f"{n_ranks} ranks need >= {min_nodes} nodes, got {n_nodes}")
+    if obs is None:
+        obs = get_config().obs_level
+    if obs not in ("off", "metrics", "spans"):
+        raise ValueError(f"unknown obs level {obs!r} (off|metrics|spans)")
     engine = Engine()
+    engine.metrics.enabled = obs != "off"
+    engine.obs_spans = obs == "spans"
+    if tracer is None and trace_out is not None:
+        tracer = Tracer()
     if tracer is not None:
         tracer.install(engine)
     cluster = Cluster(spec, n_nodes)
@@ -139,14 +198,25 @@ def launch(
     def body(rank: int) -> Any:
         return fn(RankContext(job, rank), *args)
 
+    report = RunReport()
     try:
-        return run_spmd(n_ranks, body, engine=engine)
+        report.extend(run_spmd(n_ranks, body, engine=engine))
+        return report
     finally:
+        report.stats.update(engine.stats.as_dict())
+        report.stats["virtual_time"] = engine.now
+        report.metrics = engine.metrics
+        if injector is not None:
+            report.faults = list(injector.log)
+            report.stats["faults"] = report.faults
+            for _, kind, _fields in report.faults:
+                engine.metrics.inc("faults_total", kind=kind)
+        if trace_out is not None and tracer is not None:
+            from .sim import write_chrome_trace
+
+            report.trace_path = write_chrome_trace(tracer, trace_out)
         if stats_out is not None:
-            stats_out.update(engine.stats.as_dict())
-            stats_out["virtual_time"] = engine.now
-            if injector is not None:
-                stats_out["faults"] = list(injector.log)
+            stats_out.update(report.stats)
 
 
 def _make_injector(engine, cluster, fault_plan, fault_seed):

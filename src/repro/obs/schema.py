@@ -1,0 +1,66 @@
+"""Schema for the ``repro report --metrics-out`` JSON document.
+
+The CI ``obs-smoke`` lane round-trips a 4-rank Jacobi report through
+:func:`validate_report`; benchmarks consume the same document to add the
+overhead-attribution column to EXPERIMENTS.md tables. Bump
+``SCHEMA_VERSION`` whenever a required field changes shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["SCHEMA_NAME", "SCHEMA_VERSION", "validate_report"]
+
+SCHEMA_NAME = "repro.obs.report"
+SCHEMA_VERSION = 1
+
+_RANK_FIELDS = ("rank", "compute", "comm", "sync", "idle", "total")
+_PATH_FIELDS = ("rank", "name", "cat", "start", "end")
+_METRIC_SECTIONS = ("counters", "gauges", "histograms")
+
+
+def _fail(msg: str) -> None:
+    raise ValueError(f"invalid {SCHEMA_NAME} document: {msg}")
+
+
+def validate_report(doc: Any) -> Dict[str, Any]:
+    """Validate a report document; returns it unchanged or raises ValueError."""
+    if not isinstance(doc, dict):
+        _fail(f"expected object, got {type(doc).__name__}")
+    if doc.get("schema") != SCHEMA_NAME:
+        _fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA_NAME!r}")
+    if doc.get("version") != SCHEMA_VERSION:
+        _fail(f"version is {doc.get('version')!r}, expected {SCHEMA_VERSION}")
+    if not isinstance(doc.get("virtual_time"), (int, float)):
+        _fail("virtual_time must be a number")
+    ranks = doc.get("ranks")
+    if not isinstance(ranks, list) or not ranks:
+        _fail("ranks must be a non-empty list")
+    for i, row in enumerate(ranks):
+        if not isinstance(row, dict):
+            _fail(f"ranks[{i}] must be an object")
+        for key in _RANK_FIELDS:
+            if not isinstance(row.get(key), (int, float)):
+                _fail(f"ranks[{i}].{key} must be a number")
+    path = doc.get("critical_path")
+    if not isinstance(path, list):
+        _fail("critical_path must be a list")
+    for i, seg in enumerate(path):
+        if not isinstance(seg, dict):
+            _fail(f"critical_path[{i}] must be an object")
+        for key in _PATH_FIELDS:
+            if key not in seg:
+                _fail(f"critical_path[{i}].{key} missing")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        _fail("metrics must be an object")
+    for section in _METRIC_SECTIONS:
+        if not isinstance(metrics.get(section), dict):
+            _fail(f"metrics.{section} must be an object")
+    stats = doc.get("stats")
+    if not isinstance(stats, dict):
+        _fail("stats must be an object")
+    if not isinstance(doc.get("faults"), list):
+        _fail("faults must be a list")
+    return doc

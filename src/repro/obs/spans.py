@@ -1,0 +1,66 @@
+"""Span-based structured tracing on the virtual clock.
+
+A span is a begin/end pair of trace records (``span.begin`` /
+``span.end``) emitted through the engine's normal ``trace`` hook, so spans
+land in the same :class:`~repro.sim.Tracer` record stream as stream and
+MPI events and export to Chrome B/E slices (see
+:func:`repro.sim.to_chrome_trace`).
+
+Spans are *opt-in*: they emit only when ``engine.obs_spans`` is true (set
+by ``launcher.launch(obs="spans")`` or ``UniconnConfig.obs_level``) and a
+trace hook is installed. At the default observability level nothing is
+emitted — the byte-identity guarantees of the fast path are untouched.
+
+Each record carries a per-engine ``seq`` so begin/end pairs keep their
+emission order through the Chrome exporter's deterministic sort even when
+several records share one virtual timestamp.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["span", "begin_span", "end_span", "spans_enabled"]
+
+
+def spans_enabled(engine: Any) -> bool:
+    """True when ``engine`` should emit span records right now."""
+    return bool(getattr(engine, "obs_spans", False)) and engine.trace_hook is not None
+
+
+def begin_span(engine: Any, name: str, cat: str = "host", **fields: Any) -> None:
+    """Open a span (no-op unless spans are enabled on ``engine``)."""
+    if spans_enabled(engine):
+        engine.trace(
+            "span.begin", name=name, cat=cat, seq=engine.next_seq("obs.span"), **fields
+        )
+
+
+def end_span(engine: Any, name: str, cat: str = "host", **fields: Any) -> None:
+    """Close the innermost open span of ``name`` on this rank's timeline."""
+    if spans_enabled(engine):
+        engine.trace(
+            "span.end", name=name, cat=cat, seq=engine.next_seq("obs.span"), **fields
+        )
+
+
+@contextmanager
+def span(engine: Any, name: str, cat: str = "host", **fields: Any) -> Iterator[None]:
+    """Context manager bracketing a region with begin/end span records.
+
+    ``cat`` classifies the region for the analyzer's time breakdown:
+    ``"comm"`` (posts, collectives, group brackets), ``"sync"`` (barriers,
+    stream/signal waits), ``"dispatch"`` (kernel launches); anything else
+    is treated as generic host time. Extra ``fields`` (``rank``, ``gpu``,
+    ``peer``, ``nbytes`` ...) ride on both records and feed the
+    critical-path walk.
+    """
+    if not spans_enabled(engine):
+        yield
+        return
+    engine.trace("span.begin", name=name, cat=cat, seq=engine.next_seq("obs.span"), **fields)
+    try:
+        yield
+    finally:
+        engine.trace("span.end", name=name, cat=cat, seq=engine.next_seq("obs.span"), **fields)

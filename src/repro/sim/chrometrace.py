@@ -5,7 +5,9 @@ stream's operations and the MPI message flow of a run — the standard way to
 debug overlap/serialization issues in this kind of system.
 
 Stream ``start``/``complete`` pairs become duration ("X") events on one row
-per (GPU, stream); point records (enqueues, sends, receives) become instant
+per (GPU, stream); span ``begin``/``end`` records (repro.obs, emitted when
+a run opts into ``obs="spans"``) become nested duration ("B"/"E") events on
+one row per rank; point records (enqueues, sends, receives) become instant
 ("i") events.
 """
 
@@ -42,6 +44,24 @@ def to_chrome_trace(tracer: Tracer) -> List[dict]:
                 "tid": f.get("stream", "?"),
                 "cat": "stream",
             })
+        elif rec.kind in ("span.begin", "span.end"):
+            # Begin/end slices nest by emission order; the per-engine span
+            # seq keeps that order through the deterministic sort below
+            # even when several records share one virtual timestamp.
+            events.append({
+                "name": f.get("name", "?"),
+                "ph": "B" if rec.kind == "span.begin" else "E",
+                "ts": rec.t * _US,
+                "pid": f.get("rank", 0),
+                "tid": f.get("tid", "uniconn"),
+                "cat": f.get("cat", "span"),
+                "args": {
+                    k: v
+                    for k, v in f.items()
+                    if k not in ("name", "cat", "tid") and isinstance(v, (int, float, str))
+                },
+                "__seq": f.get("seq", 0),
+            })
         else:
             events.append({
                 "name": rec.kind,
@@ -69,8 +89,19 @@ def to_chrome_trace(tracer: Tracer) -> List[dict]:
     # event's full content makes the file independent of the incidental
     # ordering of same-instant callbacks inside the engine — so two runs
     # (or the two scheduler modes) that simulate the same timeline emit
-    # byte-identical traces.
-    events.sort(key=lambda e: (e["ts"], json.dumps(e, sort_keys=True)))
+    # byte-identical traces. Span events additionally sort by their
+    # emission seq before the content tie-break so B/E nesting survives
+    # same-timestamp ties; every other event has seq 0, leaving the
+    # default-level ordering (and byte-identity) untouched.
+    events.sort(
+        key=lambda e: (
+            e["ts"],
+            e.get("__seq", 0),
+            json.dumps({k: v for k, v in e.items() if k != "__seq"}, sort_keys=True),
+        )
+    )
+    for e in events:
+        e.pop("__seq", None)
     return events
 
 

@@ -33,6 +33,7 @@ from collections import deque
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import DeadlockError, EngineStateError, SimAborted, SimTimeoutError
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["Engine", "EngineStats", "Task", "Timer", "current_engine"]
 
@@ -206,6 +207,12 @@ class Engine:
         self._finished = False
         self._name_seqs: Dict[str, int] = {}
         self.trace_hook: Optional[Callable[..., None]] = None
+        # Observability (repro.obs). Metrics are host-side accumulators —
+        # updating them never touches virtual time. Spans are begin/end
+        # trace records and stay off unless a run opts in (launch(obs=
+        # "spans")), preserving trace byte-identity at the default level.
+        self.metrics = MetricsRegistry()
+        self.obs_spans = False
         # Fault-injection hooks (see repro.sim.faults). Both default to the
         # disabled state so the fault layer costs one attribute check when
         # no plan is installed.

@@ -1,0 +1,115 @@
+"""Deprecation shims: old positional spellings warn once, new forms never.
+
+``warn_once`` keys are process-global, so each test clears the keys it
+exercises before asserting — earlier tests (or the conftest helpers, which
+deliberately use the old API) may already have tripped them.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import Communicator, Coordinator, Environment, Memory, launch
+from repro._compat import _warned
+
+
+def _clear(*keys):
+    for key in keys:
+        _warned.discard(key)
+
+
+OLD_FORM_KEYS = (
+    "Environment.positional",
+    "Coordinator.positional",
+    "Memory.alloc.positional",
+    "Communicator.barrier.positional",
+    "Communicator.split.positional",
+)
+
+
+def _old_api_workload(ctx, backend):
+    env = Environment(backend, ctx)  # old: backend first
+    env.set_device(env.node_rank())
+    comm = Communicator(env)
+    stream = env.device.create_stream()
+    coord = Coordinator(env, stream)  # old: positional stream
+    for _ in range(2):  # every old form used repeatedly
+        buf = Memory.alloc(env, 4, np.float32)  # old: positional dtype
+        comm.barrier(stream)  # old: positional stream
+        comm.split(comm.global_rank() % 2, comm.global_rank())  # old key
+    env.close()
+    return comm.global_rank()
+
+
+@pytest.mark.parametrize("backend", ["mpi", "gpuccl"])
+def test_old_positional_forms_warn_once(backend):
+    _clear(*OLD_FORM_KEYS)
+    # Two ranks each hit every old form twice; warn-once dedup means exactly
+    # one warning per distinct call shape.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DeprecationWarning)
+        launch(_old_api_workload, 2, args=(backend,))
+    msgs = sorted(str(w.message) for w in caught
+                  if issubclass(w.category, DeprecationWarning))
+    assert len(msgs) == len(OLD_FORM_KEYS), f"expected one per shape, got {msgs}"
+    assert len(set(msgs)) == len(msgs)
+
+    # The dedup is process-wide: a second run adds nothing.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DeprecationWarning)
+        launch(_old_api_workload, 2, args=(backend,))
+    repeats = [str(w.message) for w in caught
+               if issubclass(w.category, DeprecationWarning)]
+    assert repeats == [], f"old forms warned twice: {repeats}"
+
+
+def _new_api_workload(ctx, backend):
+    with Environment(ctx, backend=backend) as env:
+        env.set_device(env.node_rank())
+        with Communicator(env) as comm:
+            stream = env.device.create_stream()
+            coord = Coordinator(env, stream=stream)
+            buf = Memory.alloc(env, 4, dtype=np.float32)
+            comm.barrier(stream=stream)
+            sub = comm.split(comm.global_rank() % 2, key=comm.global_rank())
+            sub.barrier()
+            return comm.global_rank()
+
+
+@pytest.mark.parametrize("backend", ["mpi", "gpuccl", "gpushmem"])
+def test_new_keyword_forms_never_warn(backend):
+    _clear(*OLD_FORM_KEYS)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        assert list(launch(_new_api_workload, 2, args=(backend,))) == [0, 1]
+
+
+def test_environment_exit_skips_finalize_on_error():
+    """An exception inside the context manager must unwind, not hang on a
+    collective finalize the other rank never joins."""
+
+    def run(ctx):
+        try:
+            with Environment(ctx, backend="mpi") as env:
+                env.set_device(env.node_rank())
+                raise RuntimeError("boom")
+        except RuntimeError:
+            return "unwound"
+
+    assert launch(run, 2) == ["unwound", "unwound"]
+
+
+def test_launch_stats_out_is_deprecated_alias():
+    _clear("launch.stats_out")
+    stats = {}
+
+    def run(ctx):
+        return ctx.rank
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DeprecationWarning)
+        report = launch(run, 2, stats_out=stats)
+    assert [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert list(report) == [0, 1]
+    assert stats == report.stats

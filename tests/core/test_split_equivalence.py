@@ -1,0 +1,84 @@
+"""Cross-backend `Communicator.split` equivalence.
+
+The GPUSHMEM backend used to run `barrier` (and the `_v` collectives'
+closing barriers) on `team_world` even for split sub-communicators, while
+MPI and GPUCCL correctly scoped them to the sub-communicator. These tests
+pin the fixed semantics: a sub-communicator's barrier and allreduce involve
+exactly its members, and produce the same values on all three backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Communicator, Coordinator, Environment, Memory, launch
+
+BACKENDS = ["mpi", "gpuccl", "gpushmem"]
+
+
+def _split_workload(ctx, backend):
+    """Each rank: split into even/odd halves, allreduce ranks, barrier."""
+    with Environment(ctx, backend=backend) as env:
+        env.set_device(env.node_rank())
+        with Communicator(env) as world:
+            coord = Coordinator(env, stream=env.device.create_stream())
+            color = world.global_rank() % 2
+            sub = world.split(color, key=world.global_rank())
+
+            send = Memory.alloc(env, 1, dtype=np.float32)
+            recv = Memory.alloc(env, 1, dtype=np.float32)
+            send.write([float(world.global_rank())])
+
+            coord.all_reduce(send, recv, 1, "sum", sub)
+            sub.barrier(stream=coord.stream)
+            coord.stream.synchronize()
+            return {
+                "world_rank": world.global_rank(),
+                "sub_rank": sub.global_rank(),
+                "sub_size": sub.global_size(),
+                "sum": float(recv.read()[0]),
+            }
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_split_allreduce_scoped_to_subgroup(backend):
+    results = launch(_split_workload, 4, args=(backend,))
+    for r in results:
+        color = r["world_rank"] % 2
+        members = [x for x in range(4) if x % 2 == color]
+        assert r["sub_size"] == 2
+        assert r["sub_rank"] == members.index(r["world_rank"])
+        assert r["sum"] == float(sum(members))
+
+
+def test_split_results_agree_across_backends():
+    """The same split program computes identical values on every backend."""
+    per_backend = {
+        b: [
+            {k: r[k] for k in ("world_rank", "sub_rank", "sub_size", "sum")}
+            for r in launch(_split_workload, 4, args=(b,))
+        ]
+        for b in BACKENDS
+    }
+    assert per_backend["mpi"] == per_backend["gpuccl"] == per_backend["gpushmem"]
+
+
+def _sub_barrier_isolation(ctx, backend):
+    """Only the even half calls barrier; the odd half never enters it.
+
+    With a world-scoped barrier (the old GPUSHMEM bug) this deadlocks —
+    the even ranks would wait for odd ranks that never arrive.
+    """
+    with Environment(ctx, backend=backend) as env:
+        env.set_device(env.node_rank())
+        with Communicator(env) as world:
+            color = world.global_rank() % 2
+            sub = world.split(color)
+            if color == 0:
+                sub.barrier()
+            return env.engine.now
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sub_barrier_does_not_involve_other_groups(backend):
+    results = launch(_sub_barrier_isolation, 4, args=(backend,))
+    assert len(results) == 4

@@ -1,0 +1,113 @@
+"""Metrics vs hand-computed traffic for a 2-rank ping-pong, per backend.
+
+The byte counters account payload bytes only, so the expected totals are
+exact: ``iters`` exchanges of ``COUNT`` float32 elements in each direction.
+MPI's dissemination barrier moves zero-byte messages and GPUCCL's barrier
+is a zero-payload allreduce, so neither perturbs the payload totals.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Communicator, Coordinator, Environment, Memory, launch
+from repro.obs import MetricsRegistry, size_class
+
+COUNT = 256  # float32 elements -> 1024 B per message, size class <=4KiB
+ITERS = 5
+NBYTES = COUNT * 4
+
+
+def _pingpong(ctx, backend):
+    with Environment(ctx, backend=backend) as env:
+        env.set_device(env.node_rank())
+        with Communicator(env) as comm:
+            stream = env.device.create_stream()
+            coord = Coordinator(env, stream=stream)
+            peer = 1 - comm.global_rank()
+
+            send = Memory.alloc(env, COUNT, dtype=np.float32)
+            recv = Memory.alloc(env, COUNT, dtype=np.float32)
+            sig = (Memory.alloc(env, 1, dtype=np.uint64)
+                   if env.backend.supports_device_api else None)
+            send.write(np.full(COUNT, float(comm.global_rank()), np.float32))
+            comm.barrier(stream=stream)
+
+            for it in range(ITERS):
+                coord.comm_start()
+                coord.post(send, recv, COUNT, sig, it + 1, peer, comm)
+                coord.acknowledge(recv, COUNT, sig, it + 1, peer, comm)
+                coord.comm_end()
+            stream.synchronize()
+            comm.barrier(stream=stream)
+            return float(recv.read()[0])
+
+
+def _run(backend):
+    return launch(_pingpong, 2, args=(backend,))
+
+
+def test_size_class_boundaries():
+    assert size_class(0) == "<=256B"
+    assert size_class(256) == "<=256B"
+    assert size_class(257) == "<=4KiB"
+    assert size_class(NBYTES) == "<=4KiB"
+    assert size_class(64 * 1024) == "<=64KiB"
+    assert size_class(2 << 20) == ">1MiB"
+
+
+def test_mpi_bytes_match_hand_count():
+    report = _run("mpi")
+    m = report.metrics
+    # 2 ranks x ITERS posts, each one eager send of NBYTES.
+    assert m.counter_total("mpi_bytes_total") == 2 * ITERS * NBYTES
+    assert m.counter_total("mpi_messages_total", size="<=4KiB") == 2 * ITERS
+    # Every payload message was eager at this size.
+    assert m.counter_total("mpi_messages_total", protocol="rdv", size="<=4KiB") == 0
+    assert m.counter_total("uniconn_calls_total", op="post") == 2 * ITERS
+
+
+def test_gpuccl_bytes_match_hand_count():
+    report = _run("gpuccl")
+    m = report.metrics
+    assert m.counter_total("gpuccl_bytes_total") == 2 * ITERS * NBYTES
+    assert m.counter_total("gpuccl_messages_total", size="<=4KiB") == 2 * ITERS
+    # Each comm_start/comm_end pair fuses this rank's send+recv into one
+    # group of 2 ops; the barrier collectives don't enter the histogram.
+    hist = m.histogram("gpuccl_group_size", rank=0)
+    assert hist["count"] == ITERS
+    assert hist["min"] == hist["max"] == 2
+
+
+def test_gpushmem_bytes_match_hand_count():
+    report = _run("gpushmem")
+    m = report.metrics
+    assert m.counter_total("shmem_bytes_total", op="put") == 2 * ITERS * NBYTES
+    assert m.counter_total("shmem_puts_total", size="<=4KiB") == 2 * ITERS
+    # One signal wait per acknowledge, stream-ordered.
+    assert m.counter_total("shmem_signal_waits_total", kind="stream") == 2 * ITERS
+
+
+def test_obs_off_collects_nothing():
+    report = launch(_pingpong, 2, args=("mpi",), obs="off")
+    assert report.metrics.counter_total("mpi_bytes_total") == 0
+    assert not report.metrics.as_dict()["counters"]
+
+
+def test_registry_primitives():
+    m = MetricsRegistry()
+    m.inc("x", 2, a=1)
+    m.inc("x", 3, a=1)
+    m.inc("x", 5, a=2)
+    assert m.counter("x", a=1) == 5
+    assert m.counter_total("x") == 10
+    m.set_gauge("g", 7, q="d")
+    m.set_gauge("g", 3, q="d")
+    assert m.gauge("g", q="d") == 3
+    assert m.gauge_high_water("g", q="d") == 7
+    m.observe("h", 0.5)
+    m.observe("h", 2.0)
+    hist = m.histogram("h")
+    assert hist["count"] == 2 and hist["min"] == 0.5 and hist["max"] == 2.0
+    d = m.as_dict()
+    assert d["counters"]["x{a=1}"] == 5
+    assert d["gauges"]["g{q=d}"] == {"last": 3, "max": 7}

@@ -1,0 +1,89 @@
+"""Post-run analysis: per-rank breakdown, critical path, CLI round-trip."""
+
+import json
+
+import pytest
+
+from repro.apps.jacobi import JacobiConfig, launch_variant
+from repro.cli import main as cli_main
+from repro.obs import analyze_records, format_report, validate_report
+from repro.sim import Tracer
+
+N_RANKS = 4
+
+
+@pytest.fixture(scope="module")
+def jacobi_analysis():
+    """A 2-phase (compute + halo exchange) Jacobi run, span-traced."""
+    cfg = JacobiConfig(nx=64, ny=66, iters=6, warmup=1)
+    tracer = Tracer()
+    report = launch_variant("uniconn:mpi", cfg, N_RANKS, tracer=tracer, obs="spans")
+    analysis = analyze_records(tracer.records, n_ranks=N_RANKS,
+                               total_time=report.stats.get("virtual_time"))
+    return analysis
+
+
+def test_breakdown_partitions_the_timeline(jacobi_analysis):
+    a = jacobi_analysis
+    assert a.total_time > 0
+    assert [r.rank for r in a.ranks] == list(range(N_RANKS))
+    for r in a.ranks:
+        for bucket in (r.compute, r.comm, r.sync, r.idle):
+            assert bucket >= 0
+        # The four buckets partition each rank's timeline exactly.
+        assert r.compute + r.comm + r.sync + r.idle == pytest.approx(a.total_time)
+        # A Jacobi step has real compute and real halo traffic.
+        assert r.compute > 0
+        assert r.comm > 0
+
+
+def test_critical_path_is_sane(jacobi_analysis):
+    a = jacobi_analysis
+    path = a.critical_path
+    assert path, "critical path must not be empty"
+    assert path[-1].end == pytest.approx(a.total_time)
+    for seg in path:
+        assert 0 <= seg.start < seg.end <= a.total_time + 1e-12
+        assert seg.rank in range(N_RANKS)
+    # Segments are contiguous backwards in time: each starts no later than
+    # the next one begins (the chain never jumps forward).
+    for prev, nxt in zip(path, path[1:]):
+        assert prev.end <= nxt.start + 1e-12
+    # The chain must cover a meaningful share of the makespan.
+    covered = sum(seg.duration for seg in path)
+    assert covered > 0.5 * a.total_time
+
+
+def test_format_report_mentions_every_rank(jacobi_analysis):
+    text = format_report(jacobi_analysis)
+    assert "virtual time" in text
+    assert "critical path" in text
+    for rank in range(N_RANKS):
+        assert f"\n   {rank} " in text or f" {rank} " in text
+
+
+def test_cli_report_json_round_trips_schema(tmp_path, capsys):
+    out_path = tmp_path / "report.json"
+    rc = cli_main(["report", "--backend", "mpi", "--gpus", "4",
+                   "--size", "64", "--iters", "5",
+                   "--metrics-out", str(out_path)])
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "per-rank breakdown" in captured
+    assert "critical path" in captured
+
+    doc = json.loads(out_path.read_text())
+    validate_report(doc)  # raises on schema violations
+    assert len(doc["ranks"]) == 4
+    assert doc["critical_path"]
+    assert doc["metrics"]["counters"]
+    # Serialization is stable: validate the round-trip of a re-dump.
+    again = json.loads(json.dumps(doc, sort_keys=True))
+    validate_report(again)
+
+
+def test_validate_report_rejects_bad_documents():
+    with pytest.raises(ValueError):
+        validate_report({"schema": "something-else", "version": 1})
+    with pytest.raises(ValueError):
+        validate_report({"schema": "repro.obs.report", "version": 99})
