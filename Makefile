@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke bench-wallclock faults-demo obs-smoke check-deprecations
+.PHONY: test perf-smoke bench-wallclock faults-demo obs-smoke sanitize-smoke check-deprecations
 
 # Tier-1: the full deterministic test suite.
 test:
@@ -29,6 +29,20 @@ obs-smoke:
 	doc = json.load(open('/tmp/obs_report.json')); validate_report(doc); \
 	assert len(doc['ranks']) == 4 and doc['critical_path'] and doc['metrics']['counters']; \
 	print('obs-smoke OK')"
+
+# Sanitizer smoke (docs/SANITIZER.md): the seeded-race catalogue must be
+# caught (tests/test_sanitize.py), then the example apps must run clean
+# under --sanitize on every backend — the command exits nonzero on any
+# finding.
+sanitize-smoke:
+	$(PYTHON) -m pytest -x -q tests/test_sanitize.py
+	$(PYTHON) -m repro jacobi --backend mpi --gpus 4 --size 64 --iters 8 --sanitize
+	$(PYTHON) -m repro jacobi --backend gpuccl --gpus 4 --size 64 --iters 8 --sanitize
+	$(PYTHON) -m repro jacobi --backend gpushmem --gpus 4 --size 64 --iters 8 --sanitize
+	$(PYTHON) -m repro jacobi --backend gpushmem --mode PureDevice --gpus 4 --size 64 --iters 8 --sanitize
+	$(PYTHON) -m repro cg --backend mpi --gpus 4 --rows 192 --iters 4 --sanitize
+	$(PYTHON) -m repro cg --backend gpuccl --gpus 4 --rows 192 --iters 4 --sanitize
+	$(PYTHON) -m repro cg --backend gpushmem --gpus 4 --rows 192 --iters 4 --sanitize
 
 # Deprecation lane: the new keyword-only API surface must be warning-clean.
 # Old-API tier-1 tests keep running under the default filters elsewhere;

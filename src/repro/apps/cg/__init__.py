@@ -49,8 +49,10 @@ def run_variant(rank_ctx: RankContext, variant: str, cfg: CgConfig, problem: CgP
 
 
 def launch_variant(variant: str, cfg: CgConfig, nranks: int, machine="perlmutter",
-                   problem: CgProblem = None, collect: bool = False):
+                   problem: CgProblem = None, collect: bool = False, *,
+                   sanitize=None):
     """Launch a whole CG job for one variant; returns per-rank results."""
     if problem is None:
         problem = make_problem(cfg)
-    return launch(run_variant, nranks, machine=machine, args=(variant, cfg, problem, collect))
+    return launch(run_variant, nranks, machine=machine, args=(variant, cfg, problem, collect),
+                  sanitize=sanitize)

@@ -41,11 +41,16 @@ def run(rank_ctx: RankContext, cfg: CgConfig, problem: CgProblem, collect: bool 
     def allgatherv() -> None:
         gpuccl.group_start()
         my_seg = state.p_full.offset(state.my_offset, state.n_local)
+        # Skip the self pair: the exchange is in place, so a self send/recv
+        # would asynchronously rewrite the segment the other sends are
+        # snapshotting (a data race); the local block is already in position.
         for dst in range(p):
-            comm.send(my_seg, state.n_local, dst, stream)
+            if dst != comm.rank:
+                comm.send(my_seg, state.n_local, dst, stream)
         for src in range(p):
-            view = state.p_full.offset(state.displs[src], state.counts[src])
-            comm.recv(view, state.counts[src], src, stream)
+            if src != comm.rank:
+                view = state.p_full.offset(state.displs[src], state.counts[src])
+                comm.recv(view, state.counts[src], src, stream)
         gpuccl.group_end()
 
     def iteration() -> None:

@@ -18,9 +18,10 @@ from .solver import CgConfig, CgProblem, CgState, _spmv_cost, _vec_cost_factory
 @device_kernel(name="cg_dev_step")
 def _cg_dev_step(ctx, state: CgState, p: int, me: int) -> None:
     shmem = ctx.shmem
-    # AllGatherv of the search direction: put my window to every PE.
+    # AllGatherv of the search direction: put my window to every other PE
+    # (a self-put would race with the forward puts reading the window).
     window = state.p_full.offset_by(state.my_offset, state.n_local)
-    for shift in range(p):
+    for shift in range(1, p):
         pe = (me + shift) % p
         shmem.put_nbi(window, window, state.n_local, pe, group="block")
     shmem.quiet()

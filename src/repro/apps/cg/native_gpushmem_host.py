@@ -27,7 +27,9 @@ def run(rank_ctx: RankContext, cfg: CgConfig, problem: CgProblem, collect: bool 
 
     def allgatherv() -> None:
         window = state.p_full.offset_by(state.my_offset, state.n_local)
-        for shift in range(p):
+        # shift starts at 1: putting the window onto itself races with the
+        # forward puts reading it, and the local block is already in place.
+        for shift in range(1, p):
             pe = (me + shift) % p
             shmem.put_on_stream(window, window, state.n_local, pe, stream)
         shmem.barrier_all_on_stream(stream)

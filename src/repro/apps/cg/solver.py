@@ -113,8 +113,13 @@ class CgState:
         return self.displs[self.me]
 
     def p_local_view(self) -> np.ndarray:
-        """This rank's slice of the search-direction vector."""
-        return self.p_full.data[self.my_offset : self.my_offset + self.n_local]
+        """This rank's slice of the search-direction vector.
+
+        Sliced at the buffer level (not on the numpy view) so kernel access
+        recording covers only the local segment — the rest of ``p_full`` is
+        legitimately rewritten by incoming allgather puts.
+        """
+        return self.p_full.offset_by(self.my_offset, self.n_local).data
 
 
 def _spmv_cost(ctx: DeviceCtx, state: CgState) -> KernelCost:

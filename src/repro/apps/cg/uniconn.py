@@ -34,7 +34,9 @@ def _cg_dev_step(ctx, state: CgState, comm_d) -> None:
     u = ctx.uniconn
     p, me = comm_d.size, comm_d.rank
     window = state.p_full.offset_by(state.my_offset, state.n_local)
-    for shift in range(p):
+    # shift starts at 1: posting the window onto itself races with the
+    # forward posts reading it, and the local block is already in place.
+    for shift in range(1, p):
         pe = (me + shift) % p
         u.post(window, window, state.n_local, None, 0, pe, comm_d)
     u.quiet()

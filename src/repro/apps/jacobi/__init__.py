@@ -66,7 +66,8 @@ def launch_variant(variant: str, cfg: JacobiConfig, nranks: int, machine="perlmu
                    collect=False, stats_out: Optional[dict] = None,
                    tracer: Optional[Tracer] = None,
                    fault_plan=None, fault_seed: Optional[int] = None,
-                   *, obs: Optional[str] = None, trace_out: Optional[str] = None):
+                   *, obs: Optional[str] = None, trace_out: Optional[str] = None,
+                   sanitize=None):
     """Launch a whole Jacobi job for one variant.
 
     Returns the :class:`~repro.launcher.RunReport` (a list of per-rank
@@ -75,7 +76,7 @@ def launch_variant(variant: str, cfg: JacobiConfig, nranks: int, machine="perlmu
     """
     report = launch(run_variant, nranks, machine=machine, args=(variant, cfg, collect),
                     tracer=tracer, fault_plan=fault_plan, fault_seed=fault_seed,
-                    obs=obs, trace_out=trace_out)
+                    obs=obs, trace_out=trace_out, sanitize=sanitize)
     if stats_out is not None:
         stats_out.update(report.stats)
     return report

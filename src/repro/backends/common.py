@@ -15,7 +15,13 @@ BufferLike = Union[DeviceBuffer, np.ndarray]
 
 
 def _storage(buf: BufferLike) -> np.ndarray:
-    # DeviceBuffer and SymBuffer both expose live storage through ``.data``.
+    # DeviceBuffer and SymBuffer expose live storage through ``.raw``
+    # (like ``.data`` but without sanitizer access recording: backend
+    # internals record their payload reads/writes explicitly, with precise
+    # kinds and ranges).
+    raw = getattr(buf, "raw", None)
+    if isinstance(raw, np.ndarray):
+        return raw
     data = getattr(buf, "data", None)
     if isinstance(data, np.ndarray):
         return data

@@ -42,6 +42,10 @@ class _CollSlot:
             )
         if rank in self.records:
             raise GpucclError(f"rank {rank} joined collective twice")
+        san = shared.engine.sanitizer
+        if san is not None:
+            # Every rank's arrival happens-before the collective completes.
+            san.release(self)
         self.records[rank] = (op_handle, send_snapshot, recv_buf)
         if len(self.records) == self.nranks:
             self._fire(shared)
@@ -59,34 +63,45 @@ class _CollSlot:
         }[self.kind](nbytes)
 
         def complete() -> None:
-            self._apply()
+            san = shared.engine.sanitizer
+            if san is not None:
+                # Ordered after every rank's arrival, not only the last one
+                # (whose context this scheduled callback inherits).
+                san.acquire(self)
+            self._apply(san)
             for op_handle, _, _ in self.records.values():
                 op_handle.finish()
 
         shared.engine.schedule(duration, complete)
 
-    def _apply(self) -> None:
+    def _apply(self, san) -> None:
         kind, count, p = self.kind, self.count, self.nranks
+
+        def put(recv, n, payload) -> None:
+            if san is not None:
+                san.record(recv, "w", 0, n, note=f"ccl-{kind}")
+            as_array(recv)[:n] = payload
+
         if kind in ("all_reduce", "reduce", "reduce_scatter"):
             total = self.records[0][1].copy()
             for r in range(1, p):
                 apply_reduce(self.op, total, self.records[r][1])
             if kind == "all_reduce":
                 for _, _, recv in self.records.values():
-                    as_array(recv)[:count] = total
+                    put(recv, count, total)
             elif kind == "reduce":
-                as_array(self.records[self.root][2])[:count] = total
+                put(self.records[self.root][2], count, total)
             else:  # reduce_scatter: rank r keeps chunk r
                 for r, (_, _, recv) in self.records.items():
-                    as_array(recv)[:count] = total[r * count : (r + 1) * count]
+                    put(recv, count, total[r * count : (r + 1) * count])
         elif kind == "broadcast":
             payload = self.records[self.root][1]
             for _, _, recv in self.records.values():
-                as_array(recv)[:count] = payload
+                put(recv, count, payload)
         elif kind == "all_gather":
             gathered = np.concatenate([self.records[r][1] for r in range(p)])
             for _, _, recv in self.records.values():
-                as_array(recv)[: count * p] = gathered
+                put(recv, count * p, gathered)
         else:  # pragma: no cover - guarded by the dispatch dict
             raise GpucclError(f"unknown collective kind {kind}")
 
@@ -110,6 +125,9 @@ def _submit(comm, stream: Stream, kind: str, send: BufferLike, recv: Optional[Bu
 
     def on_start(op_handle: ExternalOp) -> None:
         def register() -> None:
+            san = comm.engine.sanitizer
+            if san is not None:
+                san.record(send, "r", 0, snapshot_count, note=f"ccl-{kind}")
             snapshot = as_array(send, snapshot_count).copy()
             slot.arrive(shared, rank, op_handle, snapshot, recv, kind, count, op, root)
 

@@ -93,8 +93,16 @@ class _FusedOp(ExternalOp):
         self.engine.schedule(delay, register)
 
     def entry_done(self) -> None:
+        san = self.engine.sanitizer
+        if san is not None:
+            # Entries deliver in independent callbacks; the fused op's
+            # completion must be ordered after every entry's payload
+            # movement, not just the one that happened to finish last.
+            san.release(self)
         self._remaining -= 1
         if self._remaining == 0:
+            if san is not None:
+                san.acquire(self)
             self.finish()
 
 
@@ -124,6 +132,11 @@ class _CommShared:
         return self._ring
 
     def register(self, entry: _P2PEntry) -> None:
+        san = self.engine.sanitizer
+        if san is not None:
+            # register() runs in the entry's stream-kernel chain; the match
+            # in _fire must be ordered after it (see the acquires there).
+            san.release(entry)
         key = (entry.src, entry.dst)
         sends, recvs = self._queues.setdefault(key, ([], []))
         (sends if entry.kind == "send" else recvs).append(entry)
@@ -145,9 +158,20 @@ class _CommShared:
             metrics.inc("gpuccl_messages_total", size=size_class(send.nbytes),
                         rank=send.src)
             metrics.inc("gpuccl_bytes_total", send.nbytes, rank=send.src)
+        san = self.engine.sanitizer
+        if san is not None:
+            # The match runs in whichever side registered last; order it
+            # after BOTH sides so the payload read/write inherit each
+            # stream's happens-before edges.
+            san.acquire(send)
+            san.acquire(recv)
+            san.record(send.buf, "r", 0, send.count, note=f"ccl-send->{send.dst}")
         payload = as_array(send.buf, send.count).copy()
 
         def deliver() -> None:
+            if san is not None:
+                san.record(recv.buf, "w", 0, send.count,
+                           note=f"ccl-recv<-{send.src}")
             as_array(recv.buf)[: send.count] = payload
             send.parent.entry_done()
             recv.parent.entry_done()

@@ -82,6 +82,10 @@ class _Slot:
     def arrive(self, team_pe: int, snapshot: Optional[np.ndarray], recv_target, finish_cb=None) -> None:
         if (team_pe in self.records):
             raise GpushmemError(f"PE {team_pe} joined {self.kind} twice")
+        san = self.world.engine.sanitizer
+        if san is not None:
+            # Every arrival happens-before the collective completes.
+            san.release(self)
         self.records[team_pe] = (snapshot, recv_target)
         if finish_cb is not None:
             self.finishers.append(finish_cb)
@@ -104,6 +108,11 @@ class _Slot:
         duration = self.team.model.collective_time(self.kind, self.count * itemsize)
 
         def complete() -> None:
+            san = self.world.engine.sanitizer
+            if san is not None:
+                # Completion is ordered after every PE's arrival, not just
+                # the last one (whose context this callback inherits).
+                san.acquire(self)
             self._apply()
             self.done.set()
             for cb in self.finishers:
@@ -115,6 +124,13 @@ class _Slot:
         kind, count, p = self.kind, self.count, self.team.size
         if kind == "barrier":
             return
+        san = self.world.engine.sanitizer
+
+        def put(recv, n, payload) -> None:
+            if san is not None:
+                san.record(recv, "w", 0, n, note=f"shmem-{kind}")
+            as_array(recv)[:n] = payload
+
         if kind in ("reduce", "allreduce"):
             total = self.records[0][0].copy()
             for r in range(1, p):
@@ -122,21 +138,20 @@ class _Slot:
             targets = self.records.items() if kind == "allreduce" else [(self.root, self.records[self.root])]
             for _, (_, recv) in targets:
                 if recv is not None:
-                    as_array(recv)[:count] = total
+                    put(recv, count, total)
         elif kind == "broadcast":
             payload = self.records[self.root][0]
             for pe, (_, recv) in self.records.items():
                 if recv is not None:
-                    as_array(recv)[:count] = payload
+                    put(recv, count, payload)
         elif kind == "fcollect":
             gathered = np.concatenate([self.records[r][0] for r in range(p)])
             for _, (_, recv) in self.records.items():
-                as_array(recv)[: count * p] = gathered
+                put(recv, count * p, gathered)
         elif kind == "alltoall":
             for dst in range(p):
                 out = np.concatenate([self.records[src][0][dst * count : (dst + 1) * count] for src in range(p)])
-                recv = self.records[dst][1]
-                as_array(recv)[: count * p] = out
+                put(self.records[dst][1], count * p, out)
         else:  # pragma: no cover - guarded by TeamModel
             raise GpushmemError(f"unknown collective kind {kind}")
 
@@ -205,18 +220,40 @@ class ShmemTeam:
         n_snap = count if snapshot_count is None else snapshot_count
         team_pe = self.my_pe
 
+        engine = self.world.engine
+        # NVSHMEM barrier semantics are quiet + sync: each PE completes its
+        # own outstanding puts before arriving, so data movement closed by a
+        # barrier (e.g. the put-composed allgather) is ordered before any
+        # post-barrier access on every member.
+        ctx = self.world.contexts.get(self.members[self.my_pe])
+        outstanding = ctx._outstanding if (kind == "barrier" and ctx is not None) else None
+
+        def snap():
+            if send is None:
+                return None
+            san = engine.sanitizer
+            if san is not None:
+                san.record(send, "r", 0, n_snap, note=f"shmem-{kind}")
+            return as_array(send, n_snap).copy()
+
         if stream is None:
-            snapshot = None if send is None else as_array(send, n_snap).copy()
-            slot.arrive(team_pe, snapshot, recv)
+            if outstanding is not None:
+                outstanding.wait_for(lambda v: v == 0)
+            slot.arrive(team_pe, snap(), recv)
             slot.done.wait()
             return None
 
         def on_start(op_handle: ExternalOp) -> None:
             def register() -> None:
-                snapshot = None if send is None else as_array(send, n_snap).copy()
-                slot.arrive(team_pe, snapshot, recv, finish_cb=op_handle.finish)
+                slot.arrive(team_pe, snap(), recv, finish_cb=op_handle.finish)
 
-            self.world.engine.schedule(self.world.profile.host_post_overhead, register)
+            def ready() -> None:
+                if outstanding is not None:
+                    outstanding.watch(lambda v: v == 0, register)
+                else:
+                    register()
+
+            self.world.engine.schedule(self.world.profile.host_post_overhead, ready)
 
         stream.enqueue(ExternalOp(self.world.engine, f"shmem-{kind}[pe{team_pe}]", on_start))
         return None

@@ -194,7 +194,7 @@ class ShmemContext:
         wait_until(sig.obj.updated, _signal_predicate(sig, cmp, value),
                    timeout=timeout,
                    what=f"signal_wait_until(sym{sig.obj.index} {cmp} {value}) on PE {self.my_pe}")
-        return int(sig.local.data[0])
+        return int(sig.local.raw[0])
 
     def quiet(self) -> None:
         """Block until all puts issued by this PE are delivered."""
@@ -346,6 +346,9 @@ def _signal_predicate(sig: SymBuffer, cmp: str, value: int):
         raise GpushmemError(f"unknown comparison {cmp!r}; known: {sorted(CMP)}") from None
 
     def pred() -> bool:
-        return bool(compare(int(sig.local.data[0]), value))
+        # `.raw`: predicates are simulation machinery, evaluated at notify
+        # points under arbitrary contexts — the synchronization they build
+        # (signal_wait_until) is what creates the happens-before edge.
+        return bool(compare(int(sig.local.raw[0]), value))
 
     return pred

@@ -77,17 +77,29 @@ class SymObject:
     def watch(self, predicate: Callable[[], bool], callback: Callable[[], None]) -> None:
         """Run ``callback`` once ``predicate`` holds (checked on updates)."""
         if predicate():
-            callback()
+            san = self.updated.engine.sanitizer
+            if san is not None:
+                san.run_acquired(self.updated, callback)
+            else:
+                callback()
         else:
             self._watchers.append((predicate, callback))
 
     def notify(self) -> None:
         """Declare that this object's memory changed on some PE."""
+        san = self.updated.engine.sanitizer
+        if san is not None:
+            # Watcher callbacks act for their waiters: order them after the
+            # memory update they observed.
+            san.release(self.updated)
         if self._watchers:
             still = []
             for predicate, callback in self._watchers:
                 if predicate():
-                    callback()
+                    if san is not None:
+                        san.run_acquired(self.updated, callback)
+                    else:
+                        callback()
                 else:
                     still.append((predicate, callback))
             self._watchers = still
@@ -138,6 +150,11 @@ class SymBuffer:
         """Local live numpy storage (lets SymBuffer act as a BufferLike)."""
         return self.local.data
 
+    @property
+    def raw(self) -> np.ndarray:
+        """Local storage without sanitizer recording (simulation internals)."""
+        return self.local.raw
+
     def view_at(self, pe: int) -> DeviceBuffer:
         """The slice's storage on PE ``pe`` (the one-sided address map).
 
@@ -169,8 +186,13 @@ class SymBuffer:
         return self.local.read()
 
     def write(self, values) -> None:
-        """Overwrite the local window and wake watchers."""
-        self.local.write(np.asarray(values, dtype=self.obj.dtype))
+        """Overwrite the local window and wake watchers.
+
+        Goes through :meth:`DeviceBuffer.write`, so a lossy cast (e.g.
+        float data into an int window) is rejected uniformly instead of
+        being forced through ``np.asarray``.
+        """
+        self.local.write(values)
         self.obj.notify()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -23,9 +23,15 @@ __all__ = ["issue_put", "issue_get", "apply_signal"]
 
 def apply_signal(sig: SymBuffer, pe: int, value: int, op: str) -> None:
     """Atomically update a remote signal word and wake its watchers."""
-    arr = sig.view_at(pe).data
+    view = sig.view_at(pe)
+    arr = view.raw
     if arr.size < 1:
         raise GpushmemError("signal location must hold at least one element")
+    san = view.device.engine.sanitizer
+    if san is not None:
+        # Signal updates are atomic: they race with reads/writes but not
+        # with each other ("aw").
+        san.record(view, "aw", 0, 1, note=f"signal-{op}")
     if op == SIGNAL_SET:
         arr[0] = value
     elif op == SIGNAL_ADD:
@@ -60,13 +66,18 @@ def issue_put(
     (possibly negative) shifts delivery for direct load/store paths, clamped
     so data never arrives before it finished leaving the source.
     """
-    if count > dest.count:
-        raise GpushmemError(f"put of {count} elements into window of {dest.count}")
     engine = world.engine
+    san = engine.sanitizer
+    if count > dest.count:
+        if san is not None:
+            san.report_oob(dest, dest.offset, count, f"put->pe{dst_pe}")
+        raise GpushmemError(f"put of {count} elements into window of {dest.count}")
+    if san is not None:
+        san.record(src, "r", 0, count, note=f"put->pe{dst_pe}")
     payload = as_array(src, count).copy()
     nbytes = count * payload.dtype.itemsize
     # Resolve the destination view once at issue time; delivery only touches
-    # `.data` (which still performs the use-after-free check).
+    # `.raw` (which still performs the use-after-free check).
     dst_view = dest.view_at(dst_pe)
     path = world.cluster.path(world.gpu_of(src_pe), world.gpu_of(dst_pe))
     if bandwidth_penalty <= 0 or bandwidth_penalty > 1:
@@ -83,7 +94,16 @@ def issue_put(
         engine.schedule(max(0.0, transfer.inject_done - engine.now), on_local_done)
 
     def deliver() -> None:
-        dst_view.data[:count] = payload
+        if san is not None:
+            # Deliveries on one path happen in the order their callbacks
+            # run (Path.reserve serializes the wire), so chain them: a
+            # later delivery — e.g. the host-side signal put completing a
+            # PartialDevice exchange — carries this payload write.
+            san.acquire(path)
+            san.record(dst_view, "w", 0, count, note=f"put<-pe{src_pe}")
+        dst_view.raw[:count] = payload
+        if san is not None:
+            san.release(path)
         dest.obj.notify()
         if signal is not None:
             sig, value, op = signal
@@ -123,9 +143,12 @@ def issue_get(
     The remote memory is read at delivery time (the closest single-snapshot
     approximation of a one-sided read racing with remote writes).
     """
-    if count > src.count:
-        raise GpushmemError(f"get of {count} elements from window of {src.count}")
     engine = world.engine
+    san = engine.sanitizer
+    if count > src.count:
+        if san is not None:
+            san.report_oob(src, src.offset, count, f"get<-pe{dst_pe}")
+        raise GpushmemError(f"get of {count} elements from window of {src.count}")
     nbytes = count * src.dtype.itemsize
     src_view = src.view_at(dst_pe)
     # Gets traverse the reverse path: remote PE -> reader.
@@ -139,7 +162,13 @@ def issue_get(
         metrics.inc("shmem_bytes_total", nbytes, op="get", rank=src_pe)
 
     def deliver() -> None:
-        as_array(dest)[:count] = src_view.data[:count]
+        if san is not None:
+            san.acquire(path)
+            san.record(src_view, "r", 0, count, note=f"get<-pe{dst_pe}")
+            san.record(dest, "w", 0, count, note=f"get<-pe{dst_pe}")
+        as_array(dest)[:count] = src_view.raw[:count]
+        if san is not None:
+            san.release(path)
         if on_delivered is not None:
             on_delivered()
 

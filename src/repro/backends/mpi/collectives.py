@@ -42,6 +42,19 @@ __all__ = [
 _EMPTY = np.empty(0, np.uint8)
 
 
+def _record(comm, buf, kind: str, start: int, count: int, note: str) -> None:
+    """Sanitizer record in the calling rank's context.
+
+    Collectives here are blocking and fully synchronized at return, so
+    caller-context records are correctly ordered; they matter because the
+    tree/fan algorithms pass numpy *views* of device buffers into the P2P
+    layer, which the sanitizer cannot attribute back to the allocation.
+    """
+    san = comm.engine.sanitizer
+    if san is not None:
+        san.record(buf, kind, start, count, note=note)
+
+
 def _stage(comm, buf: BufferLike, count: int) -> None:
     """Charge the device<->host bounce-buffer copy of the collective path
     for large device payloads (GPUDirect is not used by MPI collectives
@@ -102,6 +115,7 @@ def reduce(comm, sendbuf: BufferLike, recvbuf: Optional[BufferLike], count: int,
     _check_root(p, root)
     tag = comm._next_coll_tag()
     vrank = (r - root) % p
+    _record(comm, sendbuf, "r", 0, count, f"reduce[{op}]")
     acc = as_array(sendbuf, count).copy()
     tmp = np.empty_like(acc)
     mask = 1
@@ -117,6 +131,7 @@ def reduce(comm, sendbuf: BufferLike, recvbuf: Optional[BufferLike], count: int,
     if r == root:
         if recvbuf is None:
             raise MpiError("reduce: root must provide a receive buffer")
+        _record(comm, recvbuf, "w", 0, count, f"reduce[{op}]")
         as_array(recvbuf, count)[:count] = acc
 
 
@@ -153,11 +168,15 @@ def gatherv(
         for src in range(p):
             dst_view = rarr[displs[src] : displs[src] + counts[src]]
             if src == root:
+                _record(comm, sendbuf, "r", 0, counts[root], "gatherv")
                 dst_view[:] = as_array(sendbuf, counts[root])
             else:
                 reqs.append(comm.irecv(dst_view, counts[src], src, tag))
         waitall(reqs)
+        # The irecvs above landed in numpy views of recvbuf; record the
+        # writes here, after waitall has ordered us behind every delivery.
         for src in range(p):
+            _record(comm, recvbuf, "w", displs[src], counts[src], "gatherv")
             if src != root:
                 _stage(comm, rarr[displs[src] :], counts[src])
     else:
@@ -190,8 +209,11 @@ def scatterv(
         sarr = as_array(sendbuf)
         reqs = []
         for dst in range(p):
+            # isend gets a numpy view of sendbuf, so record the read here.
+            _record(comm, sendbuf, "r", displs[dst], counts[dst], "scatterv")
             src_view = sarr[displs[dst] : displs[dst] + counts[dst]]
             if dst == root:
+                _record(comm, recvbuf, "w", 0, counts[root], "scatterv")
                 as_array(recvbuf, counts[root])[: counts[root]] = src_view
             else:
                 _stage(comm, src_view, counts[dst])
@@ -229,6 +251,11 @@ def alltoall(comm, sendbuf: BufferLike, recvbuf: BufferLike, count: int) -> None
     sarr, rarr = as_array(sendbuf), as_array(recvbuf)
     if sarr.size < p * count or rarr.size < p * count:
         raise MpiError(f"alltoall: buffers must hold {p * count} elements")
+    # Pairwise exchange moves numpy views of both buffers, so record the
+    # whole-buffer read up front and each received block as its blocking
+    # sendrecv round completes.
+    _record(comm, sendbuf, "r", 0, p * count, "alltoall")
+    _record(comm, recvbuf, "w", r * count, count, "alltoall")
     rarr[r * count : (r + 1) * count] = sarr[r * count : (r + 1) * count]
     for k in range(1, p):
         dst, src = (r + k) % p, (r - k) % p
@@ -236,6 +263,7 @@ def alltoall(comm, sendbuf: BufferLike, recvbuf: BufferLike, count: int) -> None
             sarr[dst * count : (dst + 1) * count], count, dst,
             rarr[src * count : (src + 1) * count], count, src, tag,
         )
+        _record(comm, recvbuf, "w", src * count, count, "alltoall")
 
 
 def _check_root(size: int, root: int) -> None:

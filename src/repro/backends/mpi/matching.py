@@ -133,8 +133,17 @@ class MessageEngine:
         def register() -> None:
             metrics = self.engine.metrics
             path = self.path_between(comm, src, dst)
+            san = self.engine.sanitizer
+            if san is not None:
+                # Posting happens-before the matched pair fires (_fire
+                # acquires both records).
+                san.release(request)
             if nbytes <= profile.eager_threshold:
                 rec = _SendRec(src, tag, count, nbytes, "eager")
+                san = self.engine.sanitizer
+                if san is not None:
+                    san.record(buf, "r", 0, count,
+                               note=f"send[{src}->{dst} tag={tag}]")
                 rec.data = arr[:count].copy()
                 transfer = path.reserve(self.engine.now, nbytes)
                 record_transfer(metrics, "mpi", self.engine.now, transfer)
@@ -199,6 +208,12 @@ class MessageEngine:
 
         def register() -> None:
             rec = _RecvRec(src, tag, count, buf, request)
+            san = self.engine.sanitizer
+            if san is not None:
+                # Posting happens-before the matched pair fires; the recv
+                # post carries the receiver's prior accesses to the buffer
+                # (e.g. a kernel read completed before re-posting).
+                san.release(request)
             self.engine.trace("mpi.recv", src=src, dst=dst, tag=tag, comm=comm.comm_id)
             sends, recvs = self._queues(comm.comm_id, dst)
             # Incremental matching (see post_send): only the new receive can
@@ -225,6 +240,13 @@ class MessageEngine:
     # ------------------------------------------------------------------ #
 
     def _fire(self, comm, profile: MpiProfile, send: _SendRec, recv: _RecvRec, dst: int) -> None:
+        san = self.engine.sanitizer
+        if san is not None:
+            # The match runs in whichever side posted last; order the
+            # delivery after BOTH posts so it inherits, in particular, the
+            # receiver's accesses that completed before the irecv.
+            san.acquire(send.request)
+            san.acquire(recv.request)
         injector = self.engine.fault_injector
         if injector is not None and injector.has_message_faults:
             return self._fire_faulty(comm, profile, send, recv, dst, injector)
@@ -240,10 +262,14 @@ class MessageEngine:
             send.request.complete()
             return
         now = self.engine.now
+        note = f"recv[{send.src}->{dst} tag={send.tag}]"
         if send.kind == "eager":
             payload = send.data
 
             def deliver() -> None:
+                san = self.engine.sanitizer
+                if san is not None:
+                    san.record(recv.buf, "w", 0, send.count, note=note)
                 as_array(recv.buf)[: send.count] = payload
                 recv.request.complete()
 
@@ -259,6 +285,10 @@ class MessageEngine:
             def start_transfer() -> None:
                 transfer = send.path.reserve(self.engine.now, send.nbytes)
                 record_transfer(self.engine.metrics, "mpi", self.engine.now, transfer)
+                san = self.engine.sanitizer
+                if san is not None:
+                    san.record(send.src_buf, "r", 0, send.count,
+                               note=f"send[{send.src}->{dst} tag={send.tag}]")
                 payload = as_array(send.src_buf, send.count).copy()
                 self.engine.schedule(
                     max(0.0, transfer.inject_done - self.engine.now),
@@ -266,6 +296,9 @@ class MessageEngine:
                 )
 
                 def deliver() -> None:
+                    san = self.engine.sanitizer
+                    if san is not None:
+                        san.record(recv.buf, "w", 0, send.count, note=note)
                     as_array(recv.buf)[: send.count] = payload
                     recv.request.complete()
 
@@ -308,10 +341,18 @@ class MessageEngine:
         def payload() -> np.ndarray:
             if send.kind == "eager":
                 return send.data
+            san = engine.sanitizer
+            if san is not None:
+                san.record(send.src_buf, "r", 0, send.count,
+                           note=f"send[{send.src}->{dst} tag={send.tag}]")
             return as_array(send.src_buf, send.count).copy()
 
         def deliver_from(data: np.ndarray) -> Callable[[], None]:
             def deliver() -> None:
+                san = engine.sanitizer
+                if san is not None:
+                    san.record(recv.buf, "w", 0, send.count,
+                               note=f"recv[{send.src}->{dst} tag={send.tag}]")
                 as_array(recv.buf)[: send.count] = data
                 recv.request.complete()
 

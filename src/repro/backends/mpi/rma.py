@@ -95,7 +95,8 @@ class MpiWindow:
 
     def _launch(self, target: int, nbytes: int, on_delivered: Callable[[], None]) -> None:
         self.engine.sleep(self.ctx.profile.host_call_overhead)
-        transfer = self._path_to(target).reserve(self.engine.now, nbytes)
+        path = self._path_to(target)
+        transfer = path.reserve(self.engine.now, nbytes)
         metrics = self.engine.metrics
         if metrics.enabled:
             record_transfer(metrics, "mpi", self.engine.now, transfer)
@@ -106,10 +107,19 @@ class MpiWindow:
         self._per_target[target] = self._per_target.get(target, 0) + 1
 
         def deliver() -> None:
+            san = self.engine.sanitizer
+            if san is not None:
+                # Deliveries on one path land in callback order (the wire is
+                # FIFO): chain them, so a trailing signal put carries the
+                # payload put it follows — the ordering this module's
+                # completion semantics promise per target.
+                san.acquire(path)
             on_delivered()
             self._outstanding.add(-1)
             self._per_target[target] -= 1
             self.shared.updated.notify_all()
+            if san is not None:
+                san.release(path)
 
         self.engine.schedule(max(0.0, transfer.delivered - self.engine.now), deliver)
 
@@ -120,10 +130,17 @@ class MpiWindow:
     def put(self, origin: BufferLike, count: int, target: int, target_disp: int = 0) -> None:
         """MPI_Put: write ``count`` elements into the target's window."""
         dst = self._check(target, count, target_disp)
+        exposed = self.shared.exposed[target]
+        san = self.engine.sanitizer
+        if san is not None:
+            san.record(origin, "r", 0, count, note=f"rma-put->{target}")
         payload = as_array(origin, count).copy()
         nbytes = int(count * payload.dtype.itemsize)
+        me = self.comm.rank
 
         def deliver() -> None:
+            if san is not None:
+                san.record(exposed, "w", target_disp, count, note=f"rma-put<-{me}")
             dst[target_disp : target_disp + count] = payload
 
         self._launch(target, nbytes, deliver)
@@ -131,10 +148,15 @@ class MpiWindow:
     def get(self, origin: BufferLike, count: int, target: int, target_disp: int = 0) -> None:
         """MPI_Get: read ``count`` elements from the target's window."""
         src = self._check(target, count, target_disp)
+        exposed = self.shared.exposed[target]
+        san = self.engine.sanitizer
         dst = as_array(origin, count)
         nbytes = int(count * dst.dtype.itemsize)
 
         def deliver() -> None:
+            if san is not None:
+                san.record(exposed, "r", target_disp, count, note=f"rma-get->{target}")
+                san.record(origin, "w", 0, count, note=f"rma-get<-{target}")
             dst[:count] = src[target_disp : target_disp + count]
 
         self._launch(target, nbytes, deliver)
@@ -143,10 +165,19 @@ class MpiWindow:
                    op: str = "sum", target_disp: int = 0) -> None:
         """MPI_Accumulate: atomic element-wise update of the target window."""
         dst = self._check(target, count, target_disp)
+        exposed = self.shared.exposed[target]
+        san = self.engine.sanitizer
+        if san is not None:
+            san.record(origin, "r", 0, count, note=f"rma-acc->{target}")
         payload = as_array(origin, count).copy()
         nbytes = int(count * payload.dtype.itemsize)
+        me = self.comm.rank
 
         def deliver() -> None:
+            if san is not None:
+                # Accumulates are atomic per MPI semantics: they conflict
+                # with reads/writes but not with other accumulates.
+                san.record(exposed, "aw", target_disp, count, note=f"rma-acc<-{me}")
             view = dst[target_disp : target_disp + count]
             apply_reduce(op, view, payload)
 

@@ -42,6 +42,13 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--fault-seed", type=int, default=0,
                         help="seed for the plan's probabilistic decisions")
 
+    def _sanitize_arg(sp):
+        sp.add_argument("--sanitize", nargs="?", const="race", default=None,
+                        choices=["race"],
+                        help="run under the happens-before sanitizer "
+                             "(docs/SANITIZER.md); races make the command "
+                             "exit nonzero")
+
     sp = sub.add_parser("machines", help="print the Table I machine models")
 
     sp = sub.add_parser(
@@ -66,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "(checkpoint + rollback; ignores --backend/--mode)")
     sp.add_argument("--checkpoint-every", type=int, default=8,
                     help="iterations between in-memory checkpoints (--resilient)")
+    _sanitize_arg(sp)
 
     sp = sub.add_parser("cg", help="run the Conjugate Gradient solver")
     common(sp)
@@ -74,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--nnz", type=int, default=33)
     sp.add_argument("--gpus", type=int, default=8)
     sp.add_argument("--iters", type=int, default=30)
+    _sanitize_arg(sp)
 
     for name in ("latency", "bandwidth"):
         sp = sub.add_parser(name, help=f"OSU-style {name} benchmark (2 GPUs)")
@@ -92,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--gpus", type=int, default=4)
     sp.add_argument("--out", default="trace.json")
     _fault_args(sp)
+    _sanitize_arg(sp)
 
     sp = sub.add_parser(
         "report", help="run a Jacobi job with span tracing and print the "
@@ -111,7 +121,25 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--trace-out", default=None, metavar="FILE",
                     help="also write the Chrome trace (with spans) here")
     _fault_args(sp)
+    _sanitize_arg(sp)
     return p
+
+
+def _print_races(report, out) -> int:
+    """Print sanitizer findings; returns the count (nonzero exit signal)."""
+    races = getattr(report, "races", [])
+    if not races:
+        if report.stats.get("races") is not None:
+            print("sanitizer: no races detected", file=out)
+        return 0
+    print(f"sanitizer: {len(races)} finding(s)", file=out)
+    for r in races:
+        for line in str(r).splitlines():
+            print(f"  {line}", file=out)
+    dropped = report.stats.get("races_dropped", 0)
+    if dropped:
+        print(f"  ... and {dropped} more (report cap reached)", file=out)
+    return len(races)
 
 
 def _cmd_machines(args, out) -> int:
@@ -137,12 +165,14 @@ def _cmd_jacobi(args, out) -> int:
         variant = "mpi-resilient"
         results = launch(resilient.run, args.gpus, machine=args.machine,
                          args=(cfg, args.verify, args.checkpoint_every),
-                         fault_plan=args.fault_spec, fault_seed=args.fault_seed)
+                         fault_plan=args.fault_spec, fault_seed=args.fault_seed,
+                         sanitize=args.sanitize)
     else:
         variant = f"uniconn:{args.backend}" + ("" if args.mode == "PureHost" else f":{args.mode}")
         results = launch_variant(variant, cfg, args.gpus, machine=args.machine,
                                  collect=args.verify,
-                                 fault_plan=args.fault_spec, fault_seed=args.fault_seed)
+                                 fault_plan=args.fault_spec, fault_seed=args.fault_seed,
+                                 sanitize=args.sanitize)
     t = max(r.time_per_iter for r in results)
     print(f"jacobi {cfg.nx}x{cfg.ny} x{args.gpus} GPUs [{variant}] on {args.machine}: "
           f"{t * 1e6:.2f} us/iter", file=out)
@@ -152,12 +182,13 @@ def _cmd_jacobi(args, out) -> int:
     restarts = max((getattr(r, "restarts", 0) for r in results), default=0)
     if restarts:
         print(f"  recovered via {restarts} checkpoint rollback(s)", file=out)
+    races = _print_races(results, out)
     if args.verify:
         ref = serial_jacobi(cfg, iters=cfg.warmup + cfg.iters)
         ok = np.array_equal(assemble(cfg, results), ref)
         print(f"verification: {'PASS (bitwise)' if ok else 'FAIL'}", file=out)
-        return 0 if ok else 1
-    return 0
+        return 1 if (not ok or races) else 0
+    return 1 if races else 0
 
 
 def _cmd_cg(args, out) -> int:
@@ -166,13 +197,14 @@ def _cmd_cg(args, out) -> int:
     cfg = CgConfig(n=args.rows, nnz_per_row=args.nnz, iters=args.iters)
     problem = make_problem(cfg)
     results = launch_variant(f"uniconn:{args.backend}", cfg, args.gpus,
-                             machine=args.machine, problem=problem, collect=True)
+                             machine=args.machine, problem=problem, collect=True,
+                             sanitize=args.sanitize)
     x = assemble_x(results, cfg.n)
     rel = final_residual(problem, x) / float(np.linalg.norm(problem.b))
     t = max(r.time_per_iter for r in results)
     print(f"cg n={cfg.n} x{args.gpus} GPUs [uniconn:{args.backend}] on {args.machine}: "
           f"{t * 1e6:.2f} us/iter, |b-Ax|/|b| = {rel:.2e}", file=out)
-    return 0
+    return 1 if _print_races(results, out) else 0
 
 
 def _cmd_netbench(args, out, kind: str) -> int:
@@ -214,13 +246,14 @@ def _cmd_trace(args, out) -> int:
 
     tracer = Tracer()
     cfg = JacobiConfig(nx=64, ny=66, iters=5, warmup=1)
-    launch(lambda ctx: run_variant(ctx, f"uniconn:{args.backend}", cfg),
-           args.gpus, machine=args.machine, tracer=tracer,
-           fault_plan=args.fault_spec, fault_seed=args.fault_seed)
+    report = launch(lambda ctx: run_variant(ctx, f"uniconn:{args.backend}", cfg),
+                    args.gpus, machine=args.machine, tracer=tracer,
+                    fault_plan=args.fault_spec, fault_seed=args.fault_seed,
+                    sanitize=args.sanitize)
     write_chrome_trace(tracer, args.out)
     print(f"{len(tracer.records)} events -> {args.out} "
           f"(open in chrome://tracing or Perfetto)", file=out)
-    return 0
+    return 1 if _print_races(report, out) else 0
 
 
 def _cmd_report(args, out) -> int:
@@ -234,12 +267,14 @@ def _cmd_report(args, out) -> int:
     tracer = Tracer()
     report = launch_variant(variant, cfg, args.gpus, machine=args.machine,
                             tracer=tracer, obs="spans", trace_out=args.trace_out,
-                            fault_plan=args.fault_spec, fault_seed=args.fault_seed)
+                            fault_plan=args.fault_spec, fault_seed=args.fault_seed,
+                            sanitize=args.sanitize)
     analysis = analyze_records(tracer.records, n_ranks=args.gpus,
                                total_time=report.stats.get("virtual_time"))
     print(f"jacobi {cfg.nx}x{cfg.ny} x{args.gpus} GPUs [{variant}] on {args.machine}",
           file=out)
     print(format_report(analysis), file=out)
+    races = _print_races(report, out)
     if args.trace_out:
         print(f"chrome trace -> {args.trace_out}", file=out)
     if args.metrics_out:
@@ -248,17 +283,20 @@ def _cmd_report(args, out) -> int:
         doc = {"schema": SCHEMA_NAME, "version": SCHEMA_VERSION}
         doc.update(analysis.as_dict())
         doc["metrics"] = report.metrics.as_dict()
-        doc["stats"] = {k: v for k, v in report.stats.items() if k != "faults"}
+        doc["stats"] = {k: v for k, v in report.stats.items()
+                        if k not in ("faults", "races")}
         doc["faults"] = [
             {"t": when, "kind": kind, "fields": dict(fields)}
             for when, kind, fields in report.faults
         ]
+        if args.sanitize:
+            doc["races"] = [r.as_dict() for r in report.races]
         validate_report(doc)
         with open(args.metrics_out, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"report document -> {args.metrics_out}", file=out)
-    return 0
+    return 1 if races else 0
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:

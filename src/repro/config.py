@@ -34,6 +34,11 @@ class UniconnConfig:
     # zero injection overhead. Explicit launch() arguments override these.
     fault_spec: Optional[str] = None
     fault_seed: int = 0
+    # Happens-before sanitizer (repro.sanitize): None disables it (the
+    # default — traces stay byte-identical), "race" instruments every
+    # simulated device-memory access and reports conflicting pairs with no
+    # happens-before path in report.races. launch(sanitize=...) overrides.
+    sanitize: Optional[str] = None
     # Observability level (repro.obs): "off" disables the metrics registry,
     # "metrics" (default) collects host-side counters only, "spans" also
     # emits begin/end span records on the virtual clock for the analyzer /

@@ -32,6 +32,7 @@ import numpy as np
 from contextlib import nullcontext
 
 from .._compat import warn_once
+from ..backends.common import as_array
 from ..backends.gpuccl import group_end as _ccl_group_end, group_start as _ccl_group_start
 from ..backends.gpushmem import SymBuffer
 from ..backends.mpi import waitall as _mpi_waitall
@@ -505,12 +506,24 @@ class Coordinator:
             p = comm.global_size()
             me = comm.global_rank()
             if self.backend is GpucclBackend:
-                # No native allgatherv: grouped P2P composition.
+                # No native allgatherv: grouped P2P composition. The self
+                # pair is skipped when the exchange is in place: a self
+                # send/recv lands asynchronously on the region the other
+                # sends are still snapshotting, which is a data race (the
+                # local block is already in position anyway).
                 ccl = comm.ccl
+                my_view = self._slice(recvbuf, displs[me], counts[me])
+                in_place = np.shares_memory(
+                    as_array(sendbuf, sendcount), as_array(my_view, counts[me])
+                )
                 _ccl_group_start()
                 for dst in range(p):
+                    if in_place and dst == me:
+                        continue
                     ccl.send(sendbuf, sendcount, dst, self.stream)
                 for src in range(p):
+                    if in_place and src == me:
+                        continue
                     view = self._slice(recvbuf, displs[src], counts[src])
                     ccl.recv(view, counts[src], src, self.stream)
                 _ccl_group_end()
@@ -521,8 +534,15 @@ class Coordinator:
             # split sub-communicators don't synchronize the whole world.
             self._require_sym(recvbuf, "all_gather_v")
             window = recvbuf.offset_by(displs[me], sendcount)
+            in_place = np.shares_memory(
+                as_array(sendbuf, sendcount), as_array(window, sendcount)
+            )
             for shift in range(p):
                 pe = (me + shift) % p
+                if in_place and pe == me:
+                    # Putting a window onto itself races with the forward
+                    # puts reading it; the block is already in place.
+                    continue
                 self.env.shmem.put_on_stream(
                     window, sendbuf, sendcount, comm.team.translate(pe), self.stream
                 )

@@ -46,6 +46,11 @@ class RmaBuffer:
         return self.dev.data
 
     @property
+    def raw(self) -> np.ndarray:
+        """Live storage without sanitizer recording (simulation internals)."""
+        return self.dev.raw
+
+    @property
     def dtype(self):
         """Element dtype."""
         return self.dev.dtype
@@ -71,8 +76,12 @@ class RmaBuffer:
         return self.dev.read()
 
     def write(self, values) -> None:
-        """Overwrite the local contents and wake window watchers."""
-        self.dev.write(np.asarray(values, dtype=self.dev.dtype))
+        """Overwrite the local contents and wake window watchers.
+
+        Routed through :meth:`DeviceBuffer.write` so lossy casts are
+        rejected here exactly as on every other backend.
+        """
+        self.dev.write(values)
         self.window.shared.updated.notify_all()
 
     def fill(self, value) -> None:

@@ -19,12 +19,14 @@ __all__ = ["DeviceBuffer"]
 class DeviceBuffer:
     """A typed region of one device's memory."""
 
-    __slots__ = ("device", "_array", "_root", "freed")
+    __slots__ = ("device", "_array", "_root", "_offset", "freed")
 
-    def __init__(self, device: "Device", array: np.ndarray, root: "DeviceBuffer" = None):
+    def __init__(self, device: "Device", array: np.ndarray, root: "DeviceBuffer" = None,
+                 offset: int = 0):
         self.device = device
         self._array = array
         self._root = root if root is not None else self
+        self._offset = offset  # element offset of this view within _root
         self.freed = False
 
     # ------------------------------------------------------------------ #
@@ -32,7 +34,28 @@ class DeviceBuffer:
     @property
     def data(self) -> np.ndarray:
         """The live numpy storage (a view for sliced buffers)."""
+        san = self.device.engine.sanitizer
         if self._root.freed:
+            if san is not None:
+                san.report_uaf(self)
+            raise GpuError("use of freed device buffer")
+        if san is not None:
+            san.on_data(self)
+        return self._array
+
+    @property
+    def raw(self) -> np.ndarray:
+        """Live storage without sanitizer access recording.
+
+        For simulation internals whose accesses are recorded explicitly
+        (payload snapshots, deliveries, signal predicates); user code goes
+        through :attr:`data`, which inside kernels records a conservative
+        read-write of the whole buffer.
+        """
+        if self._root.freed:
+            san = self.device.engine.sanitizer
+            if san is not None:
+                san.report_uaf(self)
             raise GpuError("use of freed device buffer")
         return self._array
 
@@ -62,7 +85,11 @@ class DeviceBuffer:
     def __getitem__(self, key: slice) -> "DeviceBuffer":
         if not isinstance(key, slice):
             raise GpuError("device buffers are indexed with slices (views)")
-        return DeviceBuffer(self.device, self.data[key], root=self._root)
+        start, _, step = key.indices(self.size)
+        if step != 1:
+            raise GpuError("device buffer views must be contiguous (step 1)")
+        return DeviceBuffer(self.device, self.raw[key], root=self._root,
+                            offset=self._offset + start)
 
     def offset(self, start: int, count: int = None) -> "DeviceBuffer":
         """Pointer arithmetic: ``buf.offset(n)`` is the C ``ptr + n``."""
@@ -84,15 +111,23 @@ class DeviceBuffer:
         float write into an int buffer is rejected instead of silently
         truncating, matching what a typed ``cudaMemcpy`` wrapper would do.
         """
-        src_arr = src.data if isinstance(src, DeviceBuffer) else np.asarray(src)
+        is_dev = isinstance(src, DeviceBuffer)
+        src_arr = src.raw if is_dev else np.asarray(src)
         n = src_arr.size if count is None else count
         if n > self.size:
             raise GpuError(f"write of {n} elements into buffer of {self.size}")
+        if n > src_arr.size:
+            raise GpuError(f"write of {n} elements from source of {src_arr.size}")
         if not np.can_cast(src_arr.dtype, self.dtype, casting="same_kind"):
             raise GpuError(
                 f"write of {src_arr.dtype} data into {self.dtype} buffer "
                 "(lossy cast; convert explicitly)"
             )
+        san = self.device.engine.sanitizer
+        if san is not None:
+            if is_dev:
+                san.record(src, "r", 0, n)
+            san.record(self, "w", 0, n)
         # Common case: 1-D source, full-size write — no intermediate views.
         if src_arr.ndim == 1:
             self.data[:n] = src_arr if n == src_arr.size else src_arr[:n]
@@ -102,9 +137,17 @@ class DeviceBuffer:
     def read(self, count: int = None) -> np.ndarray:
         """Snapshot ``count`` elements (default: all) as a host array."""
         n = self.size if count is None else count
+        if n > self.size:
+            raise GpuError(f"read of {n} elements from buffer of {self.size}")
+        san = self.device.engine.sanitizer
+        if san is not None:
+            san.record(self, "r", 0, n)
         return self.data[:n].copy()
 
     def fill(self, value) -> None:
+        san = self.device.engine.sanitizer
+        if san is not None:
+            san.record(self, "w", 0, self.size)
         self.data[:] = value
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

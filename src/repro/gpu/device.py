@@ -92,6 +92,11 @@ class Device:
             raise GpuError("cannot free a buffer view; free the root allocation")
         if buf.freed:
             raise GpuError("double free of device buffer")
+        san = self.engine.sanitizer
+        if san is not None:
+            # In-flight transfers that later touch this buffer conflict
+            # with the free record (use-after-free with attribution).
+            san.record_free(buf)
         buf.freed = True
         self.allocated_bytes -= buf.nbytes
 
@@ -120,7 +125,10 @@ class Device:
                 dst.write(src)
             else:
                 n = min(dst.size, src.size)
-                dst.reshape(-1)[:n] = src.data[:n]
+                san = self.engine.sanitizer
+                if san is not None:
+                    san.record(src, "r", 0, n)
+                dst.reshape(-1)[:n] = src.raw[:n]
 
         dur = self.model.memcpy_overhead + nbytes / self.model.pcie_bandwidth
         stream.enqueue(TimedOp(self.engine, f"memcpy-{kind}", lambda: dur, action))
@@ -166,7 +174,12 @@ class Device:
         if kernel.uses_device_comm:
             def body() -> Any:
                 self.engine.sleep(self.model.launch_overhead)
-                result = kernel.fn(ctx, *args)
+                san = self.engine.sanitizer
+                if san is not None:
+                    with san.kernel_scope(kernel.name):
+                        result = kernel.fn(ctx, *args)
+                else:
+                    result = kernel.fn(ctx, *args)
                 if ctx.pending_cost.bytes_moved or ctx.pending_cost.flops:
                     self.engine.sleep(self.kernel_time(ctx.pending_cost))
                 return result
@@ -174,7 +187,12 @@ class Device:
             stream.enqueue(TaskOp(self.engine, kernel.name, body))
         else:
             def action() -> None:
-                kernel.fn(ctx, *args)
+                san = self.engine.sanitizer
+                if san is not None:
+                    with san.kernel_scope(kernel.name):
+                        kernel.fn(ctx, *args)
+                else:
+                    kernel.fn(ctx, *args)
 
             def duration() -> float:
                 return self.launch_time(kernel.cost_of(ctx, args))

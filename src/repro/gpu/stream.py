@@ -130,6 +130,10 @@ class Stream:
         """Add an operation; starts immediately if the stream is idle."""
         op.stream = self
         self._last = op
+        san = self.engine.sanitizer
+        if san is not None:
+            # Enqueue happens-before the op runs, even if it starts later.
+            op._san_enq = san.snapshot_enqueue(op, self)
         self.engine.trace("stream.enqueue", stream=self.name, op=op.name,
                           gpu=self.device.gpu_id)
         if self._active is None:
@@ -142,13 +146,29 @@ class Stream:
     def _start(self, op: StreamOp) -> None:
         self.engine.trace("stream.start", stream=self.name, op=op.name,
                           gpu=self.device.gpu_id)
-        op.start()
+        san = self.engine.sanitizer
+        if san is None:
+            op.start()
+            return
+        # Run the op under a context ordered after both its enqueue point
+        # and the previous op on this stream (FIFO order).
+        san.push_op(op, self)
+        try:
+            op.start()
+        finally:
+            san.pop()
 
     def _advance(self, finished: StreamOp) -> None:
         if finished is not self._active:
             raise GpuError(f"stream {self.name}: out-of-order completion of {finished.name}")
         self.engine.trace("stream.complete", stream=self.name, op=finished.name,
                           gpu=self.device.gpu_id)
+        san = self.engine.sanitizer
+        if san is not None:
+            # FIFO chain: each op's completion context (which contains its
+            # memory effects) happens-before the next op on this stream.
+            # push_op acquires this in _start.
+            san.release(self)
         if self._queue:
             self._active = self._queue.popleft()
             self._start(self._active)

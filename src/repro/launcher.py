@@ -75,10 +75,12 @@ class RunReport(list):
     - ``metrics``: the run's :class:`~repro.obs.MetricsRegistry`;
     - ``faults``: the injected-fault log (empty list for healthy runs);
     - ``trace_path``: where the Chrome trace was written (``trace_out=``),
-      or None.
+      or None;
+    - ``races``: :class:`~repro.sanitize.RaceReport` list from the
+      happens-before sanitizer (empty unless ``sanitize="race"``).
     """
 
-    __slots__ = ("stats", "metrics", "faults", "trace_path")
+    __slots__ = ("stats", "metrics", "faults", "trace_path", "races")
 
     def __init__(self, results=()):
         super().__init__(results)
@@ -86,6 +88,7 @@ class RunReport(list):
         self.metrics: MetricsRegistry = MetricsRegistry(enabled=False)
         self.faults: List[Any] = []
         self.trace_path: Optional[str] = None
+        self.races: List[Any] = []
 
 
 class RankContext:
@@ -135,6 +138,7 @@ def launch(
     fault_seed: Optional[int] = None,
     obs: Optional[str] = None,
     trace_out: Optional[str] = None,
+    sanitize: Union[str, bool, None] = None,
 ) -> "RunReport":
     """Run ``fn(ctx, *args)`` on ``n_ranks`` simulated ranks.
 
@@ -158,6 +162,13 @@ def launch(
 
     ``stats_out`` is a deprecated alias for ``report.stats`` — a dict the
     engine's scheduler counters plus ``virtual_time`` are copied into.
+
+    ``sanitize`` enables the happens-before race & memory sanitizer
+    (``"race"`` or True; default from ``UniconnConfig.sanitize``): every
+    access to simulated device memory is checked for conflicting pairs with
+    no happens-before path, and findings land in ``report.races`` (and
+    ``stats["races"]``) as :class:`~repro.sanitize.RaceReport` objects.
+    With the sanitizer off the run is untouched — traces are byte-identical.
 
     ``fault_plan`` (a :class:`~repro.sim.FaultPlan` or a spec string for
     ``FaultPlan.parse``) installs deterministic fault injection seeded by
@@ -184,9 +195,16 @@ def launch(
         obs = get_config().obs_level
     if obs not in ("off", "metrics", "spans"):
         raise ValueError(f"unknown obs level {obs!r} (off|metrics|spans)")
+    from .sanitize import Sanitizer, resolve_mode
+
+    if sanitize is None:
+        sanitize = get_config().sanitize
+    san_mode = resolve_mode(sanitize)
     engine = Engine()
     engine.metrics.enabled = obs != "off"
     engine.obs_spans = obs == "spans"
+    if san_mode is not None:
+        engine.sanitizer = Sanitizer(engine, mode=san_mode)
     if tracer is None and trace_out is not None:
         tracer = Tracer()
     if tracer is not None:
@@ -196,13 +214,25 @@ def launch(
     job = Job(engine, cluster, n_ranks, placement=placement)
 
     def body(rank: int) -> Any:
+        if engine.sanitizer is not None:
+            engine.sanitizer.bind_rank(rank)
         return fn(RankContext(job, rank), *args)
 
     report = RunReport()
     try:
         report.extend(run_spmd(n_ranks, body, engine=engine))
         return report
+    except BaseException as exc:
+        # Let callers inspect partial observability (including any races
+        # found before the failure) when a rank raises.
+        exc.run_report = report
+        raise
     finally:
+        if engine.sanitizer is not None:
+            report.races = list(engine.sanitizer.reports)
+            report.stats["races"] = [r.as_dict() for r in report.races]
+            if engine.sanitizer.dropped:
+                report.stats["races_dropped"] = engine.sanitizer.dropped
         report.stats.update(engine.stats.as_dict())
         report.stats["virtual_time"] = engine.now
         report.metrics = engine.metrics

@@ -1,0 +1,564 @@
+"""Happens-before race & memory sanitizer for the simulated GPU substrate.
+
+The simulator executes every rank, stream and kernel as cooperative tasks
+over one virtual clock, which makes the ordering contracts of the paper's
+three backends (stream FIFO order, NCCL group semantics, SHMEM
+signal/quiet ordering) mechanically checkable: any two accesses to the
+same simulated device memory that are not connected by a happens-before
+path could land in either order on real hardware, i.e. they are a data
+race even if the simulated schedule happened to produce the right answer.
+
+The sanitizer is strictly opt-in (``launch(..., sanitize="race")`` or the
+``--sanitize`` CLI flag). With it off, every hook reduces to a single
+``engine.sanitizer is None`` check and the event schedule — and therefore
+the trace — is byte-identical to an uninstrumented run.
+
+Model (FastTrack-style epochs over sparse vector clocks):
+
+* An :class:`AccessCtx` is one strand of sequential execution: a simulated
+  task, a stream op, or a scheduled callback. Each carries a vector clock
+  ``vc`` mapping context ids to ticks; accesses are stamped with the
+  context's current epoch ``(id, tick)``.
+* Happens-before edges come from the simulation's own synchronization
+  primitives: ``SimEvent.set``/``wait``, ``Broadcast.notify_all``/``wait``
+  (which underlie stream completion, MPI request completion, SHMEM
+  signals, barriers and collectives), task spawn/join, and scheduled
+  callbacks (issue happens-before delivery).
+* Device buffers keep a bounded shadow history of accesses; a new access
+  that overlaps an earlier one of a conflicting kind with no
+  happens-before path produces a :class:`RaceReport`.
+
+Access kinds: ``r`` read, ``w`` write, ``rw`` conservative kernel access,
+``aw`` atomic write (signal updates — unordered atomics do not race with
+each other), ``free`` deallocation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["AccessCtx", "RaceReport", "Sanitizer", "resolve_mode"]
+
+# kinds that CONFLICT with the key kind when unordered
+_CONFLICTS: Dict[str, Tuple[str, ...]] = {
+    "r": ("w", "rw", "free"),
+    "w": ("r", "w", "rw", "aw", "free"),
+    "rw": ("r", "w", "rw", "aw", "free"),
+    "aw": ("r", "w", "rw", "free"),
+    "free": ("r", "w", "rw", "aw", "free"),
+}
+
+# prev kinds whose conflict set is a subset of the key kind's: a prev access
+# that is ordered-before and range-covered by the new one can be dropped.
+_SUBSUMES: Dict[str, Tuple[str, ...]] = {
+    cur: tuple(p for p, pc in _CONFLICTS.items() if set(pc) <= set(cc))
+    for cur, cc in _CONFLICTS.items()
+}
+
+
+def resolve_mode(value) -> Optional[str]:
+    """Normalize a ``sanitize=`` setting to ``None`` (off) or ``"race"``."""
+    if value is None or value is False:
+        return None
+    if value is True:
+        return "race"
+    mode = str(value).strip().lower()
+    if mode in ("", "0", "off", "none", "no"):
+        return None
+    if mode in ("race", "on", "1", "yes", "true"):
+        return "race"
+    raise ValueError(f"unknown sanitize mode {value!r} (expected 'race' or 'off')")
+
+
+class AccessCtx:
+    """One strand of sequential execution, with its vector clock.
+
+    Vector clocks are copy-on-write: a fork shares the parent's dict and
+    freezes it (both sides copy before their next mutation), so pure
+    control-flow chains never pay for copies.
+    """
+
+    __slots__ = ("id", "tick", "vc", "owns", "rank", "stream", "note", "kernel")
+
+    def __init__(self, vc: dict, owns: bool, rank=None, stream=None,
+                 note=None, kernel=None):
+        self.id: Optional[int] = None  # allocated lazily on first access
+        self.tick = 0
+        self.vc = vc
+        self.owns = owns
+        self.rank = rank
+        self.stream = stream
+        self.note = note
+        self.kernel = kernel
+
+
+class _Access:
+    """One recorded access in a buffer's shadow history."""
+
+    __slots__ = ("ctx_id", "tick", "kind", "start", "stop", "rank", "stream",
+                 "note", "t")
+
+    def __init__(self, ctx_id, tick, kind, start, stop, rank, stream, note, t):
+        self.ctx_id = ctx_id
+        self.tick = tick
+        self.kind = kind
+        self.start = start
+        self.stop = stop
+        self.rank = rank
+        self.stream = stream
+        self.note = note
+        self.t = t
+
+    def describe(self) -> dict:
+        return {
+            "rank": self.rank,
+            "stream": self.stream,
+            "op": self.note,
+            "kind": self.kind,
+            "start": self.start,
+            "stop": self.stop,
+            "t": self.t,
+        }
+
+
+class _Shadow:
+    """Bounded per-buffer access history."""
+
+    __slots__ = ("label", "size", "accesses")
+
+    def __init__(self, label: str, size: int):
+        self.label = label
+        self.size = size
+        self.accesses: List[_Access] = []
+
+
+def _describe_ctx(ctx: AccessCtx, kind: str, start: int, stop: int, note: str,
+                  t: float) -> dict:
+    return {
+        "rank": ctx.rank,
+        "stream": ctx.stream,
+        "op": note,
+        "kind": kind,
+        "start": start,
+        "stop": stop,
+        "t": t,
+    }
+
+
+def _fmt_access(a: dict) -> str:
+    where = f"rank {a['rank']}" if a["rank"] is not None else "host"
+    stream = f" stream {a['stream']}" if a.get("stream") else ""
+    return (f"{a['kind']} [{a['start']}:{a['stop']}) by {where}{stream} "
+            f"in {a['op']!r} at t={a['t']:.3e}")
+
+
+class RaceReport:
+    """Structured description of one sanitizer finding.
+
+    ``kind`` is ``"race"``, ``"use-after-free"`` or ``"out-of-bounds"``.
+    ``first``/``second`` describe the two accesses (for oob there is only
+    ``second``, the faulting access) with rank, stream, op/span name,
+    virtual timestamp and element range.
+    """
+
+    __slots__ = ("kind", "buffer", "start", "stop", "first", "second")
+
+    def __init__(self, kind: str, buffer: str, start: int, stop: int,
+                 first: Optional[dict], second: dict):
+        self.kind = kind
+        self.buffer = buffer
+        self.start = start
+        self.stop = stop
+        self.first = first
+        self.second = second
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "buffer": self.buffer,
+            "start": self.start,
+            "stop": self.stop,
+            "first": self.first,
+            "second": self.second,
+        }
+
+    def __str__(self) -> str:
+        head = f"{self.kind}: {self.buffer}[{self.start}:{self.stop})"
+        lines = [head]
+        if self.first is not None:
+            lines.append(f"  first : {_fmt_access(self.first)}")
+        lines.append(f"  second: {_fmt_access(self.second)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RaceReport({self.kind!r}, {self.buffer!r}, [{self.start}:{self.stop}))"
+
+
+class Sanitizer:
+    """Happens-before race detector attached to one :class:`~repro.sim.Engine`.
+
+    Attach by setting ``engine.sanitizer = Sanitizer(engine)`` before any
+    task runs (``launch(..., sanitize="race")`` does this for you).
+    """
+
+    def __init__(self, engine, mode: str = "race", max_reports: int = 64):
+        self.engine = engine
+        self.mode = mode
+        self.max_reports = max_reports
+        self.reports: List[RaceReport] = []
+        self.dropped = 0
+        self._next_id = 1
+        self._root = AccessCtx({}, owns=True, note="main")
+        self._stack: List[AccessCtx] = []
+        self._task_ctxs: Dict[object, AccessCtx] = {}
+        # id(obj) -> (obj, vc): sync-object vector clocks; the object is
+        # pinned so ids are never recycled under us.
+        self._vcs: Dict[int, Tuple[object, dict]] = {}
+        # id(root DeviceBuffer) -> (root, _Shadow)
+        self._shadows: Dict[int, Tuple[object, _Shadow]] = {}
+        self._seen = set()
+
+    # ------------------------------------------------------------------ #
+    # Contexts.
+    # ------------------------------------------------------------------ #
+
+    def current(self) -> AccessCtx:
+        """The context of whatever code is running right now."""
+        if self._stack:
+            return self._stack[-1]
+        task = self.engine._current
+        if task is None:
+            return self._root
+        ctx = self._task_ctxs.get(task)
+        if ctx is None:  # task predates the sanitizer; treat as root fork
+            ctx = self.fork(self._root, note=getattr(task, "name", "task"))
+            self._task_ctxs[task] = ctx
+        return ctx
+
+    def _own(self, ctx: AccessCtx) -> None:
+        if not ctx.owns:
+            ctx.vc = dict(ctx.vc)
+            ctx.owns = True
+
+    def _bump(self, ctx: AccessCtx) -> None:
+        """Advance the context's epoch (called whenever it releases)."""
+        if ctx.id is None:
+            return
+        self._own(ctx)
+        ctx.tick += 1
+        ctx.vc[ctx.id] = ctx.tick
+
+    def _epoch(self, ctx: AccessCtx) -> Tuple[int, int]:
+        if ctx.id is None:
+            ctx.id = self._next_id
+            self._next_id += 1
+            ctx.tick = 1
+            self._own(ctx)
+            ctx.vc[ctx.id] = 1
+        return ctx.id, ctx.tick
+
+    def fork(self, parent: Optional[AccessCtx] = None, *, rank=None,
+             stream=None, note=None) -> AccessCtx:
+        """New context ordered after ``parent`` (default: after current).
+
+        The parent's epoch advances so that its *later* accesses are not
+        covered by the child's inherited clock.
+        """
+        if parent is None:
+            parent = self.current()
+        child = AccessCtx(parent.vc, owns=False,
+                          rank=parent.rank if rank is None else rank,
+                          stream=parent.stream if stream is None else stream,
+                          note=parent.note if note is None else note)
+        parent.owns = False
+        self._bump(parent)
+        return child
+
+    def push(self, ctx: AccessCtx) -> None:
+        self._stack.append(ctx)
+
+    def pop(self) -> None:
+        self._stack.pop()
+
+    def bind_rank(self, rank: int) -> None:
+        """Attribute the current context (a rank's task) to ``rank``."""
+        self.current().rank = rank
+
+    # ------------------------------------------------------------------ #
+    # Happens-before edges.
+    # ------------------------------------------------------------------ #
+
+    def _obj_vc(self, obj, create: bool) -> Optional[dict]:
+        ent = self._vcs.get(id(obj))
+        if ent is None:
+            if not create:
+                return None
+            ent = (obj, {})
+            self._vcs[id(obj)] = ent
+        return ent[1]
+
+    def release(self, obj) -> None:
+        """current ──► obj: join the current clock into the object's."""
+        ctx = self.current()
+        if ctx.id is not None:
+            self._own(ctx)
+            ctx.vc[ctx.id] = ctx.tick
+        ovc = self._obj_vc(obj, create=True)
+        for k, v in ctx.vc.items():
+            if v > ovc.get(k, 0):
+                ovc[k] = v
+        self._bump(ctx)
+
+    def acquire(self, obj) -> None:
+        """obj ──► current: join the object's clock into the current one."""
+        ovc = self._obj_vc(obj, create=False)
+        if not ovc:
+            return
+        ctx = self.current()
+        self._own(ctx)
+        vc = ctx.vc
+        for k, v in ovc.items():
+            if v > vc.get(k, 0):
+                vc[k] = v
+
+    def _acquire_into(self, ctx: AccessCtx, obj) -> None:
+        ovc = self._obj_vc(obj, create=False)
+        if not ovc:
+            return
+        self._own(ctx)
+        vc = ctx.vc
+        for k, v in ovc.items():
+            if v > vc.get(k, 0):
+                vc[k] = v
+
+    def run_acquired(self, obj, fn) -> None:
+        """Run ``fn`` in a fork of the current context ordered after ``obj``.
+
+        Used for watcher/predicate callbacks fired inline by a notifier:
+        the callback acts on behalf of the waiter, which is ordered after
+        the release it observed, not merely after the notifier.
+        """
+        child = self.fork()
+        self._acquire_into(child, obj)
+        self._stack.append(child)
+        try:
+            fn()
+        finally:
+            self._stack.pop()
+
+    def wrap_callback(self, fn):
+        """Wrap an ``Engine.schedule`` callback: issue happens-before fire."""
+        child = self.fork()
+        stack = self._stack
+
+        def run():
+            stack.append(child)
+            try:
+                fn()
+            finally:
+                stack.pop()
+
+        return run
+
+    # --- tasks -------------------------------------------------------- #
+
+    def on_spawn(self, task) -> None:
+        self._task_ctxs[task] = self.fork(note=getattr(task, "name", "task"))
+
+    def on_finish_task(self, task) -> None:
+        ctx = self._task_ctxs.get(task)
+        if ctx is not None:
+            self._stack.append(ctx)
+            try:
+                self.release(task)
+            finally:
+                self._stack.pop()
+
+    def on_join(self, task) -> None:
+        self.acquire(task)
+
+    # --- streams ------------------------------------------------------ #
+
+    def snapshot_enqueue(self, op, stream) -> AccessCtx:
+        """Freeze the enqueuer's clock; merged back in when the op starts."""
+        return self.fork(note=getattr(op, "name", None),
+                         stream=getattr(stream, "name", None))
+
+    def push_op(self, op, stream) -> None:
+        """Enter a stream op: FIFO predecessor chain ∨ enqueue snapshot."""
+        enq = getattr(op, "_san_enq", None)
+        child = self.fork(stream=getattr(stream, "name", None),
+                          note=getattr(op, "name", None))
+        # FIFO edge: ordered after the previous op's completion on this
+        # stream (released by Stream._advance).
+        self._acquire_into(child, stream)
+        if enq is not None:
+            self._own(child)
+            vc = child.vc
+            for k, v in enq.vc.items():
+                if v > vc.get(k, 0):
+                    vc[k] = v
+            # The op belongs to the rank that enqueued it, regardless of
+            # which context happened to drive the stream advance (often a
+            # neighbour's delivery callback).
+            if enq.rank is not None:
+                child.rank = enq.rank
+            child.note = enq.note or child.note
+        self._stack.append(child)
+
+    @contextmanager
+    def kernel_scope(self, name: str):
+        """Mark the current context as executing kernel ``name``.
+
+        Inside a kernel scope, ``DeviceBuffer.data`` accesses are recorded
+        conservatively as read-writes over the whole buffer.
+        """
+        ctx = self.current()
+        prev = ctx.kernel
+        ctx.kernel = name
+        try:
+            yield
+        finally:
+            ctx.kernel = prev
+
+    # ------------------------------------------------------------------ #
+    # Accesses.
+    # ------------------------------------------------------------------ #
+
+    def _resolve(self, buf):
+        local = getattr(buf, "local", None)  # SymBuffer -> local DeviceBuffer
+        if local is not None:
+            buf = local
+        else:
+            dev = getattr(buf, "dev", None)  # RmaBuffer -> backing buffer
+            if dev is not None:
+                buf = dev
+        root = getattr(buf, "_root", None)
+        if root is None:
+            return None  # host numpy array etc. — out of scope
+        return root, getattr(buf, "_offset", 0), buf
+
+    def _shadow_for(self, root) -> _Shadow:
+        ent = self._shadows.get(id(root))
+        if ent is None:
+            n = self.engine.next_seq("sanbuf")
+            dev = getattr(root, "device", None)
+            where = f"gpu{getattr(dev, 'gpu_id', '?')}"
+            label = f"{where}:buf{n}({root.size}x{root._array.dtype})"
+            ent = (root, _Shadow(label, root.size))
+            self._shadows[id(root)] = ent
+        return ent[1]
+
+    def on_data(self, buf) -> None:
+        """Hook for ``DeviceBuffer.data``: record only inside kernels."""
+        ctx = self.current()
+        if ctx.kernel is None:
+            return
+        self.record(buf, "rw", note=ctx.kernel)
+
+    def record(self, buf, kind: str, start: int = 0,
+               count: Optional[int] = None, note: Optional[str] = None) -> None:
+        """Record one access to simulated device memory and check races."""
+        res = self._resolve(buf)
+        if res is None:
+            return
+        root, off, view = res
+        a0 = off + start
+        a1 = a0 + (view.size if count is None else count)
+        ctx = self.current()
+        if note is None:
+            note = ctx.kernel or ctx.note or "host"
+        sh = self._shadow_for(root)
+        conflicts = _CONFLICTS[kind]
+        subsumes = _SUBSUMES[kind]
+        vc = ctx.vc
+        keep: List[_Access] = []
+        for prev in sh.accesses:
+            if prev.stop <= a0 or prev.start >= a1:
+                keep.append(prev)
+                continue
+            ordered = vc.get(prev.ctx_id, 0) >= prev.tick
+            if not ordered and prev.kind in conflicts:
+                self._report("race", sh, prev.describe(),
+                             _describe_ctx(ctx, kind, a0, a1, note,
+                                           self.engine.now),
+                             max(a0, prev.start), min(a1, prev.stop))
+            if ordered and prev.start >= a0 and prev.stop <= a1 \
+                    and prev.kind in subsumes:
+                continue  # subsumed: drop from the shadow history
+            keep.append(prev)
+        cid, tick = self._epoch(ctx)
+        keep.append(_Access(cid, tick, kind, a0, a1, ctx.rank, ctx.stream,
+                            note, self.engine.now))
+        sh.accesses = keep
+
+    # ------------------------------------------------------------------ #
+    # Memory-safety findings.
+    # ------------------------------------------------------------------ #
+
+    def record_free(self, buf) -> None:
+        self.record(buf, "free", note="free")
+
+    def report_uaf(self, buf) -> None:
+        """Called from the freed-buffer check before it raises."""
+        res = self._resolve(buf)
+        if res is None:
+            return
+        root, off, view = res
+        sh = self._shadow_for(root)
+        first = None
+        for prev in sh.accesses:
+            if prev.kind == "free":
+                first = prev.describe()
+        ctx = self.current()
+        note = ctx.kernel or ctx.note or "host"
+        self._report("use-after-free", sh, first,
+                     _describe_ctx(ctx, "r", off, off + view.size, note,
+                                   self.engine.now),
+                     off, off + view.size)
+
+    def report_oob(self, buf, start: int, count: int, what: str) -> None:
+        """A transfer addressed elements outside the symmetric window."""
+        res = self._resolve(buf)
+        label = res and self._shadow_for(res[0]).label or "<window>"
+        ctx = self.current()
+        note = ctx.kernel or ctx.note or what
+        second = _describe_ctx(ctx, "w", start, start + count, note,
+                               self.engine.now)
+        self._emit(RaceReport("out-of-bounds", label, start, start + count,
+                              None, second))
+
+    # ------------------------------------------------------------------ #
+    # Reporting.
+    # ------------------------------------------------------------------ #
+
+    def _report(self, kind: str, sh: _Shadow, first: Optional[dict],
+                second: dict, lo: int, hi: int) -> None:
+        f = first or {}
+        key = (kind, sh.label, f.get("op"), f.get("kind"), f.get("rank"),
+               second["op"], second["kind"], second["rank"])
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._emit(RaceReport(kind, sh.label, lo, hi, first, second))
+
+    def _emit(self, report: RaceReport) -> None:
+        if len(self.reports) >= self.max_reports:
+            self.dropped += 1
+            return
+        self.reports.append(report)
+        eng = self.engine
+        if eng.metrics.enabled:
+            eng.metrics.inc("sanitizer_reports_total", kind=report.kind)
+        second = report.second
+        eng.trace(
+            "sanitize." + report.kind,
+            buffer=report.buffer,
+            lo=report.start,
+            hi=report.stop,
+            src=second.get("rank") if second.get("rank") is not None else 0,
+            stream=str(second.get("stream") or "host"),
+            first=_fmt_access(report.first) if report.first else "",
+            second=_fmt_access(second),
+        )

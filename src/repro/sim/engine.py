@@ -218,6 +218,10 @@ class Engine:
         # no plan is installed.
         self.fault_injector: Optional[Any] = None
         self.watchdog_timeout: Optional[float] = None
+        # Happens-before sanitizer (see repro.sanitize). None means off: every
+        # hook is one attribute check and the event schedule — hence the
+        # trace — is byte-identical to an uninstrumented run.
+        self.sanitizer: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # Public API used by simulated code.
@@ -228,6 +232,8 @@ class Engine:
         if self._finished:
             raise EngineStateError("engine already finished")
         task = Task(self, fn, name)
+        if self.sanitizer is not None:
+            self.sanitizer.on_spawn(task)
         self._tasks.add(task)
         self.stats.tasks_spawned += 1
         task._thread.start()
@@ -255,6 +261,8 @@ class Engine:
         """Run ``callback`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
+        if self.sanitizer is not None:
+            callback = self.sanitizer.wrap_callback(callback)
         timer = Timer(self.now + delay, callback)
         self._seq += 1
         heapq.heappush(self._heap, (timer.when, self._seq, timer))
@@ -348,6 +356,8 @@ class Engine:
         if other.state is not _DONE:
             other._finish_waiters.append(self._require_current())
             self.block(f"join({other.name})")
+        if self.sanitizer is not None:
+            self.sanitizer.on_join(other)
         return other.result
 
     @property
@@ -386,6 +396,8 @@ class Engine:
             self._failure = exc
 
     def _finish_task(self, task: Task) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_finish_task(task)
         task.state = _DONE
         self._tasks.discard(task)
         for waiter in task._finish_waiters:

@@ -59,6 +59,9 @@ class SimEvent:
     def set(self) -> None:
         if self._set:
             return
+        san = self.engine.sanitizer
+        if san is not None:
+            san.release(self)
         self._set = True
         waiters, self._waiters = self._waiters, []
         for task in waiters:
@@ -69,11 +72,13 @@ class SimEvent:
                 cb()
 
     def wait(self) -> None:
-        if self._set:
-            return
-        task = self.engine._require_current()
-        self._waiters.append(task)
-        self.engine.block(f"event:{self.name}")
+        if not self._set:
+            task = self.engine._require_current()
+            self._waiters.append(task)
+            self.engine.block(f"event:{self.name}")
+        san = self.engine.sanitizer
+        if san is not None:
+            san.acquire(self)
 
     def on_set(self, callback: Callable[[], None]) -> None:
         """Fire ``callback`` once when the event sets (immediately if it
@@ -136,6 +141,9 @@ class Broadcast:
         Callback watchers are predicate-filtered in both modes (they have
         no thread to herd-wake).
         """
+        san = self.engine.sanitizer
+        if san is not None:
+            san.release(self)
         if not self._waiters:
             return
         waiters, self._waiters = self._waiters, []
@@ -147,7 +155,12 @@ class Broadcast:
             if w.callback is not None:
                 if w.predicate is None or w.predicate():
                     w.done = True
-                    w.callback()
+                    if san is not None:
+                        # The callback acts for the waiter: order it after
+                        # the release it just observed.
+                        san.run_acquired(self, w.callback)
+                    else:
+                        w.callback()
                 else:
                     keep.append(w)
             elif w.predicate is None:
@@ -167,6 +180,9 @@ class Broadcast:
         task = self.engine._require_current()
         self._waiters.append(_Waiter(task, None))
         self.engine.block(f"broadcast:{self.name}")
+        san = self.engine.sanitizer
+        if san is not None:
+            san.acquire(self)
 
     def wait_for(self, predicate: Callable[[], bool]) -> None:
         """Block until ``predicate()`` is true at (or after) a notify.
@@ -182,6 +198,9 @@ class Broadcast:
             while True:
                 self.engine.block(f"broadcast:{self.name}")
                 if predicate():
+                    san = self.engine.sanitizer
+                    if san is not None:
+                        san.acquire(self)
                     return
         finally:
             w.done = True
@@ -190,7 +209,11 @@ class Broadcast:
         """Fire ``callback`` once, at the first notify where the predicate
         holds — immediately if it already does. No task is woken."""
         if predicate():
-            callback()
+            san = self.engine.sanitizer
+            if san is not None:
+                san.run_acquired(self, callback)
+            else:
+                callback()
             return
         self._waiters.append(_Waiter(None, predicate, callback))
 
@@ -213,6 +236,9 @@ def wait_until(
     produce identical virtual timings.
     """
     if predicate():
+        san = broadcast.engine.sanitizer
+        if san is not None:
+            san.acquire(broadcast)
         return
     if timeout is None:
         broadcast.wait_for(predicate)

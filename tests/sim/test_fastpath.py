@@ -22,12 +22,13 @@ from repro.sim import Broadcast, Counter, Engine, SimEvent, Tracer, run_spmd, to
 CFG = JacobiConfig(nx=96, ny=98, iters=3, warmup=1)
 
 
-def _traced_run(monkeypatch, variant: str, fast: bool, fault_plan=None):
+def _traced_run(monkeypatch, variant: str, fast: bool, fault_plan=None,
+                sanitize=None):
     monkeypatch.setenv("REPRO_SIM_FASTPATH", "1" if fast else "0")
     tracer = Tracer()
     stats: dict = {}
     results = launch_variant(variant, CFG, 8, stats_out=stats, tracer=tracer,
-                             fault_plan=fault_plan)
+                             fault_plan=fault_plan, sanitize=sanitize)
     trace = json.dumps({"traceEvents": to_chrome_trace(tracer)}, sort_keys=True)
     return results, stats, trace
 
@@ -59,6 +60,30 @@ def test_trace_byte_identical_without_and_with_inert_fault_plan(monkeypatch):
     assert stats_none["virtual_time"] == stats_inert["virtual_time"]
     assert trace_none == trace_inert
     assert stats_inert["faults"] == []  # installed, but nothing ever fired
+
+
+def test_trace_byte_identical_with_sanitizer_off(monkeypatch):
+    """``sanitize=False`` (and the default None) must be a true no-op:
+    every sanitizer hook reduces to one ``is None`` check, so the trace is
+    byte-identical to a run that never heard of the sanitizer."""
+    _, stats_default, trace_default = _traced_run(monkeypatch, "mpi-native", fast=True)
+    _, stats_off, trace_off = _traced_run(monkeypatch, "mpi-native", fast=True,
+                                          sanitize=False)
+    assert stats_default["virtual_time"] == stats_off["virtual_time"]
+    assert trace_default == trace_off
+
+
+def test_trace_byte_identical_with_sanitizer_on_clean_run(monkeypatch):
+    """Stronger: the sanitizer observes, it never perturbs. A race-free run
+    under ``sanitize='race'`` emits no extra records and schedules no extra
+    virtual-time work, so even the *on* trace is byte-identical."""
+    _, stats_off, trace_off = _traced_run(monkeypatch, "gpushmem-host-native",
+                                          fast=True)
+    results, stats_on, trace_on = _traced_run(monkeypatch, "gpushmem-host-native",
+                                              fast=True, sanitize="race")
+    assert results.races == []
+    assert stats_off["virtual_time"] == stats_on["virtual_time"]
+    assert trace_off == trace_on
 
 
 def test_fastpath_env_toggle(monkeypatch):

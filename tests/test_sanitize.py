@@ -1,0 +1,424 @@
+"""Happens-before race & memory sanitizer (repro.sanitize).
+
+Three families:
+
+1. Buffer-bug regressions: the bounds/cast checks the sanitizer bring-up
+   flushed out of :class:`DeviceBuffer` and :class:`SymBuffer`.
+2. Seeded races: programs with one deliberately-missing synchronization
+   edge; the sanitizer must catch each and attribute *both* accesses.
+3. Clean runs: the shipped apps on every backend report zero races.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.cg import CgConfig
+from repro.apps.cg import launch_variant as launch_cg
+from repro.apps.jacobi import JacobiConfig
+from repro.apps.jacobi import launch_variant as launch_jacobi
+from repro.apps.osu import LATENCY_VARIANTS, OsuConfig
+from repro.backends.gpushmem import ShmemContext
+from repro.backends.mpi import MpiContext
+from repro.config import configured
+from repro.errors import GpuError, GpushmemError
+from repro.gpu import dim3
+from repro.gpu.kernel import kernel
+from repro.hardware.gpu import KernelCost
+from repro.launcher import launch
+from repro.sanitize import RaceReport, resolve_mode
+from repro.sim import Tracer, to_chrome_trace
+
+
+# --------------------------------------------------------------------- #
+# Mode resolution.
+# --------------------------------------------------------------------- #
+
+
+def test_resolve_mode():
+    for off in (None, False, "off", "none", "0", ""):
+        assert resolve_mode(off) is None
+    for on in (True, "race", "on", "1", "yes"):
+        assert resolve_mode(on) == "race"
+    with pytest.raises(ValueError):
+        resolve_mode("verbose")
+
+
+# --------------------------------------------------------------------- #
+# Buffer-bug regressions (plain GpuError behavior, sanitizer off).
+# --------------------------------------------------------------------- #
+
+
+def _expect_gpu_error(body, match):
+    with pytest.raises(GpuError, match=match):
+        launch(body, 1)
+
+
+def test_read_past_end_raises():
+    def body(ctx):
+        buf = ctx.set_device(0).malloc(8, np.float32)
+        buf.read(9)
+
+    _expect_gpu_error(body, r"read of 9 elements from buffer of 8")
+
+
+def test_write_past_end_raises():
+    def body(ctx):
+        buf = ctx.set_device(0).malloc(4, np.float32)
+        buf.write(np.zeros(8, np.float32))
+
+    _expect_gpu_error(body, r"write of 8 elements into buffer of 4")
+
+
+def test_write_count_beyond_source_raises():
+    def body(ctx):
+        buf = ctx.set_device(0).malloc(8, np.float32)
+        buf.write(np.zeros(2, np.float32), count=4)
+
+    _expect_gpu_error(body, r"write of 4 elements from source of 2")
+
+
+def test_write_lossy_cast_rejected():
+    def body(ctx):
+        buf = ctx.set_device(0).malloc(4, np.int32)
+        buf.write(np.array([1.5, 2.5, 3.5, 4.5]))
+
+    _expect_gpu_error(body, r"lossy cast")
+
+
+def test_symbuffer_write_lossy_cast_rejected():
+    def body(ctx):
+        ctx.set_device(0)
+        shmem = ShmemContext(ctx)
+        sym = shmem.malloc(4, np.int64)
+        sym.write(np.array([1.5, 2.5, 3.5, 4.5]))
+
+    _expect_gpu_error(body, r"lossy cast")
+
+
+def test_symbuffer_write_safe_cast_still_allowed():
+    def body(ctx):
+        ctx.set_device(0)
+        shmem = ShmemContext(ctx)
+        sym = shmem.malloc(4, np.float64)
+        sym.write(np.arange(4, dtype=np.float32))  # widening is fine
+        return sym.read().tolist()
+
+    assert launch(body, 1)[0] == [0.0, 1.0, 2.0, 3.0]
+
+
+# --------------------------------------------------------------------- #
+# Seeded races: each program omits exactly one synchronization edge.
+# --------------------------------------------------------------------- #
+
+
+@kernel(name="san_fill", cost=lambda ctx, buf: KernelCost(bytes_moved=8.0 * buf.size))
+def k_fill(ctx, buf):
+    buf.data[:] = 1.0
+
+
+def _ops(report):
+    """(first op, second op, kind) triples for assertion convenience."""
+    return [((r.first or {}).get("op"), r.second["op"], r.kind) for r in report.races]
+
+
+def test_missing_stream_sync_is_a_race():
+    """Kernel writes on a stream; the host reads without synchronizing."""
+
+    def body(ctx):
+        device = ctx.set_device(0)
+        stream = device.create_stream()
+        buf = device.malloc(32, np.float32)
+        device.launch(k_fill, dim3(1), dim3(32), args=(buf,), stream=stream)
+        buf.read()  # BUG: no stream.synchronize()
+
+    report = launch(body, 1, sanitize="race")
+    hits = [r for r in report.races
+            if r.kind == "race" and r.second["op"] == "san_fill"
+            and r.first["kind"] == "r"]
+    assert hits, f"kernel/host race not caught: {_ops(report)}"
+    assert hits[0].second["stream"] is not None  # attributed to the stream op
+    assert report.stats["races"] == [r.as_dict() for r in report.races]
+
+
+def test_stream_sync_fixes_the_race():
+    def body(ctx):
+        device = ctx.set_device(0)
+        stream = device.create_stream()
+        buf = device.malloc(32, np.float32)
+        device.launch(k_fill, dim3(1), dim3(32), args=(buf,), stream=stream)
+        stream.synchronize()
+        return float(buf.read()[0])
+
+    report = launch(body, 1, sanitize="race")
+    assert report.races == []
+    assert report == [1.0]
+
+
+def test_missing_signal_wait_is_a_race():
+    """PE0 put_signals into PE1's window; PE1 reads without waiting."""
+
+    def body(ctx):
+        ctx.set_device(ctx.node_rank)
+        shmem = ShmemContext(ctx)
+        dest = shmem.malloc(16, np.float64)
+        sig = shmem.malloc(1, np.int64)
+        if ctx.rank == 0:
+            shmem.put_signal(dest, dest, 16, sig, 1, 1)
+        else:
+            dest.read()  # BUG: no shmem.signal_wait_until(sig, "ge", 1)
+
+    report = launch(body, 2, sanitize="race")
+    hits = [r for r in report.races
+            if r.kind == "race" and r.second["op"] == "put<-pe0"
+            and r.first["kind"] == "r" and r.first["rank"] == 1]
+    assert hits, f"put/read race not caught: {_ops(report)}"
+
+
+def test_signal_wait_fixes_the_race():
+    def body(ctx):
+        ctx.set_device(ctx.node_rank)
+        shmem = ShmemContext(ctx)
+        dest = shmem.malloc(16, np.float64)
+        sig = shmem.malloc(1, np.int64)
+        if ctx.rank == 0:
+            dest.write(np.full(16, 7.0))
+            shmem.put_signal(dest, dest, 16, sig, 1, 1)
+            return None
+        shmem.signal_wait_until(sig, "ge", 1)
+        return float(dest.read()[0])
+
+    report = launch(body, 2, sanitize="race")
+    assert report.races == []
+    assert report[1] == 7.0
+
+
+def test_collective_overlapping_async_kernel_is_a_race():
+    """A collective snapshots its send buffer while a kernel still owns it."""
+
+    def body(ctx):
+        device = ctx.set_device(ctx.node_rank)
+        shmem = ShmemContext(ctx)
+        stream = device.create_stream()
+        a = device.malloc(16, np.float32)
+        out = device.malloc(16, np.float32)
+        device.launch(k_fill, dim3(1), dim3(32), args=(a,), stream=stream)
+        # BUG: no stream.synchronize() before handing `a` to the collective.
+        shmem.allreduce(a, out, 16)
+        stream.synchronize()
+
+    report = launch(body, 2, sanitize="race")
+    hits = [(f, s, k) for f, s, k in _ops(report)
+            if {f, s} == {"san_fill", "shmem-allreduce"}]
+    assert hits, f"collective/kernel race not caught: {_ops(report)}"
+
+
+def test_synced_collective_is_clean():
+    def body(ctx):
+        device = ctx.set_device(ctx.node_rank)
+        shmem = ShmemContext(ctx)
+        stream = device.create_stream()
+        a = device.malloc(16, np.float32)
+        out = device.malloc(16, np.float32)
+        device.launch(k_fill, dim3(1), dim3(32), args=(a,), stream=stream)
+        stream.synchronize()
+        shmem.allreduce(a, out, 16)
+        return float(out.read()[0])
+
+    report = launch(body, 2, sanitize="race")
+    assert report.races == []
+    assert report == [2.0, 2.0]  # sum over 2 PEs
+
+
+def test_mpi_read_before_wait_is_a_race():
+    """Reading an irecv buffer before Request.wait."""
+
+    def body(ctx):
+        device = ctx.set_device(ctx.node_rank)
+        mpi = MpiContext(ctx)
+        comm = mpi.comm_world
+        buf = device.malloc(8, np.float32)
+        if ctx.rank == 0:
+            buf.fill(3.0)
+            comm.send(buf, 8, 1)
+        else:
+            req = comm.irecv(buf, 8, 0)
+            buf.read()  # BUG: before req.wait()
+            req.wait()
+        mpi.finalize()
+
+    report = launch(body, 2, sanitize="race")
+    hits = [r for r in report.races
+            if r.kind == "race" and r.second["kind"] == "w"
+            and r.first["kind"] == "r" and r.first["rank"] == 1]
+    assert hits, f"irecv/read race not caught: {_ops(report)}"
+
+
+def test_mpi_wait_fixes_the_race():
+    def body(ctx):
+        device = ctx.set_device(ctx.node_rank)
+        mpi = MpiContext(ctx)
+        comm = mpi.comm_world
+        buf = device.malloc(8, np.float32)
+        out = None
+        if ctx.rank == 0:
+            buf.fill(3.0)
+            comm.send(buf, 8, 1)
+        else:
+            req = comm.irecv(buf, 8, 0)
+            req.wait()
+            out = float(buf.read()[0])
+        mpi.finalize()
+        return out
+
+    report = launch(body, 2, sanitize="race")
+    assert report.races == []
+    assert report[1] == 3.0
+
+
+def test_barrier_implies_quiet():
+    """Regression for a substrate bug the sanitizer flagged during bring-up:
+    the simulated SHMEM barrier arrived without completing the calling PE's
+    outstanding puts, but NVSHMEM's barrier is quiet + sync — put-composed
+    collectives rely on the barrier closing their data movement."""
+
+    def body(ctx):
+        device = ctx.set_device(ctx.node_rank)
+        shmem = ShmemContext(ctx)
+        stream = device.create_stream()
+        window = shmem.malloc(8, np.float64)
+        src = device.malloc(8, np.float64)
+        src.write(np.full(8, float(ctx.rank + 1)))
+        peer = (ctx.rank + 1) % ctx.world_size
+        # Stream-ordered put with no quiet: only the barrier orders it.
+        shmem.put_on_stream(window, src, 8, peer, stream)
+        shmem.barrier_all_on_stream(stream)
+        stream.synchronize()
+        return float(window.read()[0])
+
+    report = launch(body, 2, sanitize="race")
+    assert report.races == [], "\n".join(str(r) for r in report.races)
+    assert report == [2.0, 1.0]  # each PE sees its neighbour's payload
+
+
+# --------------------------------------------------------------------- #
+# Memory-safety findings.
+# --------------------------------------------------------------------- #
+
+
+def test_use_after_free_is_reported():
+    def body(ctx):
+        device = ctx.set_device(0)
+        buf = device.malloc(8, np.float32)
+        device.free(buf)
+        buf.read()
+
+    with pytest.raises(GpuError, match="freed") as ei:
+        launch(body, 1, sanitize="race")
+    report = ei.value.run_report
+    hits = [r for r in report.races if r.kind == "use-after-free"]
+    assert hits
+    assert hits[0].first["op"] == "free"  # the free is the first access
+
+
+def test_put_out_of_bounds_is_reported():
+    def body(ctx):
+        ctx.set_device(0)
+        shmem = ShmemContext(ctx)
+        window = shmem.malloc(4, np.float32)
+        shmem.put(window, np.zeros(8, np.float32), 8, 0)
+
+    with pytest.raises(GpushmemError, match="window of 4") as ei:
+        launch(body, 1, sanitize="race")
+    report = ei.value.run_report
+    assert any(r.kind == "out-of-bounds" and r.stop == 8 for r in report.races)
+
+
+def test_race_report_renders_both_accesses():
+    r = RaceReport(
+        "race", "gpu0:buf1(32xfloat32)", 0, 32,
+        {"rank": 0, "stream": None, "op": "host", "kind": "r",
+         "start": 0, "stop": 32, "t": 1e-6},
+        {"rank": 0, "stream": "s0", "op": "san_fill", "kind": "rw",
+         "start": 0, "stop": 32, "t": 2e-6},
+    )
+    text = str(r)
+    assert "race: gpu0:buf1(32xfloat32)[0:32)" in text
+    assert "first : r [0:32) by rank 0 in 'host'" in text
+    assert "second: rw [0:32) by rank 0 stream s0 in 'san_fill'" in text
+    assert r.as_dict()["first"]["op"] == "host"
+
+
+def test_races_surface_as_chrome_trace_instants():
+    def body(ctx):
+        device = ctx.set_device(0)
+        stream = device.create_stream()
+        buf = device.malloc(32, np.float32)
+        device.launch(k_fill, dim3(1), dim3(32), args=(buf,), stream=stream)
+        buf.read()  # seeded race (missing sync)
+
+    tracer = Tracer()
+    report = launch(body, 1, sanitize="race", tracer=tracer)
+    assert report.races
+    events = to_chrome_trace(tracer)
+    instants = [e for e in events if e.get("name", "").startswith("sanitize.")]
+    assert instants and all(e["ph"] == "i" for e in instants)
+    # The instant carries both access descriptions for trace viewers.
+    args = instants[0]["args"]
+    assert "second" in args and "san_fill" in json.dumps(args)
+
+
+# --------------------------------------------------------------------- #
+# Clean runs: the shipped apps are race-free on every backend.
+# --------------------------------------------------------------------- #
+
+JACOBI_CFG = JacobiConfig(nx=64, ny=66, iters=3, warmup=1)
+CG_CFG = CgConfig(n=192, nnz_per_row=5, iters=4)
+
+
+@pytest.mark.parametrize("variant", [
+    "mpi-native",
+    "gpuccl-native",
+    "gpushmem-host-native",
+    "gpushmem-device-native",
+    "uniconn:mpi",
+    "uniconn:gpuccl",
+    "uniconn:gpushmem",
+    "uniconn:gpushmem:PartialDevice",
+    "uniconn:gpushmem:PureDevice",
+])
+def test_jacobi_variants_are_race_free(variant):
+    report = launch_jacobi(variant, JACOBI_CFG, 4, sanitize="race")
+    assert report.races == [], "\n".join(str(r) for r in report.races)
+
+
+@pytest.mark.parametrize("variant", [
+    "mpi-native",
+    "gpuccl-native",
+    "gpushmem-host-native",
+    "gpushmem-device-native",
+    "uniconn:mpi",
+    "uniconn:gpuccl",
+    "uniconn:gpushmem",
+    "uniconn:gpushmem:PureDevice",
+])
+def test_cg_variants_are_race_free(variant):
+    report = launch_cg(variant, CG_CFG, 4, sanitize="race")
+    assert report.races == [], "\n".join(str(r) for r in report.races)
+
+
+@pytest.mark.parametrize("variant", [
+    "mpi-native",
+    "gpuccl-native",
+    "gpushmem-host-native",
+    "gpushmem-device-native",
+    "uniconn:mpi-rma",
+])
+def test_osu_latency_variants_are_race_free(variant):
+    cfg = OsuConfig(sizes=(1024,), iters_small=4, warmup_small=1,
+                    iters_large=2, warmup_large=1, window=4, repeats=1)
+    fn = LATENCY_VARIANTS[variant]
+    with configured(mpi_rma=(variant == "uniconn:mpi-rma")):
+        report = launch(lambda ctx: fn(ctx, cfg), 2, sanitize="race")
+    assert report.races == [], "\n".join(str(r) for r in report.races)
