@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke bench-wallclock faults-demo obs-smoke sanitize-smoke check-deprecations
+.PHONY: test perf-smoke bench-wallclock faults-demo obs-smoke sanitize-smoke check-deprecations coll-smoke bench-coll
 
 # Tier-1: the full deterministic test suite.
 test:
@@ -52,6 +52,20 @@ check-deprecations:
 	$(PYTHON) -m pytest -q -W error::DeprecationWarning tests/obs tests/core/test_api_shims.py tests/core/test_split_equivalence.py
 	$(PYTHON) -W error::DeprecationWarning examples/quickstart.py
 	$(PYTHON) -W error::DeprecationWarning examples/jacobi2d.py perlmutter 4 64
+
+# Collective algorithm engine gate (docs/COLLECTIVES.md): the schedule /
+# tuner / cross-backend equivalence matrix, a schema-validated table dump,
+# then the smoke-scale tuned-vs-ring sweep checked exactly against the
+# committed BENCH_coll.json (virtual times are deterministic).
+coll-smoke:
+	$(PYTHON) -m pytest -q tests/coll
+	$(PYTHON) -m repro tune --coll --gpus 64 --dump /tmp/coll_table.json
+	$(PYTHON) benchmarks/bench_coll.py --smoke --check
+
+# Full-scale collective benchmark; rewrites the committed baseline.
+bench-coll:
+	$(PYTHON) benchmarks/bench_coll.py --update
+	$(PYTHON) benchmarks/bench_coll.py --smoke --update
 
 # Full-scale wall-clock benchmark; rewrites the committed baseline.
 bench-wallclock:

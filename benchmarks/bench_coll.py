@@ -1,0 +1,152 @@
+"""Collective algorithm engine benchmark: fixed ring vs tuned selection.
+
+Runs the OSU-style collective sweeps (repro.apps.osu.collectives) for
+GPUCCL AllReduce and AllGather at job scale — 64 GPUs on the Perlmutter
+preset — twice: once with no policy installed (the legacy fixed-ring
+path) and once with ``coll="auto"`` (the repro.coll cost-model tuner
+picking per message size). Virtual seconds per call and the tuned/ring
+speedup are recorded per size.
+
+The times are *virtual* (discrete-event clock), hence bit-deterministic:
+``--check`` both asserts the tuned path beats fixed ring for at least one
+size band of each collective AND that every time matches the committed
+BENCH_coll.json baseline — any drift means the cost model, an algorithm
+generator, or a backend integration changed semantics.
+
+Usage:
+    python benchmarks/bench_coll.py                  # full sweep, print
+    python benchmarks/bench_coll.py --smoke          # CI-sized sweep
+    python benchmarks/bench_coll.py --update         # rewrite baseline
+    python benchmarks/bench_coll.py --smoke --check  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apps.osu.collectives import run_collective  # noqa: E402
+from repro.apps.osu.config import OsuConfig  # noqa: E402
+
+SCHEMA = "repro-bench-coll/1"
+BASELINE_PATH = REPO_ROOT / "BENCH_coll.json"
+REL_TOLERANCE = 1e-9  # virtual times are deterministic; allow float noise
+
+MACHINE = "perlmutter"
+GPUS = 64
+KINDS = ("all_reduce", "all_gather")
+
+SIZES = {
+    "full": tuple(1 << k for k in range(6, 26, 2)),   # 64 B .. 32 MiB
+    "smoke": (64, 8192, 1 << 20, 16 << 20),
+}
+
+
+def _cfg(scale: str) -> OsuConfig:
+    if scale == "full":
+        return OsuConfig(sizes=SIZES["full"], iters_small=8, warmup_small=2,
+                         iters_large=4, warmup_large=1, repeats=1)
+    return OsuConfig(sizes=SIZES["smoke"], iters_small=4, warmup_small=1,
+                     iters_large=2, warmup_large=1, repeats=1)
+
+
+def run(scale: str) -> dict:
+    cfg = _cfg(scale)
+    results = {}
+    for kind in KINDS:
+        ring = run_collective("gpuccl", kind, cfg, machine=MACHINE,
+                              gpus=GPUS, coll=None)
+        tuned = run_collective("gpuccl", kind, cfg, machine=MACHINE,
+                               gpus=GPUS, coll="auto")
+        results[kind] = {
+            str(size): {
+                "ring_s": ring[size],
+                "tuned_s": tuned[size],
+                "speedup": ring[size] / tuned[size],
+            }
+            for size in cfg.sizes
+        }
+    return results
+
+
+def render(results: dict, out=sys.stdout) -> None:
+    for kind, rows in results.items():
+        print(f"\ngpuccl {kind} @{GPUS} GPUs on {MACHINE} (virtual time/call):",
+              file=out)
+        print(f"{'bytes':>10s} {'ring':>12s} {'tuned':>12s} {'speedup':>8s}",
+              file=out)
+        for size, row in rows.items():
+            print(f"{int(size):>10d} {row['ring_s'] * 1e6:>10.2f}us "
+                  f"{row['tuned_s'] * 1e6:>10.2f}us {row['speedup']:>7.2f}x",
+                  file=out)
+
+
+def check(results: dict, scale: str) -> int:
+    failures = []
+    for kind, rows in results.items():
+        if not any(row["speedup"] > 1.0 for row in rows.values()):
+            failures.append(f"{kind}: tuned never beats fixed ring")
+    if BASELINE_PATH.exists():
+        doc = json.loads(BASELINE_PATH.read_text())
+        baseline = doc.get("scales", {}).get(scale)
+        if baseline is None:
+            failures.append(f"baseline has no '{scale}' scale "
+                            f"(run --{scale} --update)")
+        else:
+            for kind, rows in results.items():
+                for size, row in rows.items():
+                    ref = baseline.get(kind, {}).get(size)
+                    if ref is None:
+                        failures.append(f"{kind}/{size}: not in baseline")
+                        continue
+                    for field in ("ring_s", "tuned_s"):
+                        a, b = row[field], ref[field]
+                        if abs(a - b) > REL_TOLERANCE * max(abs(a), abs(b)):
+                            failures.append(
+                                f"{kind}/{size}/{field}: {a!r} != baseline "
+                                f"{b!r} (virtual time drifted)")
+    else:
+        failures.append(f"no baseline at {BASELINE_PATH} (run --update)")
+    for f in failures:
+        print(f"CHECK FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(f"bench_coll --check OK ({scale}: tuned beats ring, "
+              f"virtual times match baseline)")
+    return 1 if failures else 0
+
+
+def update(results: dict, scale: str) -> None:
+    doc = {"schema": SCHEMA, "machine": MACHINE, "gpus": GPUS, "scales": {}}
+    if BASELINE_PATH.exists():
+        old = json.loads(BASELINE_PATH.read_text())
+        if old.get("schema") == SCHEMA:
+            doc["scales"] = old.get("scales", {})
+    doc["scales"][scale] = results
+    BASELINE_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"baseline written to {BASELINE_PATH}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="CI-sized sweep")
+    ap.add_argument("--check", action="store_true",
+                    help="fail on regression vs BENCH_coll.json")
+    ap.add_argument("--update", action="store_true", help="rewrite baseline")
+    args = ap.parse_args()
+    scale = "smoke" if args.smoke else "full"
+    results = run(scale)
+    render(results)
+    if args.update:
+        update(results, scale)
+    if args.check:
+        return check(results, scale)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

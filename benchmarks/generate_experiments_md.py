@@ -165,6 +165,45 @@ def attribution_section(d):
     return "\n".join(out) + "\n"
 
 
+def _fmt_size(n):
+    if n >= 1 << 20:
+        return f"{n >> 20}MiB"
+    if n >= 1 << 10:
+        return f"{n >> 10}KiB"
+    return f"{n}B"
+
+
+def coll_section():
+    import sys
+
+    sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+    from repro.coll import CollTuner
+
+    out = ["| machine | collective | selection (gpuccl, 64 GPUs) |",
+           "|---|---|---|"]
+    for machine in ("perlmutter", "lumi", "marenostrum5"):
+        tuner = CollTuner(machine, 64)
+        table = tuner.build_table(kinds=("all_reduce", "all_gather"))
+        sig = tuner.topo.signature()
+        for kind in ("all_reduce", "all_gather"):
+            bands = table.entries[sig]["gpuccl"][kind]
+            parts = [f"{algo} ≤{_fmt_size(ceiling)}" if ceiling is not None
+                     else algo for ceiling, algo in bands]
+            out.append(f"| {machine} | {kind} | {' → '.join(parts)} |")
+    out.append("")
+    out.append("Per-size algorithm selections of the `repro.coll` cost-model "
+               "tuner (docs/COLLECTIVES.md): latency-bound schedules "
+               "(recursive doubling / binomial tree / hierarchical) win small "
+               "messages, the bandwidth-optimal chunked ring wins large "
+               "AllReduces on every preset — the same ring-vs-tree trade "
+               "NCCL's tuner encodes. `python benchmarks/bench_coll.py` "
+               "measures the end-to-end effect against BENCH_coll.json "
+               "(tuned AllReduce at 64 GPUs is >13x faster than fixed ring "
+               "at 64B on the Perlmutter model and identical at 16MiB, where "
+               "the ring is already optimal).")
+    return "\n".join(out) + "\n"
+
+
 TEMPLATE = """# EXPERIMENTS — paper vs. measured
 
 Generated by `python -m benchmarks.generate_experiments_md` on {today}
@@ -228,6 +267,10 @@ from the `repro.obs` breakdown rather than end-to-end totals.
 ## Ablations (beyond the paper)
 
 {ablations}
+
+## Collective algorithm crossovers (beyond the paper)
+
+{coll}
 
 ## Known deviations
 
@@ -293,6 +336,7 @@ def main() -> None:
     text = TEMPLATE.format(
         ablations=ablations_section(),
         attribution=attribution_section(load("obs_attribution")),
+        coll=coll_section(),
         today=date.today().isoformat(),
         scale=os.environ.get("REPRO_BENCH_SCALE", "ci"),
         fig2=fig2_section(load("fig2_motivation")),

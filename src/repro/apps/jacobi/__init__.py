@@ -67,7 +67,7 @@ def launch_variant(variant: str, cfg: JacobiConfig, nranks: int, machine="perlmu
                    tracer: Optional[Tracer] = None,
                    fault_plan=None, fault_seed: Optional[int] = None,
                    *, obs: Optional[str] = None, trace_out: Optional[str] = None,
-                   sanitize=None):
+                   sanitize=None, coll=None):
     """Launch a whole Jacobi job for one variant.
 
     Returns the :class:`~repro.launcher.RunReport` (a list of per-rank
@@ -76,7 +76,7 @@ def launch_variant(variant: str, cfg: JacobiConfig, nranks: int, machine="perlmu
     """
     report = launch(run_variant, nranks, machine=machine, args=(variant, cfg, collect),
                     tracer=tracer, fault_plan=fault_plan, fault_seed=fault_seed,
-                    obs=obs, trace_out=trace_out, sanitize=sanitize)
+                    obs=obs, trace_out=trace_out, sanitize=sanitize, coll=coll)
     if stats_out is not None:
         stats_out.update(report.stats)
     return report

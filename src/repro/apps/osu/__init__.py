@@ -1,12 +1,15 @@
 """OSU-style network microbenchmarks (latency + windowed bandwidth)."""
 
 from .bandwidth import BANDWIDTH_VARIANTS, run_bandwidth
+from .collectives import COLLECTIVE_KINDS, run_collective
 from .config import OsuConfig, default_sizes
 from .latency import LATENCY_VARIANTS, run_latency
 
 __all__ = [
     "BANDWIDTH_VARIANTS",
     "run_bandwidth",
+    "COLLECTIVE_KINDS",
+    "run_collective",
     "OsuConfig",
     "default_sizes",
     "LATENCY_VARIANTS",

@@ -24,21 +24,26 @@ __all__ = ["all_reduce", "broadcast", "reduce", "all_gather", "reduce_scatter"]
 class _CollSlot:
     """Rendezvous for one collective invocation across ranks."""
 
-    def __init__(self, kind: str, count: int, op: Optional[str], root: Optional[int], nranks: int):
+    def __init__(self, kind: str, count: int, op: Optional[str], root: Optional[int],
+                 nranks: int, algorithm: str = "ring"):
         self.kind = kind
         self.count = count
         self.op = op
         self.root = root
         self.nranks = nranks
+        self.algorithm = algorithm
         self.records: Dict[int, tuple] = {}
 
     def arrive(self, shared, rank: int, op_handle, send_snapshot, recv_buf,
-               kind: str, count: int, op: Optional[str], root: Optional[int]) -> None:
-        if (kind, count, op, root) != (self.kind, self.count, self.op, self.root):
+               kind: str, count: int, op: Optional[str], root: Optional[int],
+               algorithm: str) -> None:
+        if (kind, count, op, root, algorithm) != (
+                self.kind, self.count, self.op, self.root, self.algorithm):
             raise GpucclError(
                 f"mismatched collective on rank {rank}: "
-                f"got {kind}(count={count}, op={op}, root={root}), "
-                f"expected {self.kind}(count={self.count}, op={self.op}, root={self.root})"
+                f"got {kind}(count={count}, op={op}, root={root}, algorithm={algorithm}), "
+                f"expected {self.kind}(count={self.count}, op={self.op}, "
+                f"root={self.root}, algorithm={self.algorithm})"
             )
         if rank in self.records:
             raise GpucclError(f"rank {rank} joined collective twice")
@@ -53,14 +58,9 @@ class _CollSlot:
     def _fire(self, shared) -> None:
         itemsize = next(iter(self.records.values()))[1].dtype.itemsize
         nbytes = self.count * itemsize
-        ring = shared.ring
-        duration = {
-            "all_reduce": ring.allreduce_time,
-            "broadcast": ring.broadcast_time,
-            "reduce": ring.reduce_time,
-            "all_gather": ring.allgather_time,
-            "reduce_scatter": ring.reduce_scatter_time,
-        }[self.kind](nbytes)
+        # "ring" reproduces the historical RingModel timing exactly; any
+        # other catalogue algorithm is priced over its generated schedule.
+        duration = shared.ring.duration(self.kind, nbytes, self.algorithm)
 
         def complete() -> None:
             san = shared.engine.sanitizer
@@ -109,17 +109,25 @@ class _CollSlot:
 def _submit(comm, stream: Stream, kind: str, send: BufferLike, recv: Optional[BufferLike],
             count: int, snapshot_count: int, op: Optional[str], root: Optional[int]) -> None:
     comm._check(0 if root is None else root)
+    shared = comm.shared
+    policy = comm.engine.coll
+    algorithm = "ring"
+    if policy is not None and comm.size > 1:
+        nbytes = int(count * as_array(send).dtype.itemsize)
+        selected = policy.select("gpuccl", kind, nbytes, shared.ring.topo,
+                                 engine=comm.engine)
+        if selected is not None:
+            algorithm = selected
     metrics = comm.engine.metrics
     if metrics.enabled:
         nbytes = int(count * as_array(send).dtype.itemsize)
-        metrics.inc("gpuccl_collectives_total", kind=kind, algorithm="ring",
+        metrics.inc("gpuccl_collectives_total", kind=kind, algorithm=algorithm,
                     size=size_class(nbytes), rank=comm.rank)
     comm._coll_seq += 1
     seq = comm._coll_seq
-    shared = comm.shared
     slot = shared.coll_slots.get(seq)
     if slot is None:
-        slot = _CollSlot(kind, count, op, root, comm.size)
+        slot = _CollSlot(kind, count, op, root, comm.size, algorithm)
         shared.coll_slots[seq] = slot
     rank = comm.rank
 
@@ -129,7 +137,8 @@ def _submit(comm, stream: Stream, kind: str, send: BufferLike, recv: Optional[Bu
             if san is not None:
                 san.record(send, "r", 0, snapshot_count, note=f"ccl-{kind}")
             snapshot = as_array(send, snapshot_count).copy()
-            slot.arrive(shared, rank, op_handle, snapshot, recv, kind, count, op, root)
+            slot.arrive(shared, rank, op_handle, snapshot, recv, kind, count,
+                        op, root, algorithm)
 
         comm.engine.schedule(comm.profile.comm_launch_overhead, register)
 

@@ -1,75 +1,18 @@
-"""Analytic cost models for GPUCCL's ring-based collectives.
+"""GPUCCL collective timing (compatibility shim).
 
-GPUCCL implements a collective as a single fused kernel running a ring
-schedule over the communicator's GPUs. We model the completion time of that
-kernel analytically (steps x (chunk serialization + hop latency)) using the
-slowest hop of the ring, and apply the data movement at completion time.
-This captures what the paper relies on: collectives pay one kernel launch
-regardless of size, achieve near-wire bandwidth at large sizes, and have a
-latency floor proportional to ring steps.
+The analytic ring model moved to :class:`repro.coll.models.GpucclModel`,
+where the historical ring formulas live on unchanged as the "ring"
+algorithm next to the rest of the schedule catalogue (tree, recursive
+doubling, Bruck, hierarchical — see docs/COLLECTIVES.md). The shared
+slowest-hop arithmetic now comes from
+:func:`repro.coll.schedule.ring_path_params`.
+
+``RingModel`` remains importable from here with its original constructor
+and ``*_time`` methods.
 """
 
 from __future__ import annotations
 
-from typing import List
+from ...coll.models import GpucclModel as RingModel
 
 __all__ = ["RingModel"]
-
-
-class RingModel:
-    """Per-communicator ring timing derived from the member GPUs' paths."""
-
-    def __init__(self, cluster, profile, gpu_ids: List[int]):
-        self.profile = profile
-        self.p = len(gpu_ids)
-        if self.p > 1:
-            hops = [
-                cluster.path(gpu_ids[i], gpu_ids[(i + 1) % self.p])
-                for i in range(self.p)
-            ]
-            self.hop_latency = max(h.latency for h in hops)
-            self.ring_bandwidth = min(h.bandwidth for h in hops) * profile.ring_efficiency
-        else:
-            self.hop_latency = 0.0
-            self.ring_bandwidth = float("inf")
-        # Local reduction/copy speed inside the fused kernel.
-        self.local_bandwidth = cluster.machine.gpu.mem_bandwidth / 2.0
-
-    # ------------------------------------------------------------------ #
-
-    def _base(self) -> float:
-        return self.profile.comm_launch_overhead + self.profile.protocol_overhead
-
-    def _steps(self, n_steps: int, step_bytes: float) -> float:
-        return n_steps * (step_bytes / self.ring_bandwidth + self.hop_latency)
-
-    def allreduce_time(self, nbytes: int) -> float:
-        """Ring allreduce: reduce-scatter + allgather, 2(p-1) chunk steps."""
-        if self.p == 1:
-            return self._base() + nbytes / self.local_bandwidth
-        chunk = nbytes / self.p
-        return self._base() + self._steps(2 * (self.p - 1), chunk)
-
-    def reduce_time(self, nbytes: int) -> float:
-        """Pipelined ring reduce to the root."""
-        if self.p == 1:
-            return self._base() + nbytes / self.local_bandwidth
-        return self._base() + nbytes / self.ring_bandwidth + (self.p - 1) * self.hop_latency
-
-    def broadcast_time(self, nbytes: int) -> float:
-        """Pipelined ring broadcast from the root."""
-        if self.p == 1:
-            return self._base()
-        return self._base() + nbytes / self.ring_bandwidth + (self.p - 1) * self.hop_latency
-
-    def allgather_time(self, per_rank_nbytes: int) -> float:
-        """Ring allgather: p-1 steps, each moving one rank's block."""
-        if self.p == 1:
-            return self._base()
-        return self._base() + self._steps(self.p - 1, per_rank_nbytes)
-
-    def reduce_scatter_time(self, per_rank_nbytes: int) -> float:
-        """Ring reduce-scatter: p-1 chunk steps plus local reductions."""
-        if self.p == 1:
-            return self._base() + per_rank_nbytes / self.local_bandwidth
-        return self._base() + self._steps(self.p - 1, per_rank_nbytes)

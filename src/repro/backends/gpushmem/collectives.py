@@ -10,69 +10,44 @@ rendezvous slot: blocking task calls (host API), stream-ordered ops
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from ...errors import GpushmemError
 from ...gpu.stream import ExternalOp, Stream
+from ...coll.models import CANONICAL_SHMEM_KINDS, ShmemModel
 from ..common import BufferLike, apply_reduce, as_array
 
 __all__ = ["ShmemTeam", "TeamModel"]
 
 
-class TeamModel:
-    """Analytic timing for put/get-composed collectives on one team."""
+class TeamModel(ShmemModel):
+    """Analytic timing for put/get-composed collectives on one team.
+
+    The put-tree arithmetic (slowest ring hop, log2 rounds, closing
+    barrier) now lives in :class:`repro.coll.models.ShmemModel` — shared
+    with the tuner — and stays bit-identical; this subclass only adapts
+    the historical ``(world, member_pes)`` constructor.
+    """
 
     def __init__(self, world, member_pes: List[int]):
-        self.profile = world.profile
-        self.p = len(member_pes)
-        if self.p > 1:
-            paths = [
-                world.cluster.path(world.gpu_of(member_pes[i]), world.gpu_of(member_pes[(i + 1) % self.p]))
-                for i in range(self.p)
-            ]
-            self.hop_latency = max(p.latency for p in paths)
-            self.bandwidth = min(p.bandwidth for p in paths)
-        else:
-            self.hop_latency = 0.0
-            self.bandwidth = float("inf")
-        self.rounds = max(1, math.ceil(math.log2(max(self.p, 2))))
-
-    def barrier_time(self) -> float:
-        """Modelled duration of one team barrier."""
-        return self.rounds * (self.hop_latency + self.profile.barrier_overhead)
-
-    def _tree(self, nbytes: float) -> float:
-        per_round = self.hop_latency + nbytes / self.bandwidth + self.profile.host_post_overhead
-        return self.rounds * per_round + self.barrier_time()
-
-    def collective_time(self, kind: str, nbytes: int) -> float:
-        """Modelled duration of one collective of a given kind/size."""
-        if self.p == 1:
-            return self.profile.host_post_overhead
-        if kind == "barrier":
-            return self.barrier_time()
-        if kind in ("broadcast", "reduce", "allreduce"):
-            return self._tree(nbytes)
-        if kind in ("fcollect", "alltoall"):
-            # p-1 put rounds of one block each, plus the closing barrier.
-            per_round = self.hop_latency + nbytes / self.bandwidth
-            return (self.p - 1) * per_round + self.barrier_time()
-        raise GpushmemError(f"unknown collective kind {kind!r}")
+        super().__init__(world.cluster, world.profile,
+                         [world.gpu_of(pe) for pe in member_pes])
 
 
 class _Slot:
     """Rendezvous for one collective invocation on one team."""
 
-    def __init__(self, world, team: "ShmemTeam", kind: str, count: int, op: Optional[str], root: Optional[int]):
+    def __init__(self, world, team: "ShmemTeam", kind: str, count: int, op: Optional[str],
+                 root: Optional[int], algorithm: str = "tree"):
         self.world = world
         self.team = team
         self.kind = kind
         self.count = count
         self.op = op
         self.root = root
+        self.algorithm = algorithm
         self.records: Dict[int, tuple] = {}
         self.finishers: List = []
         from ...sim import SimEvent
@@ -92,11 +67,14 @@ class _Slot:
         if len(self.records) == self.team.size:
             self._fire()
 
-    def check(self, kind: str, count: int, op: Optional[str], root: Optional[int]) -> None:
-        if (kind, count, op, root) != (self.kind, self.count, self.op, self.root):
+    def check(self, kind: str, count: int, op: Optional[str], root: Optional[int],
+              algorithm: str) -> None:
+        if (kind, count, op, root, algorithm) != (
+                self.kind, self.count, self.op, self.root, self.algorithm):
             raise GpushmemError(
-                f"mismatched team collective: {kind}(count={count}, op={op}, root={root}) vs "
-                f"{self.kind}(count={self.count}, op={self.op}, root={self.root})"
+                f"mismatched team collective: {kind}(count={count}, op={op}, root={root}, "
+                f"algorithm={algorithm}) vs {self.kind}(count={self.count}, op={self.op}, "
+                f"root={self.root}, algorithm={self.algorithm})"
             )
 
     def _fire(self) -> None:
@@ -105,7 +83,10 @@ class _Slot:
             if snap is not None:
                 itemsize = snap.dtype.itemsize
                 break
-        duration = self.team.model.collective_time(self.kind, self.count * itemsize)
+        # "tree" is the historical put-tree formula; other catalogue
+        # algorithms are priced over their generated schedules.
+        duration = self.team.model.duration(self.kind, self.count * itemsize,
+                                            self.algorithm)
 
         def complete() -> None:
             san = self.world.engine.sanitizer
@@ -148,6 +129,12 @@ class _Slot:
             gathered = np.concatenate([self.records[r][0] for r in range(p)])
             for _, (_, recv) in self.records.items():
                 put(recv, count * p, gathered)
+        elif kind == "reduce_scatter":
+            total = self.records[0][0].copy()
+            for r in range(1, p):
+                apply_reduce(self.op, total, self.records[r][0])
+            for pe, (_, recv) in self.records.items():
+                put(recv, count, total[pe * count : (pe + 1) * count])
         elif kind == "alltoall":
             for dst in range(p):
                 out = np.concatenate([self.records[src][0][dst * count : (dst + 1) * count] for src in range(p)])
@@ -189,14 +176,15 @@ class ShmemTeam:
 
     # ------------------------------------------------------------------ #
 
-    def _slot(self, kind: str, count: int, op: Optional[str], root: Optional[int]) -> _Slot:
+    def _slot(self, kind: str, count: int, op: Optional[str], root: Optional[int],
+              algorithm: str) -> _Slot:
         self._seq += 1
         slot = self._shared.get(self._seq)
         if slot is None:
-            slot = _Slot(self.world, self, kind, count, op, root)
+            slot = _Slot(self.world, self, kind, count, op, root, algorithm)
             self._shared[self._seq] = slot
         else:
-            slot.check(kind, count, op, root)
+            slot.check(kind, count, op, root, algorithm)
         return slot
 
     def run_collective(
@@ -212,15 +200,26 @@ class ShmemTeam:
         snapshot_count: Optional[int] = None,
     ):
         """Join a collective; blocks the task, or enqueues on ``stream``."""
-        metrics = self.world.engine.metrics
+        engine = self.world.engine
+        algorithm = "tree"
+        policy = engine.coll
+        if policy is not None and self.size > 1:
+            canonical = CANONICAL_SHMEM_KINDS.get(kind)
+            if canonical is not None:
+                itemsize = as_array(send).dtype.itemsize if send is not None else 1
+                selected = policy.select("gpushmem", canonical,
+                                         int(count * itemsize),
+                                         self.model.topo, engine=engine)
+                if selected is not None:
+                    algorithm = selected
+        metrics = engine.metrics
         if metrics.enabled:
-            metrics.inc("shmem_collectives_total", kind=kind, algorithm="put-tree",
+            metrics.inc("shmem_collectives_total", kind=kind,
+                        algorithm="put-tree" if algorithm == "tree" else algorithm,
                         team_size=self.size, rank=self.members[self.my_pe])
-        slot = self._slot(kind, count, op, root)
+        slot = self._slot(kind, count, op, root, algorithm)
         n_snap = count if snapshot_count is None else snapshot_count
         team_pe = self.my_pe
-
-        engine = self.world.engine
         # NVSHMEM barrier semantics are quiet + sync: each PE completes its
         # own outstanding puts before arriving, so data movement closed by a
         # barrier (e.g. the put-composed allgather) is ordered before any

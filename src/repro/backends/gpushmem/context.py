@@ -305,6 +305,14 @@ class ShmemContext:
         team = team or self.team_world
         team.run_collective("fcollect", send, recv, count, stream=stream)
 
+    def reduce_scatter(self, send: BufferLike, recv: BufferLike, count: int,
+                       op: str = "sum", *, team: Optional[ShmemTeam] = None,
+                       stream: Optional[Stream] = None) -> None:
+        """Reduce-scatter: each PE receives its ``count``-element chunk."""
+        team = team or self.team_world
+        team.run_collective("reduce_scatter", send, recv, count, op=op,
+                            stream=stream, snapshot_count=count * team.size)
+
     def alltoall(self, send: BufferLike, recv: BufferLike, count: int,
                  *, team: Optional[ShmemTeam] = None, stream: Optional[Stream] = None) -> None:
         """Team alltoall (host-blocking or stream-ordered)."""

@@ -22,6 +22,15 @@ generally do not ride GPUDirect RDMA and bounce GPU payloads through host
 bounce buffers. This is the mechanism behind the paper's Fig. 6, where the
 CG solver's MPI AllGatherv is far slower than GPUCCL's grouped P2P while
 MPI's small-message collectives (the dot-product AllReduces) stay cheap.
+
+When a collective policy is installed on the engine (``launch(coll=...)``,
+see :mod:`repro.coll`), the tunable collectives — bcast, allreduce,
+allgather, reduce_scatter — may instead execute a generated
+:class:`~repro.coll.Schedule` as a real isend/irecv step program
+(:func:`_run_schedule`): the data genuinely moves along the selected
+algorithm's routes, unlike the fused-kernel backends which only re-price
+their completion time. ``"native"`` (the MPI default) keeps the legacy
+algorithms above and their exact traces.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from .request import waitall
 __all__ = [
     "barrier", "bcast", "reduce", "allreduce", "gather", "gatherv",
     "scatter", "scatterv", "allgather", "allgatherv", "alltoall",
+    "reduce_scatter",
 ]
 
 _EMPTY = np.empty(0, np.uint8)
@@ -78,6 +88,111 @@ def _staged_recv(comm, buf: BufferLike, count: int, src: int, tag: int) -> None:
     _stage(comm, buf, count)
 
 
+# --------------------------------------------------------------------- #
+# Generated-schedule execution (repro.coll).
+# --------------------------------------------------------------------- #
+
+
+def _coll_topology(comm):
+    """The communicator's coll Topology, cached (members are immutable)."""
+    topo = getattr(comm, "_coll_topo", None)
+    if topo is None:
+        from ...coll import Topology
+
+        world = comm.ctx.world
+        topo = Topology(comm.ctx.rank_ctx.cluster,
+                        [world.gpu_of(g) for g in comm.members])
+        comm._coll_topo = topo
+    return topo
+
+
+def _select_schedule(comm, kind: str, count: int, itemsize: int,
+                     root: int = 0):
+    """A generated Schedule when the engine policy picks a non-native
+    algorithm for this call, else None (stay on the legacy code path)."""
+    policy = comm.engine.coll
+    if policy is None or comm.size <= 1:
+        return None
+    algorithm = policy.select("mpi", kind, int(count * itemsize),
+                              _coll_topology(comm), engine=comm.engine)
+    if algorithm is None or algorithm == "native":
+        return None
+    from ...coll import generate
+
+    return generate(algorithm, kind, comm.size, count,
+                    topo=_coll_topology(comm), root=root)
+
+
+def _run_schedule(comm, sched, work: np.ndarray, op: Optional[str]) -> None:
+    """Execute one rank's step program of a Schedule over ``work``.
+
+    A single collective tag covers every round: the matcher is FIFO per
+    ordered (src, dst) pair and each round's messages balance exactly
+    (validated by the pure-python executor in the tests), so a fast rank
+    posting the next round early can never match a message across rounds.
+    """
+    from ...coll.schedule import Copy, Recv, RecvReduce, Send
+
+    tag = comm._next_coll_tag()
+    for steps in sched.rank_rounds(comm.rank):
+        if not steps:
+            continue
+        reqs: List = []
+        plain_recvs: List = []
+        reduce_recvs: List = []
+        copies: List = []
+        for st in steps:
+            if isinstance(st, Send):
+                view = work[st.offset:st.offset + st.length]
+                _stage(comm, view, st.length)
+                reqs.append(comm.isend(view, st.length, st.peer, tag))
+            elif isinstance(st, RecvReduce):
+                tmp = np.empty(st.length, work.dtype)
+                reqs.append(comm.irecv(tmp, st.length, st.peer, tag))
+                reduce_recvs.append((st, tmp))
+            elif isinstance(st, Recv):
+                view = work[st.offset:st.offset + st.length]
+                reqs.append(comm.irecv(view, st.length, st.peer, tag))
+                plain_recvs.append(st)
+            else:
+                copies.append(st)
+        if reqs:
+            waitall(reqs)
+        for st in plain_recvs:
+            _stage(comm, work, st.length)
+        for st, tmp in reduce_recvs:
+            _stage(comm, tmp, st.length)
+            apply_reduce(op, work[st.offset:st.offset + st.length], tmp)
+        for st in copies:
+            work[st.dst:st.dst + st.length] = work[st.src:st.src + st.length]
+
+
+def _execute_schedule(comm, sched, sendbuf, recvbuf, count: int,
+                      op: Optional[str], root: int) -> None:
+    """Stage one rank's data through a host workspace, run the schedule,
+    and write the result back into the caller's buffer.
+
+    The schedule moves numpy workspace views through the P2P layer, which
+    the sanitizer cannot attribute to the caller's device buffers, so the
+    input read and output write are recorded here (the collective is fully
+    synchronized at return, exactly like the legacy tree/fan algorithms).
+    """
+    from ...coll.schedule import extract_output, init_workspace
+
+    p, r, kind = sched.nranks, comm.rank, sched.kind
+    note = f"{kind}[{sched.algorithm}]"
+    in_count = p * count if kind == "reduce_scatter" else count
+    if kind != "broadcast" or r == root:
+        _record(comm, sendbuf, "r", 0, in_count, note)
+    work = init_workspace(kind, r, p, count, as_array(sendbuf), root,
+                          sched.workspace)
+    _run_schedule(comm, sched, work, op)
+    out = extract_output(kind, r, p, count, work, root)
+    if out is not None:
+        _record(comm, recvbuf, "w", 0, out.size, note)
+        as_array(recvbuf, out.size)[:out.size] = out
+
+
 def barrier(comm) -> None:
     p, r = comm.size, comm.rank
     if p == 1:
@@ -94,6 +209,11 @@ def bcast(comm, buf: BufferLike, count: int, root: int) -> None:
     p, r = comm.size, comm.rank
     _check_root(p, root)
     if p == 1:
+        return
+    sched = _select_schedule(comm, "broadcast", count,
+                             as_array(buf).dtype.itemsize, root)
+    if sched is not None:
+        _execute_schedule(comm, sched, buf, buf, count, None, root)
         return
     tag = comm._next_coll_tag()
     vrank = (r - root) % p
@@ -136,6 +256,11 @@ def reduce(comm, sendbuf: BufferLike, recvbuf: Optional[BufferLike], count: int,
 
 
 def allreduce(comm, sendbuf: BufferLike, recvbuf: BufferLike, count: int, op: str) -> None:
+    sched = _select_schedule(comm, "all_reduce", count,
+                             as_array(sendbuf).dtype.itemsize)
+    if sched is not None:
+        _execute_schedule(comm, sched, sendbuf, recvbuf, count, op, 0)
+        return
     reduce(comm, sendbuf, recvbuf, count, op, root=0)
     bcast(comm, recvbuf, count, root=0)
 
@@ -224,6 +349,11 @@ def scatterv(
 
 
 def allgather(comm, sendbuf: BufferLike, recvbuf: BufferLike, count: int) -> None:
+    sched = _select_schedule(comm, "all_gather", count,
+                             as_array(sendbuf).dtype.itemsize)
+    if sched is not None:
+        _execute_schedule(comm, sched, sendbuf, recvbuf, count, None, 0)
+        return
     p = comm.size
     counts = [count] * p
     displs = [i * count for i in range(p)]
@@ -243,6 +373,35 @@ def allgatherv(
     gatherv(comm, sendbuf, sendcount, recvbuf, counts, displs, root=0)
     total = max(d + c for d, c in zip(displs, counts))
     bcast(comm, recvbuf, total, root=0)
+
+
+def reduce_scatter(comm, sendbuf: BufferLike, recvbuf: BufferLike,
+                   count: int, op: str = "sum") -> None:
+    """MPI_Reduce_scatter_block: each rank gets its ``count``-element chunk
+    of the reduced ``size * count`` vector.
+
+    The fallback algorithm matches the style of the other rooted paths:
+    binomial reduce of the full vector to rank 0, then a linear scatter.
+    """
+    p, r = comm.size, comm.rank
+    if p == 1:
+        _record(comm, sendbuf, "r", 0, count, "reduce_scatter")
+        _record(comm, recvbuf, "w", 0, count, "reduce_scatter")
+        as_array(recvbuf, count)[:count] = as_array(sendbuf, count)
+        return
+    sched = _select_schedule(comm, "reduce_scatter", count,
+                             as_array(sendbuf).dtype.itemsize)
+    if sched is not None:
+        _execute_schedule(comm, sched, sendbuf, recvbuf, count, op, 0)
+        return
+    total = p * count
+    if r == 0:
+        tmp = np.empty(total, as_array(sendbuf).dtype)
+        reduce(comm, sendbuf, tmp, total, op, root=0)
+        scatter(comm, tmp, recvbuf, count, root=0)
+    else:
+        reduce(comm, sendbuf, None, total, op, root=0)
+        scatter(comm, None, recvbuf, count, root=0)
 
 
 def alltoall(comm, sendbuf: BufferLike, recvbuf: BufferLike, count: int) -> None:

@@ -221,6 +221,11 @@ class MpiCommunicator:
         self._charge(self._profile.collective_call_overhead)
         _coll.scatterv(self, sendbuf, counts, displs, recvbuf, recvcount, root)
 
+    def reduce_scatter(self, sendbuf, recvbuf, count: int, op: str = "sum") -> None:
+        """MPI_Reduce_scatter_block (each rank receives ``count`` elements)."""
+        self._charge(self._profile.collective_call_overhead)
+        _coll.reduce_scatter(self, sendbuf, recvbuf, count, op)
+
     def allgather(self, sendbuf, recvbuf, count: int) -> None:
         """MPI_Allgather (gather-to-0 + bcast, the GPU-buffer path)."""
         self._charge(self._profile.collective_call_overhead)

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro latency --variant uniconn:mpi --inter
     python -m repro bandwidth --variant gpuccl-native
     python -m repro tune    --machine perlmutter -o table.json
+    python -m repro tune    --coll --gpus 64 --dump coll_table.json
     python -m repro trace   --out trace.json     # Chrome-trace of a Jacobi run
     python -m repro report  --gpus 4             # per-rank time breakdown
 """
@@ -91,9 +92,24 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--inter", action="store_true", help="use two nodes")
         sp.add_argument("--sizes", type=int, nargs="*", default=None)
 
-    sp = sub.add_parser("tune", help="build a backend-selection table")
+    sp = sub.add_parser(
+        "tune", help="build a backend-selection or collective-algorithm table",
+        epilog="Default: probe backend crossovers (core.selection). With "
+               "--coll, score the repro.coll algorithm catalogue with the "
+               "alpha-beta cost model instead and print per-backend "
+               "collective crossovers; --dump writes the banded tuning "
+               "table (schema repro.coll.table) for launch(coll=...) or "
+               "the REPRO_COLL_TABLE environment variable.")
     common(sp)
     sp.add_argument("-o", "--output", default=None, help="write table JSON here")
+    sp.add_argument("--coll", action="store_true",
+                    help="tune collective algorithms (docs/COLLECTIVES.md)")
+    sp.add_argument("--gpus", type=int, default=64,
+                    help="job size the collective table is tuned for")
+    sp.add_argument("--nodes", type=int, default=None,
+                    help="node count (default: ceil(gpus / gpus_per_node))")
+    sp.add_argument("--dump", default=None, metavar="FILE",
+                    help="write the collective tuning table JSON here")
 
     sp = sub.add_parser("trace", help="write a Chrome trace of a Jacobi run")
     common(sp)
@@ -225,7 +241,35 @@ def _cmd_netbench(args, out, kind: str) -> int:
     return 0
 
 
+def _cmd_tune_coll(args, out) -> int:
+    from .coll import CollTuner, validate_table
+
+    tuner = CollTuner(args.machine, args.gpus, n_nodes=args.nodes)
+    table = tuner.build_table()
+    sig = tuner.topo.signature()
+    print(f"collective tuning table for {sig}", file=out)
+    for backend in tuner.backends():
+        for kind in table.entries[sig][backend]:
+            bands = table.entries[sig][backend][kind]
+            desc = ", ".join(
+                f"{algo}" + (f" <= {ceiling} B" if ceiling is not None else "")
+                for ceiling, algo in bands
+            )
+            print(f"  {backend:9s} {kind:15s} {desc}", file=out)
+    dest = args.dump or args.output
+    if dest:
+        table.save(dest)
+        import json
+
+        with open(dest) as fh:
+            validate_table(json.load(fh))
+        print(f"table written to {dest} (schema valid)", file=out)
+    return 0
+
+
 def _cmd_tune(args, out) -> int:
+    if args.coll:
+        return _cmd_tune_coll(args, out)
     from .core.selection import SelectionTable
 
     table = SelectionTable.tune(args.machine, probe_sizes=(8, 512, 32768, 1 << 20), iters=12)

@@ -1,0 +1,118 @@
+"""Alpha-beta cost model over Cluster paths (docs/COLLECTIVES.md).
+
+:class:`Topology` is the communicator-shaped view of a
+:class:`~repro.hardware.cluster.Cluster`: rank -> GPU placement, per-node
+rank groups (what the hierarchical generator keys on) and memoized
+``(latency, bandwidth, per_message_overhead)`` triples per rank pair. Its
+:meth:`Topology.signature` string is the tuning-table key — two
+communicators with the same machine, size and per-node layout share
+selections.
+
+:func:`schedule_cost` prices a schedule round by round: each rank pays
+alpha + per-message overhead + bytes/beta for its sends (sender-side
+serialization, so fan-outs cost what they should), a memory-bandwidth
+term for reductions and local copies, and the round costs the maximum
+over ranks. This deliberately ignores link contention — it is a ranking
+function for the tuner, not a replacement for the event-driven link
+occupancy the backends charge at execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .schedule import Copy, Recv, RecvReduce, Schedule, Send
+
+__all__ = ["Topology", "schedule_cost"]
+
+
+class Topology:
+    """Rank -> GPU view of a cluster for one communicator."""
+
+    def __init__(self, cluster, gpu_ids):
+        self.cluster = cluster
+        self.gpu_ids = list(gpu_ids)
+        self.nranks = len(self.gpu_ids)
+        self._params: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
+        self._groups: List[List[int]] = []
+        seen: Dict[int, List[int]] = {}
+        for rank, gpu in enumerate(self.gpu_ids):
+            node = cluster.node_of(gpu)
+            if node not in seen:
+                seen[node] = []
+                self._groups.append(seen[node])
+            seen[node].append(rank)
+        self._signature = "{}/p{}/{}".format(
+            cluster.machine.name, self.nranks,
+            "+".join(str(len(g)) for g in self._groups),
+        )
+
+    def groups(self) -> List[List[int]]:
+        """Ranks grouped by node, in first-appearance order."""
+        return self._groups
+
+    def n_nodes(self) -> int:
+        return len(self._groups)
+
+    def path_params(self, a: int, b: int) -> Tuple[float, float, float]:
+        """(latency, bandwidth, per_message_overhead) of the a->b path."""
+        key = (a, b)
+        cached = self._params.get(key)
+        if cached is None:
+            path = self.cluster.path(self.gpu_ids[a], self.gpu_ids[b])
+            overhead = max(l.per_message_overhead for l in path.links)
+            cached = (path.latency, path.bandwidth, overhead)
+            self._params[key] = cached
+        return cached
+
+    def local_bandwidth(self) -> float:
+        """Effective local copy/reduce bandwidth (read + write of HBM)."""
+        return self.cluster.machine.gpu.mem_bandwidth / 2.0
+
+    def signature(self) -> str:
+        """Tuning-table key: machine / size / per-node rank layout."""
+        return self._signature
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Topology {self._signature}>"
+
+
+def schedule_cost(sched: Schedule, topo: Topology, itemsize: int = 1, *,
+                  bw_scale: float = 1.0, per_round_overhead: float = 0.0,
+                  staging_threshold: int = 0,
+                  staging_inv_bw: float = 0.0) -> float:
+    """Predicted seconds for one execution of ``sched`` on ``topo``.
+
+    ``bw_scale`` discounts path bandwidth (e.g. GPUCCL ring efficiency),
+    ``per_round_overhead`` adds a fixed charge per round (e.g. SHMEM host
+    post cost), and ``staging_*`` model host bounce-buffer copies above an
+    eager threshold (2x for the send+recv side is the caller's job).
+    """
+    local_bw = topo.local_bandwidth()
+    total = 0.0
+    for rnd in sched.rounds:
+        round_cost = 0.0
+        for rank, steps in rnd.items():
+            rank_cost = 0.0
+            for st in steps:
+                if isinstance(st, Send):
+                    nbytes = st.length * itemsize
+                    lat, bw, ov = topo.path_params(rank, st.peer)
+                    rank_cost += lat + ov + nbytes / (bw * bw_scale)
+                    if staging_inv_bw and nbytes > staging_threshold:
+                        rank_cost += nbytes * staging_inv_bw
+                elif isinstance(st, RecvReduce):
+                    nbytes = st.length * itemsize
+                    rank_cost += nbytes / local_bw
+                    if staging_inv_bw and nbytes > staging_threshold:
+                        rank_cost += nbytes * staging_inv_bw
+                elif isinstance(st, Recv):
+                    nbytes = st.length * itemsize
+                    if staging_inv_bw and nbytes > staging_threshold:
+                        rank_cost += nbytes * staging_inv_bw
+                elif isinstance(st, Copy):
+                    rank_cost += st.length * itemsize / local_bw
+            if rank_cost > round_cost:
+                round_cost = rank_cost
+        total += round_cost
+    return total + per_round_overhead * sched.n_rounds

@@ -1,0 +1,70 @@
+"""Schema for the ``repro tune --coll --dump`` tuning-table JSON document.
+
+Mirrors :mod:`repro.obs.schema`: hand-rolled structural validation, a
+``ValueError`` naming the first offending field, and a version bump
+whenever a required field changes shape. The CI ``coll-smoke`` lane
+round-trips a dumped table through :func:`validate_table`; the
+``REPRO_COLL_TABLE`` loader validates before installing a policy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["SCHEMA_NAME", "SCHEMA_VERSION", "validate_table"]
+
+SCHEMA_NAME = "repro.coll.table"
+SCHEMA_VERSION = 1
+
+_BACKENDS = ("mpi", "gpuccl", "gpushmem")
+_KINDS = ("all_reduce", "all_gather", "broadcast", "reduce", "reduce_scatter")
+
+
+def _fail(msg: str) -> None:
+    raise ValueError(f"invalid {SCHEMA_NAME} document: {msg}")
+
+
+def validate_table(doc: Any) -> Dict[str, Any]:
+    """Validate a tuning table; returns it unchanged or raises ValueError."""
+    if not isinstance(doc, dict):
+        _fail(f"expected object, got {type(doc).__name__}")
+    if doc.get("schema") != SCHEMA_NAME:
+        _fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA_NAME!r}")
+    if doc.get("version") != SCHEMA_VERSION:
+        _fail(f"version is {doc.get('version')!r}, expected {SCHEMA_VERSION}")
+    if not isinstance(doc.get("machine"), str):
+        _fail("machine must be a string")
+    entries = doc.get("entries")
+    if not isinstance(entries, dict):
+        _fail("entries must be an object")
+    for sig, backends in entries.items():
+        if not isinstance(sig, str) or not sig:
+            _fail("topology signatures must be non-empty strings")
+        if not isinstance(backends, dict):
+            _fail(f"entries[{sig!r}] must be an object")
+        for backend, kinds in backends.items():
+            if backend not in _BACKENDS:
+                _fail(f"entries[{sig!r}]: unknown backend {backend!r}")
+            if not isinstance(kinds, dict):
+                _fail(f"entries[{sig!r}].{backend} must be an object")
+            for kind, bands in kinds.items():
+                if kind not in _KINDS:
+                    _fail(f"entries[{sig!r}].{backend}: unknown kind {kind!r}")
+                if not isinstance(bands, list) or not bands:
+                    _fail(f"entries[{sig!r}].{backend}.{kind} must be a "
+                          "non-empty list of [max_nbytes, algorithm] bands")
+                for i, band in enumerate(bands):
+                    if (not isinstance(band, (list, tuple)) or len(band) != 2):
+                        _fail(f"entries[{sig!r}].{backend}.{kind}[{i}] must "
+                              "be a [max_nbytes, algorithm] pair")
+                    ceiling, algo = band
+                    if ceiling is not None and not isinstance(ceiling, int):
+                        _fail(f"entries[{sig!r}].{backend}.{kind}[{i}]: "
+                              "max_nbytes must be an int or null")
+                    if not isinstance(algo, str) or not algo:
+                        _fail(f"entries[{sig!r}].{backend}.{kind}[{i}]: "
+                              "algorithm must be a non-empty string")
+                if bands[-1][0] is not None:
+                    _fail(f"entries[{sig!r}].{backend}.{kind}: last band "
+                          "must be open-ended (null ceiling)")
+    return doc

@@ -1,0 +1,288 @@
+"""Algorithm selection: tuning tables, runtime policy, and the tuner.
+
+Three layers (docs/COLLECTIVES.md):
+
+- :class:`CollTable` — a persisted selection table: per topology
+  signature, backend and collective kind, a list of
+  ``[max_nbytes, algorithm]`` size bands (last band open-ended). JSON
+  round-trips through :mod:`repro.coll.schema` validation.
+- :class:`CollPolicy` — what backends consult at run time via
+  ``engine.coll``; ``None`` (the default) means "no engine installed" and
+  costs the backends a single attribute check. A policy runs in one of
+  three modes: a *fixed* algorithm, a *table* lookup, or *auto* (score
+  the catalogue on demand with the per-backend cost models and cache the
+  winner). Selections are counted in the ``repro.obs`` metrics registry
+  as ``coll_selected_total``.
+- :class:`CollTuner` — builds tables offline by scoring candidates over a
+  probe-size grid on a synthetic cluster (``repro tune --coll``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .algorithms import DEFAULT_ALGORITHM, candidates, is_applicable
+from .cost import Topology
+from .models import CANONICAL_SHMEM_KINDS, GpucclModel, MpiModel, ShmemModel
+from .schema import SCHEMA_NAME, SCHEMA_VERSION, validate_table
+
+__all__ = ["CollTable", "CollPolicy", "CollTuner", "resolve_policy",
+           "ENV_TABLE"]
+
+#: Environment variable naming a tuning-table JSON to install by default.
+ENV_TABLE = "REPRO_COLL_TABLE"
+
+#: Canonical kind -> the native kind name each backend model prices.
+_SHMEM_NATIVE = {v: k for k, v in CANONICAL_SHMEM_KINDS.items()}
+
+_TUNABLE_KINDS = ("all_reduce", "all_gather", "broadcast", "reduce_scatter")
+
+
+def _model_for(backend: str, topo: Topology):
+    machine = topo.cluster.machine
+    if backend == "gpuccl":
+        return GpucclModel(topo.cluster, machine.gpuccl, topo.gpu_ids)
+    if backend == "mpi":
+        return MpiModel(topo.cluster, machine.mpi, topo.gpu_ids)
+    if backend == "gpushmem":
+        if machine.gpushmem is None:
+            return None
+        return ShmemModel(topo.cluster, machine.gpushmem, topo.gpu_ids)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def _score(model, backend: str, kind: str, algorithm: str, nbytes: int) -> float:
+    if backend == "gpushmem":
+        return model.duration(_SHMEM_NATIVE[kind], nbytes, algorithm)
+    return model.duration(kind, nbytes, algorithm)
+
+
+class CollTable:
+    """Banded algorithm selections, keyed by topology signature."""
+
+    def __init__(self, machine: str = "", entries: Optional[Dict] = None):
+        self.machine = machine
+        # sig -> backend -> kind -> [[max_nbytes|None, algorithm], ...]
+        self.entries: Dict[str, Dict[str, Dict[str, List]]] = entries or {}
+
+    def set_bands(self, sig: str, backend: str, kind: str,
+                  bands: Sequence[Tuple[Optional[int], str]]) -> None:
+        self.entries.setdefault(sig, {}).setdefault(backend, {})[kind] = [
+            [ceiling, algo] for ceiling, algo in bands
+        ]
+
+    def lookup(self, sig: str, backend: str, kind: str,
+               nbytes: int) -> Optional[str]:
+        bands = self.entries.get(sig, {}).get(backend, {}).get(kind)
+        if not bands:
+            return None
+        for ceiling, algo in bands:
+            if ceiling is None or nbytes <= ceiling:
+                return algo
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    def to_doc(self) -> Dict[str, Any]:
+        return validate_table({
+            "schema": SCHEMA_NAME,
+            "version": SCHEMA_VERSION,
+            "machine": self.machine,
+            "entries": self.entries,
+        })
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "CollTable":
+        validate_table(doc)
+        return cls(machine=doc["machine"], entries=doc["entries"])
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_doc(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "CollTable":
+        with open(path) as fh:
+            return cls.from_doc(json.load(fh))
+
+
+class CollPolicy:
+    """Runtime algorithm selector installed as ``engine.coll``."""
+
+    def __init__(self, *, mode: str, algorithm: Optional[str] = None,
+                 table: Optional[CollTable] = None):
+        if mode not in ("fixed", "table", "auto"):
+            raise ValueError(f"unknown policy mode {mode!r}")
+        self.mode = mode
+        self.algorithm = algorithm
+        self.table = table
+        self._cache: Dict[Tuple[str, str, str, int], Optional[str]] = {}
+        self._models: Dict[Tuple[str, str], Any] = {}
+
+    @classmethod
+    def fixed(cls, algorithm: str) -> "CollPolicy":
+        return cls(mode="fixed", algorithm=algorithm)
+
+    @classmethod
+    def from_table(cls, table: CollTable) -> "CollPolicy":
+        return cls(mode="table", table=table)
+
+    @classmethod
+    def auto(cls) -> "CollPolicy":
+        return cls(mode="auto")
+
+    # ------------------------------------------------------------------ #
+
+    def _auto_select(self, backend: str, kind: str, nbytes: int,
+                     topo: Topology) -> Optional[str]:
+        model = self._models.get((backend, topo.signature()))
+        if model is None:
+            model = _model_for(backend, topo)
+            if model is None:
+                return None
+            self._models[(backend, topo.signature())] = model
+        best_algo = DEFAULT_ALGORITHM[backend]
+        best_cost = _score(model, backend, kind, best_algo, nbytes)
+        for algo in candidates(kind, topo.nranks, topo):
+            if algo == best_algo:
+                continue
+            cost = _score(model, backend, kind, algo, nbytes)
+            if cost < best_cost:
+                best_algo, best_cost = algo, cost
+        return best_algo
+
+    def select(self, backend: str, kind: str, nbytes: int, topo: Topology,
+               engine=None) -> Optional[str]:
+        """The algorithm to run, or None to stay on the legacy path."""
+        if topo.nranks <= 1:
+            return None
+        key = (backend, topo.signature(), kind, int(nbytes))
+        if key in self._cache:
+            algo = self._cache[key]
+        else:
+            if self.mode == "fixed":
+                algo = self.algorithm
+                if algo != DEFAULT_ALGORITHM[backend] and not is_applicable(
+                        algo, kind, topo.nranks, topo):
+                    algo = None
+            elif self.mode == "table":
+                algo = self.table.lookup(topo.signature(), backend, kind,
+                                         int(nbytes))
+                if algo is not None and algo != DEFAULT_ALGORITHM[backend] \
+                        and not is_applicable(algo, kind, topo.nranks, topo):
+                    algo = None
+            else:
+                algo = self._auto_select(backend, kind, int(nbytes), topo)
+            self._cache[key] = algo
+        if engine is not None and engine.metrics.enabled:
+            from ..obs import size_class
+
+            engine.metrics.inc(
+                "coll_selected_total", backend=backend, kind=kind,
+                algorithm=algo if algo is not None else "default",
+                size=size_class(int(nbytes)),
+            )
+        return algo
+
+
+class CollTuner:
+    """Builds tuning tables by scoring the catalogue on a synthetic cluster."""
+
+    #: Probe grid: message sizes the table is scored at (bytes).
+    PROBE_SIZES = (64, 1 << 10, 8 << 10, 64 << 10, 512 << 10, 4 << 20, 32 << 20)
+
+    def __init__(self, machine, n_gpus: int, n_nodes: Optional[int] = None):
+        from ..hardware.cluster import Cluster
+        from ..hardware.machines import get_machine
+
+        spec = get_machine(machine) if isinstance(machine, str) else machine
+        if n_nodes is None:
+            n_nodes = -(-n_gpus // spec.gpus_per_node)
+        self.machine = spec
+        self.cluster = Cluster(spec, n_nodes)
+        self.topo = Topology(self.cluster, list(range(n_gpus)))
+        self._models: Dict[str, Any] = {}
+
+    def model(self, backend: str):
+        if backend not in self._models:
+            self._models[backend] = _model_for(backend, self.topo)
+        return self._models[backend]
+
+    def backends(self) -> List[str]:
+        return [b for b in ("mpi", "gpuccl", "gpushmem")
+                if self.model(b) is not None]
+
+    def best(self, backend: str, kind: str, nbytes: int) -> Tuple[str, float]:
+        """(winner, predicted seconds) among the applicable candidates."""
+        model = self.model(backend)
+        options = [DEFAULT_ALGORITHM[backend]] + [
+            a for a in candidates(kind, self.topo.nranks, self.topo)
+            if a != DEFAULT_ALGORITHM[backend]
+        ]
+        scored = [(_score(model, backend, kind, a, nbytes), a) for a in options]
+        scored.sort(key=lambda pair: (pair[0], options.index(pair[1])))
+        return scored[0][1], scored[0][0]
+
+    def build_table(self, kinds: Sequence[str] = _TUNABLE_KINDS,
+                    sizes: Optional[Sequence[int]] = None) -> CollTable:
+        sizes = sorted(sizes or self.PROBE_SIZES)
+        table = CollTable(machine=self.machine.name)
+        sig = self.topo.signature()
+        for backend in self.backends():
+            for kind in kinds:
+                winners = [self.best(backend, kind, s)[0] for s in sizes]
+                bands: List[Tuple[Optional[int], str]] = []
+                for size, winner in zip(sizes, winners):
+                    if bands and bands[-1][1] == winner:
+                        bands[-1] = (size, winner)
+                    else:
+                        bands.append((size, winner))
+                bands[-1] = (None, bands[-1][1])
+                table.set_bands(sig, backend, kind, bands)
+        return table
+
+    def crossovers(self, backend: str, kind: str,
+                   sizes: Optional[Sequence[int]] = None) -> List[Tuple[int, str, str]]:
+        """(boundary_nbytes, smaller_side_algo, larger_side_algo) switches."""
+        sizes = sorted(sizes or self.PROBE_SIZES)
+        winners = [self.best(backend, kind, s)[0] for s in sizes]
+        out = []
+        for prev_size, prev, cur in zip(sizes, winners, winners[1:]):
+            if prev != cur:
+                out.append((prev_size, prev, cur))
+        return out
+
+
+def resolve_policy(coll) -> Optional[CollPolicy]:
+    """Map ``launch(coll=...)`` / the env override to a policy (or None).
+
+    Accepts: None (env lookup, else off), "off"/False (force off), "auto"
+    or "tuned" (cost-model policy), an algorithm name (fixed), a
+    :class:`CollTable`, a table path, or a ready :class:`CollPolicy`.
+    """
+    if coll is None:
+        path = os.environ.get(ENV_TABLE)
+        if not path:
+            return None
+        return CollPolicy.from_table(CollTable.load(path))
+    if coll is False or coll == "off":
+        return None
+    if isinstance(coll, CollPolicy):
+        return coll
+    if isinstance(coll, CollTable):
+        return CollPolicy.from_table(coll)
+    if isinstance(coll, str):
+        if coll in ("auto", "tuned"):
+            return CollPolicy.auto()
+        from .algorithms import ALGORITHMS
+
+        if coll in ALGORITHMS or coll in DEFAULT_ALGORITHM.values():
+            return CollPolicy.fixed(coll)
+        if os.path.exists(coll):
+            return CollPolicy.from_table(CollTable.load(coll))
+        raise ValueError(f"unknown coll policy {coll!r}")
+    raise TypeError(f"coll must be None, str, CollTable or CollPolicy, "
+                    f"got {type(coll).__name__}")

@@ -484,6 +484,26 @@ class Coordinator:
                     sendbuf, recvbuf, count, team=comm.team, stream=self.stream
                 )
 
+    def reduce_scatter(self, sendbuf, recvbuf, count: int, op, comm: Communicator) -> None:
+        """Uniconn ReduceScatter: each rank keeps its ``count``-element
+        chunk of the reduced ``size * count`` vector (IN_PLACE accepted)."""
+        op = resolve_op(op)
+        if sendbuf is IN_PLACE:
+            sendbuf = recvbuf
+        self._rec("reduce_scatter")
+        with self._span("reduce_scatter", "comm", nbytes=self._nbytes(recvbuf, count)):
+            if self.backend is MPIBackend:
+                self._mpi_pre()
+                comm.mpi.reduce_scatter(sendbuf, recvbuf, count, op)
+            elif self.backend is GpucclBackend:
+                self.engine.sleep(self.env.costs.dispatch)
+                comm.ccl.reduce_scatter(sendbuf, recvbuf, count, op, self.stream)
+            else:
+                self.engine.sleep(self.env.costs.dispatch)
+                self.env.shmem.reduce_scatter(
+                    sendbuf, recvbuf, count, op, team=comm.team, stream=self.stream
+                )
+
     def all_gather_v(
         self,
         sendbuf,

@@ -139,6 +139,7 @@ def launch(
     obs: Optional[str] = None,
     trace_out: Optional[str] = None,
     sanitize: Union[str, bool, None] = None,
+    coll: Any = None,
 ) -> "RunReport":
     """Run ``fn(ctx, *args)`` on ``n_ranks`` simulated ranks.
 
@@ -169,6 +170,14 @@ def launch(
     no happens-before path, and findings land in ``report.races`` (and
     ``stats["races"]``) as :class:`~repro.sanitize.RaceReport` objects.
     With the sanitizer off the run is untouched — traces are byte-identical.
+
+    ``coll`` installs a collective algorithm policy (:mod:`repro.coll`):
+    an algorithm name ("ring"/"tree"/"recdbl"/"bruck"/"hier") forces that
+    schedule where applicable, ``"auto"``/``"tuned"`` selects per message
+    size with the cost model, and a :class:`~repro.coll.CollTable` (or a
+    path to a dumped table) replays saved selections. The default (None)
+    honours the ``REPRO_COLL_TABLE`` environment variable, else leaves
+    every backend on its legacy algorithm — byte-identical traces.
 
     ``fault_plan`` (a :class:`~repro.sim.FaultPlan` or a spec string for
     ``FaultPlan.parse``) installs deterministic fault injection seeded by
@@ -205,6 +214,9 @@ def launch(
     engine.obs_spans = obs == "spans"
     if san_mode is not None:
         engine.sanitizer = Sanitizer(engine, mode=san_mode)
+    from .coll import resolve_policy
+
+    engine.coll = resolve_policy(coll)
     if tracer is None and trace_out is not None:
         tracer = Tracer()
     if tracer is not None:

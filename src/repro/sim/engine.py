@@ -222,6 +222,10 @@ class Engine:
         # hook is one attribute check and the event schedule — hence the
         # trace — is byte-identical to an uninstrumented run.
         self.sanitizer: Optional[Any] = None
+        # Collective algorithm policy (see repro.coll). None means no
+        # engine installed: backends pay one attribute check and stay on
+        # their legacy code paths, so default traces are byte-identical.
+        self.coll: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # Public API used by simulated code.

@@ -1,0 +1,148 @@
+"""CollTable / CollPolicy / CollTuner + the ``repro tune --coll`` CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.coll import (ALGORITHMS, CollPolicy, CollTable, CollTuner,
+                        DEFAULT_ALGORITHM, ENV_TABLE, SCHEMA_NAME,
+                        resolve_policy, validate_table)
+
+
+def _tuner(machine="perlmutter", gpus=64):
+    return CollTuner(machine, gpus)
+
+
+def test_table_roundtrip(tmp_path):
+    t = _tuner()
+    table = t.build_table()
+    path = tmp_path / "table.json"
+    table.save(str(path))
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == SCHEMA_NAME
+    loaded = CollTable.load(str(path))
+    assert loaded.entries == table.entries
+    assert loaded.machine == table.machine
+
+
+def test_table_lookup_bands():
+    table = CollTable(machine="perlmutter")
+    table.set_bands("sig", "gpuccl", "all_reduce",
+                    [(1024, "recdbl"), (1 << 20, "hier"), (None, "ring")])
+    look = lambda n: table.lookup("sig", "gpuccl", "all_reduce", n)
+    assert look(64) == "recdbl"
+    assert look(1024) == "recdbl"
+    assert look(1025) == "hier"
+    assert look(64 << 20) == "ring"
+    assert table.lookup("sig", "gpuccl", "broadcast", 64) is None
+    assert table.lookup("other", "gpuccl", "all_reduce", 64) is None
+
+
+def test_tuner_selects_differently_small_vs_large():
+    """Acceptance: at 64 GPUs the small- and large-message winners differ
+    on at least two machine presets."""
+    differing = 0
+    for machine in ("perlmutter", "lumi"):
+        t = _tuner(machine)
+        small, _ = t.best("gpuccl", "all_reduce", 64)
+        large, _ = t.best("gpuccl", "all_reduce", 32 << 20)
+        if small != large:
+            differing += 1
+            assert large == "ring"  # bandwidth-optimal ring must win large
+    assert differing >= 2
+
+
+def test_crossovers_reported():
+    t = _tuner()
+    cross = t.crossovers("gpuccl", "all_reduce")
+    assert cross, "expected at least one algorithm crossover at 64 GPUs"
+    for nbytes, small_algo, large_algo in cross:
+        assert small_algo != large_algo
+        assert nbytes in t.PROBE_SIZES
+
+
+def test_build_table_band_structure():
+    table = _tuner().build_table()
+    for backends in table.entries.values():
+        for kinds in backends.values():
+            for bands in kinds.values():
+                assert bands[-1][0] is None  # last band open-ended
+                ceilings = [c for c, _ in bands[:-1]]
+                assert ceilings == sorted(ceilings)
+                for _, algo in bands:
+                    assert algo in ALGORITHMS or algo in DEFAULT_ALGORITHM.values()
+
+
+def test_policy_from_table_respects_bands():
+    t = _tuner()
+    table = t.build_table()
+    policy = CollPolicy.from_table(table)
+    small = policy.select("gpuccl", "all_reduce", 64, t.topo)
+    large = policy.select("gpuccl", "all_reduce", 32 << 20, t.topo)
+    assert small != large
+    # Unknown signature -> stay on the legacy path.
+    other = CollTuner("marenostrum5", 8).topo
+    assert policy.select("gpuccl", "all_reduce", 64, other) is None
+
+
+def test_policy_fixed_falls_back_when_inapplicable():
+    topo = CollTuner("perlmutter", 7).topo
+    policy = CollPolicy.fixed("bruck")  # bruck is allgather-only
+    assert policy.select("mpi", "all_reduce", 64, topo) is None
+    assert policy.select("mpi", "all_gather", 64, topo) == "bruck"
+
+
+def test_schema_rejects_malformed_tables():
+    good = _tuner().build_table().to_doc()
+    bad_cases = [
+        {**good, "schema": "something.else"},
+        {**good, "version": 99},
+        {**good, "machine": None},
+        {**good, "entries": {"sig": {"gpuccl": {"all_reduce": []}}}},
+        {**good, "entries": {"sig": {"gpuccl": {"all_reduce": [[64, "ring"]]}}}},
+        {**good, "entries": {"sig": {"gpuccl": {"all_reduce": [[None, ""]]}}}},
+        {**good, "entries": {"sig": {"gpuccl": {"bogus_kind":
+                                                [[None, "ring"]]}}}},
+        {**good, "entries": {"sig": {"bogus_backend": {"all_reduce":
+                                                       [[None, "ring"]]}}}},
+    ]
+    for doc in bad_cases:
+        with pytest.raises(ValueError):
+            validate_table(doc)
+
+
+def test_resolve_policy_forms(tmp_path, monkeypatch):
+    monkeypatch.delenv(ENV_TABLE, raising=False)
+    assert resolve_policy(None) is None
+    assert resolve_policy(False) is None
+    assert resolve_policy("off") is None
+    assert resolve_policy("auto").mode == "auto"
+    assert resolve_policy("ring").mode == "fixed"
+    table = _tuner().build_table()
+    path = tmp_path / "t.json"
+    table.save(str(path))
+    assert resolve_policy(str(path)).mode == "table"
+    monkeypatch.setenv(ENV_TABLE, str(path))
+    env_policy = resolve_policy(None)
+    assert env_policy is not None and env_policy.mode == "table"
+    with pytest.raises(ValueError):
+        resolve_policy("no-such-algorithm")
+    with pytest.raises(TypeError):
+        resolve_policy(42)
+
+
+def test_cli_tune_coll_dump(tmp_path):
+    from repro.cli import main
+
+    dest = tmp_path / "coll_table.json"
+    out = io.StringIO()
+    rc = main(["tune", "--coll", "--gpus", "64", "--machine", "perlmutter",
+               "--dump", str(dest)], out=out)
+    assert rc == 0
+    assert "schema valid" in out.getvalue()
+    doc = json.loads(dest.read_text())
+    validate_table(doc)
+    table = CollTable.from_doc(doc)
+    sig = CollTuner("perlmutter", 64).topo.signature()
+    assert table.lookup(sig, "gpuccl", "all_reduce", 32 << 20) == "ring"

@@ -23,12 +23,13 @@ CFG = JacobiConfig(nx=96, ny=98, iters=3, warmup=1)
 
 
 def _traced_run(monkeypatch, variant: str, fast: bool, fault_plan=None,
-                sanitize=None):
+                sanitize=None, coll=None):
     monkeypatch.setenv("REPRO_SIM_FASTPATH", "1" if fast else "0")
     tracer = Tracer()
     stats: dict = {}
     results = launch_variant(variant, CFG, 8, stats_out=stats, tracer=tracer,
-                             fault_plan=fault_plan, sanitize=sanitize)
+                             fault_plan=fault_plan, sanitize=sanitize,
+                             coll=coll)
     trace = json.dumps({"traceEvents": to_chrome_trace(tracer)}, sort_keys=True)
     return results, stats, trace
 
@@ -84,6 +85,54 @@ def test_trace_byte_identical_with_sanitizer_on_clean_run(monkeypatch):
     assert results.races == []
     assert stats_off["virtual_time"] == stats_on["virtual_time"]
     assert trace_off == trace_on
+
+
+def _default_selecting_table():
+    """A tuning table mapping every backend to its own legacy algorithm."""
+    from repro.coll import (CollPolicy, CollTable, CollTuner,
+                            DEFAULT_ALGORITHM, KINDS)
+
+    sig = CollTuner("perlmutter", 8).topo.signature()
+    table = CollTable(machine="perlmutter")
+    for backend, algo in DEFAULT_ALGORITHM.items():
+        for kind in KINDS:
+            table.set_bands(sig, backend, kind, [(None, algo)])
+    return CollPolicy.from_table(table)
+
+
+@pytest.mark.parametrize(
+    "variant", ["mpi-native", "gpuccl-native", "gpushmem-host-native"]
+)
+def test_trace_byte_identical_with_coll_tuning_disabled(monkeypatch, variant):
+    """The collective engine must be invisible unless it changes a choice.
+
+    Three runs must trace byte-identically: no policy at all (engine.coll
+    is None — the backends' legacy code paths), the policy explicitly off,
+    and a table policy that maps every backend to its own default
+    algorithm (the selection machinery runs, resolves to the legacy
+    algorithm, and the legacy formulas price it — see repro.coll.models)."""
+    monkeypatch.delenv("REPRO_COLL_TABLE", raising=False)
+    _, stats_none, trace_none = _traced_run(monkeypatch, variant, fast=True)
+    _, stats_off, trace_off = _traced_run(monkeypatch, variant, fast=True,
+                                          coll="off")
+    _, stats_table, trace_table = _traced_run(monkeypatch, variant, fast=True,
+                                              coll=_default_selecting_table())
+    assert stats_none["virtual_time"] == stats_off["virtual_time"]
+    assert stats_none["virtual_time"] == stats_table["virtual_time"]
+    assert trace_none == trace_off
+    assert trace_none == trace_table
+
+
+def test_trace_byte_identical_fast_vs_slow_with_coll_policy(monkeypatch):
+    """A live (auto) collective policy must not break the fast path's
+    determinism contract: fast and slow scheduler modes still trace
+    byte-identically when schedules are being selected and executed."""
+    res_fast, stats_fast, trace_fast = _traced_run(
+        monkeypatch, "gpuccl-native", fast=True, coll="auto")
+    res_slow, stats_slow, trace_slow = _traced_run(
+        monkeypatch, "gpuccl-native", fast=False, coll="auto")
+    assert stats_fast["virtual_time"] == stats_slow["virtual_time"]
+    assert trace_fast == trace_slow
 
 
 def test_fastpath_env_toggle(monkeypatch):
