@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke bench-wallclock faults-demo obs-smoke sanitize-smoke check-deprecations coll-smoke bench-coll
+.PHONY: test perf-smoke bench-wallclock faults-demo obs-smoke sanitize-smoke check-deprecations coll-smoke bench-coll resilience-smoke chaos-matrix
 
 # Tier-1: the full deterministic test suite.
 test:
@@ -52,6 +52,18 @@ check-deprecations:
 	$(PYTHON) -m pytest -q -W error::DeprecationWarning tests/obs tests/core/test_api_shims.py tests/core/test_split_equivalence.py
 	$(PYTHON) -W error::DeprecationWarning examples/quickstart.py
 	$(PYTHON) -W error::DeprecationWarning examples/jacobi2d.py perlmutter 4 64
+
+# Elastic-recovery gate (docs/FAULTS.md, "Elastic recovery"): the
+# revoke/agree/shrink + elastic-app test suites, the crash-mid-collective
+# matrix, then the pinned chaos-sweep subset with exact expected outcomes.
+resilience-smoke:
+	$(PYTHON) -m pytest -q tests/resilience tests/core/test_health_abort.py tests/coll/test_degraded.py
+	$(PYTHON) -m benchmarks.chaos_sweep --smoke
+
+# Full chaos matrix (42 seeded scenarios x 2 runs, ~minutes): scheduled in
+# CI, runnable locally; writes the per-scenario outcome table.
+chaos-matrix:
+	$(PYTHON) -m benchmarks.chaos_sweep --json chaos_matrix.json
 
 # Collective algorithm engine gate (docs/COLLECTIVES.md): the schedule /
 # tuner / cross-backend equivalence matrix, a schema-validated table dump,

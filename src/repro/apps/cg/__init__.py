@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...launcher import RankContext, launch
-from . import native_gpuccl, native_gpushmem_device, native_gpushmem_host, native_mpi, uniconn
+from ...sim import Tracer
+from . import elastic, native_gpuccl, native_gpushmem_device, native_gpushmem_host, native_mpi, uniconn
 from .harness import CgResult, assemble_x
 from .matrices import MATRICES, queen_like, serena_like, synthetic_spd
 from .solver import CgConfig, CgProblem, CgState, final_residual, make_problem, row_partition, serial_cg
@@ -37,10 +40,16 @@ NATIVE_VARIANTS = {
 
 def run_variant(rank_ctx: RankContext, variant: str, cfg: CgConfig, problem: CgProblem,
                 collect: bool = False) -> CgResult:
-    """Dispatch one rank's CG run by variant name (same scheme as Jacobi)."""
+    """Dispatch one rank's CG run by variant name (same scheme as Jacobi).
+
+    ``elastic:<backend>`` selects the shrink-and-replay recovery variant
+    (docs/FAULTS.md).
+    """
     if variant in NATIVE_VARIANTS:
         return NATIVE_VARIANTS[variant](rank_ctx, cfg, problem, collect=collect)
     parts = variant.split(":")
+    if parts[0] == "elastic" and len(parts) == 2:
+        return elastic.run(rank_ctx, cfg, problem, backend=parts[1], collect=collect)
     if parts[0] != "uniconn" or len(parts) not in (2, 3):
         raise ValueError(f"unknown cg variant {variant!r}")
     backend = parts[1]
@@ -50,9 +59,17 @@ def run_variant(rank_ctx: RankContext, variant: str, cfg: CgConfig, problem: CgP
 
 def launch_variant(variant: str, cfg: CgConfig, nranks: int, machine="perlmutter",
                    problem: CgProblem = None, collect: bool = False, *,
-                   sanitize=None):
-    """Launch a whole CG job for one variant; returns per-rank results."""
+                   tracer: Optional[Tracer] = None,
+                   fault_plan=None, fault_seed: Optional[int] = None,
+                   obs: Optional[str] = None, trace_out: Optional[str] = None,
+                   sanitize=None, coll=None):
+    """Launch a whole CG job for one variant; returns the RunReport.
+
+    Fault/observability keywords mirror Jacobi's ``launch_variant`` so the
+    chaos sweep drives both apps identically.
+    """
     if problem is None:
         problem = make_problem(cfg)
     return launch(run_variant, nranks, machine=machine, args=(variant, cfg, problem, collect),
-                  sanitize=sanitize)
+                  tracer=tracer, fault_plan=fault_plan, fault_seed=fault_seed,
+                  obs=obs, trace_out=trace_out, sanitize=sanitize, coll=coll)

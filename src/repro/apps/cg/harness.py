@@ -21,6 +21,7 @@ class CgResult:
     total_time: float
     time_per_iter: float
     x_local: Optional[np.ndarray] = None
+    restarts: int = 0  # recovery replays (elastic variant only)
 
 
 def setup_state(

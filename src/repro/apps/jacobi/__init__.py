@@ -13,6 +13,7 @@ from typing import Optional
 from ...launcher import RankContext, launch
 from ...sim import Tracer
 from . import (
+    elastic,
     native_gpuccl,
     native_gpushmem_device,
     native_gpushmem_host,
@@ -50,11 +51,14 @@ def run_variant(rank_ctx: RankContext, variant: str, cfg: JacobiConfig, collect:
     """Dispatch one rank's Jacobi run by variant name.
 
     Uniconn variants are named ``uniconn:<backend>`` (host mode) or
-    ``uniconn:gpushmem:<PureHost|PartialDevice|PureDevice>``.
+    ``uniconn:gpushmem:<PureHost|PartialDevice|PureDevice>``; the elastic
+    recovery variant is ``elastic:<backend>`` (docs/FAULTS.md).
     """
     if variant in NATIVE_VARIANTS:
         return NATIVE_VARIANTS[variant](rank_ctx, cfg, collect=collect)
     parts = variant.split(":")
+    if parts[0] == "elastic" and len(parts) == 2:
+        return elastic.run(rank_ctx, cfg, backend=parts[1], collect=collect)
     if parts[0] != "uniconn" or len(parts) not in (2, 3):
         raise ValueError(f"unknown jacobi variant {variant!r}")
     backend = parts[1]

@@ -1,0 +1,200 @@
+"""Elastic Jacobi: survives rank loss by shrinking and re-decomposing.
+
+The recovery-runtime showcase (docs/FAULTS.md, "Elastic recovery"). The
+solver runs the same Uniconn halo exchange as :mod:`.uniconn` (PureHost
+mode, any backend) wrapped in the ULFM-style cycle of
+:class:`~repro.resilience.ElasticLoop`:
+
+- every ``checkpoint_every`` iterations the ranks *stage* a replicated
+  in-memory checkpoint — an AllGatherv of the interior rows, so every rank
+  holds the full grid on the host. Staged data commits only after the
+  iteration's ``agree`` succeeds, so a checkpoint never captures work a
+  dead peer half-finished;
+- each iteration ends with ``Communicator.agree(not failed)``: a failed
+  exchange anywhere (retransmission exhaustion, watchdog timeout, backend
+  error, a peer's revocation) or a crashed member fails the vote globally;
+- on a failed vote every survivor revokes the communicator, shrinks it,
+  re-partitions the grid over the survivor count, refills its slab *and*
+  the halo staging slot from the committed checkpoint, builds a fresh
+  stream/Coordinator, and replays from the checkpoint iteration. A fault
+  with no dead ranks (a transient drop storm) shrinks to the same size —
+  rollback-and-replay with a clean communicator.
+
+The 5-point update is order-independent per element, so the final grid is
+*bitwise* equal to the serial reference no matter how often the
+decomposition changed — and the whole schedule (who dies, when, how many
+replays) is deterministic per (fault spec, seed).
+
+Symmetric-heap discipline: all ``Memory`` allocations (halo staging, the
+checkpoint gather target, signal words) happen up-front with sizes
+independent of the rank count — symmetric allocation is collective, and
+after a crash a collective over the old world would hang. Per-generation
+slabs ``a``/``anew`` are plain device memory (local, any time).
+
+Signal values are offset by generation (``gen * (iters + 1) + it + 1``) so
+a replayed iteration's signal wait can never be satisfied by a stale value
+the failed generation already delivered (waits are >=).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ...core import Communicator, Coordinator, Environment, LaunchMode, Memory
+from ...launcher import RankContext
+from ...resilience import ElasticLoop
+from .domain import JacobiConfig, init_global, partition_rows
+from .harness import JacobiResult, collect_interior, launch_dims
+from .kernels import JacobiState, jacobi_kernel
+
+__all__ = ["run"]
+
+
+def run(
+    rank_ctx: RankContext,
+    cfg: JacobiConfig,
+    backend: Union[str, type, None] = None,
+    collect: bool = False,
+    checkpoint_every: int = 8,
+    max_recoveries: int = 16,
+) -> JacobiResult:
+    """Run the elastic Uniconn Jacobi on this rank (any backend)."""
+    env = Environment(rank_ctx, backend=backend)
+    env.set_device(env.node_rank())
+    comm = Communicator(env)
+    device = env.device
+    engine = rank_ctx.engine
+    nx, ny = cfg.nx, cfg.ny
+    total_iters = cfg.warmup + cfg.iters
+
+    # ---- Symmetric allocations: up-front, size independent of nranks ---- #
+    halo_in = (
+        Memory.alloc(env, 2 * nx, dtype=np.float32),
+        Memory.alloc(env, 2 * nx, dtype=np.float32),
+    )
+    bound_out = Memory.alloc(env, 2 * nx, dtype=np.float32)
+    ck_buf = Memory.alloc(env, (ny - 2) * nx, dtype=np.float32)  # gathered interior
+    needs_sig = Coordinator(env).uses_signals
+    sig = Memory.alloc(env, 4, dtype=np.uint64) if needs_sig else None
+
+    # ---- Committed checkpoint: the full grid + its iteration number ---- #
+    # Generation 0 commits the initial condition; no communication needed.
+    full = init_global(cfg)
+    ck_it = [0]
+    restarts = [0]
+
+    # Mutable per-generation solver objects, rebuilt on every shrink.
+    cur = {}
+
+    def build(comm_now, generation: int) -> None:
+        """(Re)build solver state over ``comm_now`` from the committed
+        checkpoint. Runs at startup and after every shrink."""
+        p, me = comm_now.global_size(), comm_now.global_rank()
+        part = partition_rows(cfg, me, p)
+        local = full[part.row_start - 1 : part.row_end + 1]
+        a = device.malloc(local.size, np.float32)
+        anew = device.malloc(local.size, np.float32)
+        a.write(local.reshape(-1))
+        anew.write(local.reshape(-1))
+        state = JacobiState(part, a, anew, halo_in, bound_out, sig, it=ck_it[0])
+        # The next kernel unpacks halo_in[it % 2] into the slab's halo rows;
+        # refill that slot from the checkpoint (neighbour rows at ck_it).
+        slot = np.zeros(2 * nx, np.float32)
+        slot[0:nx] = full[part.row_start - 1]
+        slot[nx : 2 * nx] = full[part.row_end]
+        halo_in[state.parity].write(slot)
+        old_stream = cur.get("stream")
+        if old_stream is not None:
+            # Abandon the failed generation's stream: a late kernel
+            # completion from it would write into the shared halo/signal
+            # buffers this rebuild just refilled.
+            old_stream.abort()
+        stream = device.create_stream()
+        coord = Coordinator(env, stream=stream, launch_mode=LaunchMode.PureHost)
+        grid, block = launch_dims(part)
+        coord.bind_kernel(LaunchMode.PureHost, jacobi_kernel, grid, block,
+                          args=lambda: (state.freeze(),))
+        counts = [partition_rows(cfg, r, p).chunk * nx for r in range(p)]
+        displs = [sum(counts[:r]) for r in range(p)]
+        cur.update(state=state, stream=stream, coord=coord,
+                   counts=counts, displs=displs, generation=generation)
+        # No barrier here on purpose: the consensus behind agree/shrink
+        # already synchronized the survivors, and a collective in the
+        # rebuild path would turn a second crash into an unrecoverable
+        # hang instead of the next iteration's failed vote.
+
+    loop = ElasticLoop(comm, build, max_recoveries=max_recoveries, label="jacobi-elastic")
+    build(comm, 0)
+
+    staged = {"grid": None, "it": -1}
+
+    def body() -> None:
+        """One recoverable iteration: optional checkpoint staging, kernel,
+        halo exchange; synchronizes the stream so failures surface here."""
+        state, coord, stream = cur["state"], cur["coord"], cur["stream"]
+        part = state.part
+        staged["it"] = -1
+        if state.it % checkpoint_every == 0 and state.it != ck_it[0]:
+            interior = state.a.offset(nx, part.chunk * nx)
+            coord.all_gather_v(interior, part.chunk * nx, ck_buf,
+                               cur["counts"], cur["displs"], loop.comm)
+            stream.synchronize()
+            staged["grid"] = ck_buf.read().copy()
+            staged["it"] = state.it
+        coord.launch_kernel()
+        nxt = (state.it + 1) % 2
+        val = cur["generation"] * (total_iters + 1) + state.it + 1
+        halo, out = state.halo_in[nxt], state.bound_out
+        sig_from_top = sig.offset_by(2 * nxt + 0, 1) if sig is not None else None
+        sig_from_bot = sig.offset_by(2 * nxt + 1, 1) if sig is not None else None
+        coord.comm_start()
+        if part.has_top:
+            coord.post(out.offset_by(0, nx), halo.offset_by(nx, nx), nx,
+                       sig_from_bot, val, part.top, loop.comm)
+        if part.has_bottom:
+            coord.post(out.offset_by(nx, nx), halo.offset_by(0, nx), nx,
+                       sig_from_top, val, part.bottom, loop.comm)
+        if part.has_top:
+            coord.acknowledge(halo.offset_by(0, nx), nx, sig_from_top, val,
+                              part.top, loop.comm)
+        if part.has_bottom:
+            coord.acknowledge(halo.offset_by(nx, nx), nx, sig_from_bot, val,
+                              part.bottom, loop.comm)
+        coord.comm_end()
+        stream.synchronize()
+
+    def step() -> None:
+        """One committed iteration (replays transparently on recovery)."""
+        if loop.run_step(body):
+            if staged["it"] >= 0:
+                full[1:-1] = staged["grid"].reshape(ny - 2, nx)
+                ck_it[0] = staged["it"]
+            cur["state"].swap()
+        else:
+            restarts[0] += 1
+
+    while cur["state"].it < cfg.warmup:
+        step()
+    cur["stream"].synchronize()
+    t0 = engine.now
+    while cur["state"].it < total_iters:
+        step()
+    cur["stream"].synchronize()
+    total = engine.now - t0
+
+    state = cur["state"]
+    result = JacobiResult(
+        rank=loop.comm.global_rank(),
+        nranks=loop.comm.global_size(),
+        total_time=total,
+        time_per_iter=total / cfg.iters,
+        interior=collect_interior(state) if collect else None,
+        restarts=restarts[0],
+    )
+    if loop.generation == 0:
+        env.close()  # fault-free path: the paper's collective RAII teardown
+    else:
+        env.release()  # survivors must not run a collective finalize
+    return result

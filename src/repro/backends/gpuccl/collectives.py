@@ -61,8 +61,18 @@ class _CollSlot:
         # "ring" reproduces the historical RingModel timing exactly; any
         # other catalogue algorithm is priced over its generated schedule.
         duration = shared.ring.duration(self.kind, nbytes, self.algorithm)
+        epoch = shared.engine.fence_epoch
 
         def complete() -> None:
+            if shared.engine.fence_epoch != epoch:
+                # Fenced by a revoke before completion (see Engine.fence):
+                # results are never applied to buffers the survivors may
+                # have rebuilt for the next communicator generation.
+                if shared.engine.metrics.enabled:
+                    shared.engine.metrics.inc(
+                        "fenced_deliveries_total", backend="gpuccl"
+                    )
+                return
             san = shared.engine.sanitizer
             if san is not None:
                 # Ordered after every rank's arrival, not only the last one

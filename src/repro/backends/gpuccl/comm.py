@@ -167,8 +167,16 @@ class _CommShared:
             san.acquire(recv)
             san.record(send.buf, "r", 0, send.count, note=f"ccl-send->{send.dst}")
         payload = as_array(send.buf, send.count).copy()
+        epoch = self.engine.fence_epoch
 
         def deliver() -> None:
+            if self.engine.fence_epoch != epoch:
+                # Fenced by a revoke while on the wire (see Engine.fence):
+                # the payload is discarded and the op left unfinished — its
+                # waiters have already unwound through the recovery path.
+                if metrics.enabled:
+                    metrics.inc("fenced_deliveries_total", backend="gpuccl")
+                return
             if san is not None:
                 san.record(recv.buf, "w", 0, send.count,
                            note=f"ccl-recv<-{send.src}")

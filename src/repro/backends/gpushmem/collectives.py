@@ -88,7 +88,17 @@ class _Slot:
         duration = self.team.model.duration(self.kind, self.count * itemsize,
                                             self.algorithm)
 
+        epoch = self.world.engine.fence_epoch
+
         def complete() -> None:
+            if self.world.engine.fence_epoch != epoch:
+                # Fenced by a revoke before completion (see Engine.fence):
+                # never apply results over the next generation's buffers.
+                if self.world.engine.metrics.enabled:
+                    self.world.engine.metrics.inc(
+                        "fenced_deliveries_total", backend="gpushmem"
+                    )
+                return
             san = self.world.engine.sanitizer
             if san is not None:
                 # Completion is ordered after every PE's arrival, not just

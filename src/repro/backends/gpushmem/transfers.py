@@ -92,8 +92,21 @@ def issue_put(
 
     if on_local_done is not None:
         engine.schedule(max(0.0, transfer.inject_done - engine.now), on_local_done)
+    epoch = engine.fence_epoch
 
     def deliver() -> None:
+        if engine.fence_epoch != epoch:
+            # A revoke fenced the data plane while this payload was on the
+            # wire (see Engine.fence): neither the payload nor the signal
+            # lands — they could corrupt buffers the next generation has
+            # rebuilt — but the op still *retires* (``on_delivered``), so
+            # issue-side accounting (quiet()'s outstanding counter, which
+            # outlives communicator generations) stays balanced.
+            if metrics.enabled:
+                metrics.inc("fenced_deliveries_total", backend="gpushmem")
+            if on_delivered is not None:
+                on_delivered()
+            return
         if san is not None:
             # Deliveries on one path happen in the order their callbacks
             # run (Path.reserve serializes the wire), so chain them: a
@@ -161,7 +174,16 @@ def issue_get(
         metrics.inc("shmem_gets_total", size=size_class(nbytes), rank=src_pe)
         metrics.inc("shmem_bytes_total", nbytes, op="get", rank=src_pe)
 
+    epoch = engine.fence_epoch
+
     def deliver() -> None:
+        if engine.fence_epoch != epoch:
+            # Fenced (see issue_put): drop the data, retire the op.
+            if metrics.enabled:
+                metrics.inc("fenced_deliveries_total", backend="gpushmem")
+            if on_delivered is not None:
+                on_delivered()
+            return
         if san is not None:
             san.acquire(path)
             san.record(src_view, "r", 0, count, note=f"get<-pe{dst_pe}")

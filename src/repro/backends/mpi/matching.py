@@ -263,10 +263,20 @@ class MessageEngine:
             return
         now = self.engine.now
         note = f"recv[{send.src}->{dst} tag={send.tag}]"
+        epoch = self.engine.fence_epoch
         if send.kind == "eager":
             payload = send.data
 
             def deliver() -> None:
+                if self.engine.fence_epoch != epoch:
+                    # Fenced by a revoke while on the wire (Engine.fence):
+                    # the payload never lands and the recv stays pending —
+                    # its waiter already unwound through the recovery path.
+                    if self.engine.metrics.enabled:
+                        self.engine.metrics.inc(
+                            "fenced_deliveries_total", backend="mpi"
+                        )
+                    return
                 san = self.engine.sanitizer
                 if san is not None:
                     san.record(recv.buf, "w", 0, send.count, note=note)
@@ -296,6 +306,12 @@ class MessageEngine:
                 )
 
                 def deliver() -> None:
+                    if self.engine.fence_epoch != epoch:
+                        if self.engine.metrics.enabled:
+                            self.engine.metrics.inc(
+                                "fenced_deliveries_total", backend="mpi"
+                            )
+                        return
                     san = self.engine.sanitizer
                     if san is not None:
                         san.record(recv.buf, "w", 0, send.count, note=note)
@@ -317,11 +333,13 @@ class MessageEngine:
 
         Each wire attempt asks the injector for its fate when the delivery
         is scheduled. A dropped (or checksum-corrupted) attempt is
-        retransmitted after ``retry_base * 2**attempt`` virtual seconds of
-        backoff; ``max_retries`` exhaustion completes the receive request —
-        and, for rendezvous, the send request too — with
-        :class:`MpiTimeoutError`. A message no fault matches takes exactly
-        the timing of the healthy path.
+        retransmitted after the plan's :class:`~repro.resilience.RetryPolicy`
+        backoff (``base * multiplier**attempt``, plus seeded jitter when
+        enabled); exhausting the retry budget — or the policy's wall
+        timeout — completes the receive request (and, for rendezvous, the
+        send request too) with :class:`MpiTimeoutError`. A message no fault
+        matches takes exactly the timing of the healthy path, and the
+        default policy reproduces the historical backoff byte for byte.
         """
         if recv.count < send.count:
             recv.request.fail(
@@ -333,7 +351,8 @@ class MessageEngine:
             send.request.complete()
             return
         engine = self.engine
-        plan = injector.plan
+        policy = injector.plan.retry_policy()
+        first_try = [None]  # virtual time of the first wire attempt
         src_g = comm.global_rank_of(send.src)
         dst_g = comm.global_rank_of(dst)
         path = send.path if send.path is not None else self.path_between(comm, send.src, dst)
@@ -347,8 +366,14 @@ class MessageEngine:
                            note=f"send[{send.src}->{dst} tag={send.tag}]")
             return as_array(send.src_buf, send.count).copy()
 
+        epoch = engine.fence_epoch
+
         def deliver_from(data: np.ndarray) -> Callable[[], None]:
             def deliver() -> None:
+                if engine.fence_epoch != epoch:
+                    if engine.metrics.enabled:
+                        engine.metrics.inc("fenced_deliveries_total", backend="mpi")
+                    return
                 san = engine.sanitizer
                 if san is not None:
                     san.record(recv.buf, "w", 0, send.count,
@@ -370,6 +395,10 @@ class MessageEngine:
                 send.request.fail(error)
 
         def attempt(k: int) -> None:
+            if engine.fence_epoch != epoch:
+                return  # revoked mid-retry: stop retransmitting
+            if first_try[0] is None:
+                first_try[0] = engine.now
             verdict = injector.message_verdict(src_g, dst_g, send.tag, engine.now)
             if verdict is None:
                 if send.kind == "eager" and k == 0 and send.arrival_time > engine.now:
@@ -396,10 +425,10 @@ class MessageEngine:
                 return
             injector.record(f"fault.mpi_{verdict}", src=src_g, dst=dst_g,
                             tag=send.tag, attempt=k, nbytes=send.nbytes)
-            if k >= plan.max_retries:
+            if policy.exhausted(k, engine.now - first_try[0]):
                 give_up(k)
                 return
-            engine.schedule(plan.retry_base * (2 ** k), lambda: attempt(k + 1))
+            engine.schedule(policy.backoff(k, injector.rng), lambda: attempt(k + 1))
 
         if send.kind == "eager":
             attempt(0)

@@ -105,8 +105,20 @@ class MpiWindow:
             metrics.inc("mpi_rma_bytes_total", nbytes, rank=self.comm.rank)
         self._outstanding.add(1)
         self._per_target[target] = self._per_target.get(target, 0) + 1
+        epoch = self.engine.fence_epoch
 
         def deliver() -> None:
+            if self.engine.fence_epoch != epoch:
+                # Revoked mid-flight (see Engine.fence): retire the op so
+                # flush() accounting stays balanced, but never apply the
+                # payload — the target window may already belong to the
+                # next communicator generation.
+                if metrics.enabled:
+                    metrics.inc("fenced_deliveries_total", backend="mpi")
+                self._outstanding.add(-1)
+                self._per_target[target] -= 1
+                self.shared.updated.notify_all()
+                return
             san = self.engine.sanitizer
             if san is not None:
                 # Deliveries on one path land in callback order (the wire is

@@ -23,7 +23,7 @@ import json
 import os
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from .algorithms import DEFAULT_ALGORITHM, candidates, is_applicable
+from .algorithms import DEFAULT_ALGORITHM, candidates, generate, is_applicable
 from .cost import Topology
 from .models import CANONICAL_SHMEM_KINDS, GpucclModel, MpiModel, ShmemModel
 from .schema import SCHEMA_NAME, SCHEMA_VERSION, validate_table
@@ -121,6 +121,10 @@ class CollPolicy:
         self.table = table
         self._cache: Dict[Tuple[str, str, str, int], Optional[str]] = {}
         self._models: Dict[Tuple[str, str], Any] = {}
+        # Degraded-topology selections (persistent link down): keyed with
+        # the dead-pair set so the same policy serves healthy and degraded
+        # phases of one run without mixing caches.
+        self._degraded: Dict[Tuple, Optional[str]] = {}
 
     @classmethod
     def fixed(cls, algorithm: str) -> "CollPolicy":
@@ -136,14 +140,20 @@ class CollPolicy:
 
     # ------------------------------------------------------------------ #
 
-    def _auto_select(self, backend: str, kind: str, nbytes: int,
-                     topo: Topology) -> Optional[str]:
+    def _model(self, backend: str, topo: Topology):
         model = self._models.get((backend, topo.signature()))
         if model is None:
             model = _model_for(backend, topo)
             if model is None:
                 return None
             self._models[(backend, topo.signature())] = model
+        return model
+
+    def _auto_select(self, backend: str, kind: str, nbytes: int,
+                     topo: Topology) -> Optional[str]:
+        model = self._model(backend, topo)
+        if model is None:
+            return None
         best_algo = DEFAULT_ALGORITHM[backend]
         best_cost = _score(model, backend, kind, best_algo, nbytes)
         for algo in candidates(kind, topo.nranks, topo):
@@ -154,11 +164,97 @@ class CollPolicy:
                 best_algo, best_cost = algo, cost
         return best_algo
 
+    # ------------------------------------------------------------------ #
+    # Degraded-topology rescheduling (repro.resilience).
+    # ------------------------------------------------------------------ #
+
+    #: Cost surcharge for a schedule that sends over a dead pair: any live
+    #: alternative wins, however slow the alpha-beta model prices it.
+    DEAD_PAIR_PENALTY = 1e6
+
+    def _dead_penalty(self, algorithm: str, backend: str, kind: str,
+                      nbytes: int, topo: Topology, dead) -> float:
+        """0.0 when the algorithm's generated schedule avoids every dead
+        pair, else :data:`DEAD_PAIR_PENALTY`. The legacy "native" path is
+        approximated by its closest catalogue shape (binomial tree)."""
+        from .schedule import Send
+
+        name = "tree" if algorithm == "native" else algorithm
+        sched = generate(name, kind, topo.nranks, max(1, int(nbytes)), topo=topo)
+        if sched is None:
+            return self.DEAD_PAIR_PENALTY
+        for rnd in sched.rounds:
+            for rank, steps in rnd.items():
+                for st in steps:
+                    if isinstance(st, Send) and (rank, st.peer) in dead:
+                        return self.DEAD_PAIR_PENALTY
+        return 0.0
+
+    def _select_degraded(self, backend: str, kind: str, nbytes: int,
+                         topo: Topology, dead, engine) -> Optional[str]:
+        """Re-run selection over the degraded topology: every candidate is
+        re-priced with the alpha-beta model plus a prohibitive surcharge
+        for schedules that communicate over a dead pair — the ring->tree
+        fallback when a ring link dies. Applies in every policy mode (a
+        fixed "ring" policy must not stay wedged on a dead ring)."""
+        key = (backend, topo.signature(), kind, int(nbytes), dead)
+        if key not in self._degraded:
+            algo: Optional[str] = None
+            model = self._model(backend, topo)
+            if model is not None:
+                best_algo = DEFAULT_ALGORITHM[backend]
+                best_cost = _score(model, backend, kind, best_algo, nbytes) \
+                    + self._dead_penalty(best_algo, backend, kind, nbytes, topo, dead)
+                for cand in candidates(kind, topo.nranks, topo):
+                    if cand == best_algo:
+                        continue
+                    cost = _score(model, backend, kind, cand, nbytes) \
+                        + self._dead_penalty(cand, backend, kind, nbytes, topo, dead)
+                    if cost < best_cost:
+                        best_algo, best_cost = cand, cost
+                algo = best_algo
+            self._degraded[key] = algo
+            if engine is not None:
+                if engine.metrics.enabled:
+                    engine.metrics.inc(
+                        "reschedules_total", backend=backend, kind=kind,
+                        cause="link_down",
+                    )
+                injector = engine.fault_injector
+                if injector is not None:
+                    # "coll" not "kind": record() owns the kind parameter.
+                    injector.record(
+                        "recover.reschedule", backend=backend, coll=kind,
+                        algorithm=algo, dead_pairs=sorted(dead),
+                    )
+        return self._count(engine, backend, kind, nbytes, self._degraded[key])
+
+    # ------------------------------------------------------------------ #
+
+    def _count(self, engine, backend: str, kind: str, nbytes: int,
+               algo: Optional[str]) -> Optional[str]:
+        if engine is not None and engine.metrics.enabled:
+            from ..obs import size_class
+
+            engine.metrics.inc(
+                "coll_selected_total", backend=backend, kind=kind,
+                algorithm=algo if algo is not None else "default",
+                size=size_class(int(nbytes)),
+            )
+        return algo
+
     def select(self, backend: str, kind: str, nbytes: int, topo: Topology,
                engine=None) -> Optional[str]:
         """The algorithm to run, or None to stay on the legacy path."""
         if topo.nranks <= 1:
             return None
+        if engine is not None:
+            injector = engine.fault_injector
+            if injector is not None and injector.plan.link_faults:
+                dead = injector.dead_pairs_for(topo)
+                if dead:
+                    return self._select_degraded(
+                        backend, kind, int(nbytes), topo, dead, engine)
         key = (backend, topo.signature(), kind, int(nbytes))
         if key in self._cache:
             algo = self._cache[key]
@@ -177,15 +273,7 @@ class CollPolicy:
             else:
                 algo = self._auto_select(backend, kind, int(nbytes), topo)
             self._cache[key] = algo
-        if engine is not None and engine.metrics.enabled:
-            from ..obs import size_class
-
-            engine.metrics.inc(
-                "coll_selected_total", backend=backend, kind=kind,
-                algorithm=algo if algo is not None else "default",
-                size=size_class(int(nbytes)),
-            )
-        return algo
+        return self._count(engine, backend, kind, nbytes, algo)
 
 
 class CollTuner:

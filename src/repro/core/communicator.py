@@ -15,7 +15,7 @@ import numpy as np
 
 from .._compat import warn_once
 from ..backends.gpuccl import GpucclComm, GpucclUniqueId
-from ..errors import UniconnError
+from ..errors import CommRevokedError, GpucclError, UniconnError
 from ..gpu.stream import Stream
 from ..obs import span
 from .backend import GpucclBackend, GpushmemBackend, MPIBackend
@@ -51,7 +51,7 @@ class DeviceComm:
 class Communicator:
     """Backend-agnostic process group."""
 
-    def __init__(self, env: Environment, _parts=None):
+    def __init__(self, env: Environment, _parts=None, _kind: Optional[str] = None):
         self.env = env
         self.backend = env.backend
         self.engine = env.engine
@@ -71,11 +71,17 @@ class Communicator:
             elif self.backend is GpushmemBackend:
                 self._team = env.shmem.team_world
         self._closed = False
+        # Flags shared by every member's handle on this communicator
+        # (revocation and abort latch here, like NCCL's shared comm error).
+        self._shared_flags = env.rank_ctx.job.shared_state(
+            ("uniconn_comm_flags", self._mpi_comm.comm_id), dict
+        )
+        self._res_seq = 0  # agree/shrink round counter (lockstep by contract)
         self.engine.metrics.inc(
             "communicator_init_total",
             backend=self.backend.name,
             rank=env.world_rank(),
-            kind="split" if _parts is not None else "world",
+            kind=_kind or ("split" if _parts is not None else "world"),
         )
 
     # ------------------------------------------------------------------ #
@@ -118,6 +124,7 @@ class Communicator:
             if stream is not None or len(args) > 1:
                 raise TypeError("barrier() takes at most one stream argument")
             stream = args[0]
+        self._check_revoked()
         self.engine.metrics.inc(
             "uniconn_calls_total",
             op="barrier",
@@ -150,6 +157,7 @@ class Communicator:
             if len(args) > 1:
                 raise TypeError("split() takes at most color and key")
             key = args[0]
+        self._check_revoked()
         self.engine.sleep(self.env.costs.dispatch)
         if self.backend is MPIBackend:
             return Communicator(self.env, _parts=(self._mpi_comm.split(color, key), None, None))
@@ -181,47 +189,216 @@ class Communicator:
         """Nonblocking liveness probe of the communicator's members.
 
         Consults the backend's asynchronous error state (GPUCCL
-        ``async_error_query``) and the installed fault injector (all
-        backends). A healthy, fault-free run always returns ``ok=True``
-        with no overhead beyond the checks themselves.
+        ``async_error_query``), the shared abort/revocation latch (all
+        backends — so ``health()`` after ``abort()`` reports ``ok=False``
+        uniformly), and the installed fault injector, scoped to *this
+        communicator's members*: a shrunken communicator is healthy again
+        even though the world has crashed ranks. A healthy, fault-free run
+        always returns ``ok=True`` with no overhead beyond the checks.
         """
+        injector = self.engine.fault_injector
+        crashed = (
+            tuple(injector.crashed_among(self._mpi_comm.members))
+            if injector is not None and injector.crashed_ranks
+            else ()
+        )
         if self._ccl_comm is not None:
             error = self._ccl_comm.async_error_query()
             if error is not None:
-                injector = self.engine.fault_injector
-                crashed = (
-                    tuple(injector.crashed_among(range(self.env.world_size())))
-                    if injector is not None
-                    else ()
-                )
                 return CommHealth(ok=False, crashed_ranks=crashed, detail=str(error))
-        injector = self.engine.fault_injector
-        if injector is not None and injector.crashed_ranks:
-            crashed = tuple(injector.crashed_among(range(self.env.world_size())))
-            if crashed:
-                return CommHealth(
-                    ok=False,
-                    crashed_ranks=crashed,
-                    detail=f"rank(s) {list(crashed)} crashed "
-                    f"(observed at t={self.engine.now:.9g}s)",
-                )
+        aborted = self._shared_flags.get("aborted")
+        if aborted is not None:
+            return CommHealth(
+                ok=False, crashed_ranks=crashed, detail=f"communicator aborted: {aborted}"
+            )
+        revoked = self._shared_flags.get("revoked")
+        if revoked is not None:
+            return CommHealth(
+                ok=False, crashed_ranks=crashed, detail=f"communicator revoked: {revoked[0]}"
+            )
+        if crashed:
+            return CommHealth(
+                ok=False,
+                crashed_ranks=crashed,
+                detail=f"rank(s) {list(crashed)} crashed "
+                f"(observed at t={self.engine.now:.9g}s)",
+            )
         return CommHealth(ok=True)
 
     def abort(self, reason: str = "") -> None:
         """Tear the communicator down with diagnostics instead of hanging.
 
-        Delegates to GPUCCL's ``comm.abort()`` when that backend is active;
-        otherwise raises :class:`UniconnError` carrying the reason and the
-        current health snapshot. Always raises.
+        Latches the abort into the communicator's shared state (so
+        ``health()`` reports ``ok=False`` on every member afterwards, on
+        every backend), tears down the GPUCCL comm when one exists, and
+        raises :class:`UniconnError` carrying the reason. Always raises.
         """
-        if self._ccl_comm is not None:
-            self._ccl_comm.abort(reason)
         health = self.health()
         detail = reason or health.detail or "application abort"
-        raise UniconnError(
+        self._shared_flags.setdefault("aborted", detail)
+        message = (
             f"communicator aborted by rank {self.global_rank()}/"
             f"{self.global_size()} at t={self.engine.now:.9g}s: {detail}"
         )
+        if self._ccl_comm is not None:
+            try:
+                self._ccl_comm.abort(detail)
+            except GpucclError as exc:
+                raise UniconnError(message) from exc
+        raise UniconnError(message)
+
+    # ------------------------------------------------------------------ #
+    # Recovery (ULFM-style revoke/agree/shrink; repro.resilience).
+    # ------------------------------------------------------------------ #
+
+    def _check_revoked(self) -> None:
+        revoked = self._shared_flags.get("revoked")
+        if revoked is not None:
+            reason, when = revoked
+            raise CommRevokedError(
+                f"communicator revoked at t={when:.9g}s: {reason}",
+                reason=reason,
+                when=when,
+            )
+
+    @property
+    def revoked(self) -> bool:
+        """True once any member revoked this communicator."""
+        return self._shared_flags.get("revoked") is not None
+
+    def revoke(self, reason: str = "") -> None:
+        """Revoke the communicator (ULFM ``MPI_Comm_revoke`` analogue).
+
+        Non-collective: the first caller latches the revocation for every
+        member; subsequent communication on this communicator raises
+        :class:`~repro.errors.CommRevokedError` everywhere, while the
+        recovery operations (``health``/``agree``/``shrink``) stay usable.
+        On GPUCCL the shared comm error is latched too, so peers polling
+        ``async_error_query`` observe the revocation like any async error.
+        Idempotent.
+        """
+        if self._shared_flags.get("revoked") is not None:
+            return
+        detail = reason or "communicator revoked"
+        when = self.engine.now
+        self._shared_flags["revoked"] = (detail, when)
+        # Tear down in-flight traffic: any payload still on the wire (for
+        # example stuck behind a downed link) must never land in buffers a
+        # post-shrink generation rebuilds. Latched above, so the epoch
+        # advances exactly once per revocation.
+        self.engine.fence()
+        if self._ccl_comm is not None and self._ccl_comm.shared.error is None:
+            self._ccl_comm.shared.error = GpucclError(
+                f"gpuccl comm revoked at t={when:.9g}s: {detail}"
+            )
+        self.engine.metrics.inc(
+            "comm_revoked_total", backend=self.backend.name, rank=self.global_rank()
+        )
+        injector = self.engine.fault_injector
+        if injector is not None:
+            injector.record("recover.revoke", rank=self.global_rank(), reason=detail)
+        else:
+            self.engine.trace("recover.revoke", rank=self.global_rank(), reason=detail)
+
+    def _retry_policy(self):
+        injector = self.engine.fault_injector
+        if injector is not None:
+            return injector.plan.retry_policy()
+        from ..resilience import RetryPolicy
+
+        return RetryPolicy()
+
+    def _consensus(self, flag: bool):
+        """One agree/shrink vote round over this comm's members."""
+        from ..resilience.consensus import consensus_round, consensus_state
+
+        state = consensus_state(
+            self.env.rank_ctx.job,
+            self._mpi_comm.comm_id,
+            self.engine,
+            self._mpi_comm.members,
+        )
+        self._res_seq += 1
+        return consensus_round(
+            state, self._res_seq, self.env.world_rank(), flag, self._retry_policy()
+        )
+
+    def agree(self, flag: bool = True) -> bool:
+        """Fault-tolerant consensus (ULFM ``MPI_Comm_agree`` analogue).
+
+        Collective over the live members. Returns True iff *every* member
+        contributed ``flag=True`` and none crashed: a crash anywhere in
+        the communicator fails the vote, so callers learn about a dead
+        peer at the next agreement point instead of committing an
+        iteration built on stale data. Works on revoked communicators
+        (it is the recovery path). Deterministic per (fault spec, seed).
+        """
+        self.engine.metrics.inc(
+            "uniconn_calls_total",
+            op="agree",
+            backend=self.backend.name,
+            rank=self.global_rank(),
+        )
+        ok, _ = self._consensus(bool(flag))
+        return ok
+
+    def shrink(self) -> "Communicator":
+        """Build a new communicator over the surviving ranks (ULFM
+        ``MPI_Comm_shrink`` analogue).
+
+        Collective over the survivors: consensus determines the survivor
+        list, then every backend part is reconstructed over it — a fresh
+        MPI communicator, a GPUCCL group re-init from a new unique id, a
+        GPUSHMEM team rebuilt over the surviving PEs. The caller should
+        build a fresh stream/Coordinator on the result: operations stuck
+        on the old communicator's streams stay abandoned there.
+        """
+        with self._span("shrink", "recover"):
+            _, survivors = self._consensus(True)
+            members = list(survivors)
+            me = self.env.world_rank()
+            lost = len(self._mpi_comm.members) - len(members)
+            key = ("uniconn_shrink", self._mpi_comm.comm_id, self._res_seq)
+            ctx = self.env.mpi
+            from ..backends.mpi.comm import MpiCommunicator
+
+            new_id = ctx.world.alloc_comm_ids(key, 1)
+            new_mpi = MpiCommunicator(ctx, new_id, members)
+            new_ccl = None
+            new_team = None
+            if self._ccl_comm is not None:
+                uid = self.env.rank_ctx.job.shared_state(
+                    ("gpuccl_uid",) + key, GpucclUniqueId
+                )
+                new_ccl = GpucclComm(self.env.rank_ctx, uid, len(members), members.index(me))
+            if self._team is not None:
+                from ..backends.gpushmem.collectives import ShmemTeam
+
+                new_team = ShmemTeam(self._team.world, members, me, key)
+            if me == members[0]:
+                # Run-level bookkeeping lands once per shrink, not per rank.
+                if lost > 0:
+                    self.engine.metrics.inc(
+                        "ranks_lost_total", lost, backend=self.backend.name
+                    )
+                injector = self.engine.fault_injector
+                if injector is not None:
+                    injector.record(
+                        "recover.shrink",
+                        comm=self._mpi_comm.comm_id,
+                        survivors=members,
+                        lost=lost,
+                    )
+                else:
+                    self.engine.trace(
+                        "recover.shrink",
+                        comm=self._mpi_comm.comm_id,
+                        survivors=members,
+                        lost=lost,
+                    )
+            return Communicator(
+                self.env, _parts=(new_mpi, new_ccl, new_team), _kind="shrink"
+            )
 
     # ------------------------------------------------------------------ #
     # Structured teardown (context-manager form of the paper's RAII).
@@ -272,11 +449,13 @@ class Communicator:
     @property
     def mpi(self):
         """The underlying MPI communicator (backend internals)."""
+        self._check_revoked()
         return self._mpi_comm
 
     @property
     def ccl(self) -> GpucclComm:
         """The underlying GPUCCL communicator (backend internals)."""
+        self._check_revoked()
         if self._ccl_comm is None:
             raise UniconnError("no GPUCCL communicator on this backend")
         return self._ccl_comm
@@ -284,6 +463,7 @@ class Communicator:
     @property
     def team(self):
         """The underlying GPUSHMEM team (backend internals)."""
+        self._check_revoked()
         if self._team is None:
             raise UniconnError("no GPUSHMEM team on this backend")
         return self._team

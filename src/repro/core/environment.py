@@ -138,6 +138,17 @@ class Environment:
         self._closed = True
         self.mpi.finalize()
 
+    def release(self) -> None:
+        """Local, non-collective teardown (idempotent).
+
+        The recovery path's destructor: after a shrink, the world is no
+        longer all-alive, and the collective ``MPI_Finalize`` handshake in
+        :meth:`close` would hang on the crashed ranks. ``release`` marks
+        the environment torn down without synchronizing — exactly what the
+        context manager does when unwinding an exception.
+        """
+        self._closed = True
+
     @property
     def closed(self) -> bool:
         """True once the environment was torn down."""

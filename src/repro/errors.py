@@ -91,6 +91,25 @@ class UniconnError(ReproError):
     """Errors raised by the Uniconn layer itself (misuse of the API)."""
 
 
-class FaultInjectionError(ReproError):
+class CommRevokedError(UniconnError):
+    """The communicator was revoked (ULFM MPI_ERR_REVOKED analogue).
+
+    After any rank calls :meth:`Communicator.revoke`, every subsequent
+    communication on that communicator raises this error on every member;
+    only the recovery operations (``agree``/``shrink``/``health``) remain
+    usable. Carries ``reason`` (the revoker's diagnostic) and ``when``.
+    """
+
+    def __init__(self, message: str, reason: str = "", when: float = 0.0):
+        super().__init__(message)
+        self.reason = reason
+        self.when = when
+
+
+class FaultInjectionError(ReproError, ValueError):
     """Invalid fault plan/spec, or an injected failure declared unrecoverable
-    (e.g. a checkpoint-restart harness exhausting its restart budget)."""
+    (e.g. a checkpoint-restart harness exhausting its restart budget).
+
+    Subclasses :class:`ValueError` so spec-parsing failures behave like any
+    other bad-literal error for callers that catch ``ValueError``.
+    """

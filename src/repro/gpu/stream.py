@@ -68,7 +68,11 @@ class TimedOp(StreamOp):
             raise GpuError(f"op {self.name}: negative duration {dur}")
 
         def complete() -> None:
-            if self._action is not None:
+            if self._action is not None and not (
+                self.stream is not None and self.stream.aborted
+            ):
+                # An aborted stream's in-flight op still retires (timing),
+                # but its memory effects are discarded — see Stream.abort.
                 self._action()
             self._complete()
 
@@ -89,7 +93,9 @@ class ExternalOp(StreamOp):
 
     def finish(self, action: Optional[Callable[[], None]] = None) -> None:
         """Called by the owning subsystem when the operation completes."""
-        if action is not None:
+        if action is not None and not (
+            self.stream is not None and self.stream.aborted
+        ):
             action()
         self._complete()
 
@@ -123,11 +129,14 @@ class Stream:
         self._queue: Deque[StreamOp] = deque()
         self._active: Optional[StreamOp] = None
         self._last: Optional[StreamOp] = None
+        self.aborted = False
 
     # ------------------------------------------------------------------ #
 
     def enqueue(self, op: StreamOp) -> StreamOp:
         """Add an operation; starts immediately if the stream is idle."""
+        if self.aborted:
+            raise GpuError(f"stream {self.name}: enqueue on an aborted stream")
         op.stream = self
         self._last = op
         san = self.engine.sanitizer
@@ -169,6 +178,9 @@ class Stream:
             # memory effects) happens-before the next op on this stream.
             # push_op acquires this in _start.
             san.release(self)
+        if self.aborted:
+            self._active = None
+            return
         if self._queue:
             self._active = self._queue.popleft()
             self._start(self._active)
@@ -176,6 +188,26 @@ class Stream:
             self._active = None
 
     # ------------------------------------------------------------------ #
+
+    def abort(self) -> None:
+        """Abandon the stream after a communicator revocation.
+
+        Queued ops are discarded (never started; their ``done`` events
+        release so no one can hang on them), and the in-flight op — if any
+        — still retires for timing purposes but its memory action is
+        dropped. The elastic recovery path calls this on the failed
+        generation's stream: symmetric buffers are reused across
+        generations, so a late kernel completion from the abandoned stream
+        must never write into state the survivors have already rebuilt.
+        Idempotent. An aborted stream accepts no further work.
+        """
+        if self.aborted:
+            return
+        self.aborted = True
+        self.engine.trace("stream.abort", stream=self.name, gpu=self.device.gpu_id)
+        dropped, self._queue = list(self._queue), deque()
+        for op in dropped:
+            op.done.set()
 
     @property
     def idle(self) -> bool:

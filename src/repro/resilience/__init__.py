@@ -1,0 +1,28 @@
+"""ULFM-style elastic recovery runtime (``repro.resilience``).
+
+Turns injected faults from run-enders into recoverable events:
+
+- :class:`RetryPolicy` — one deterministic backoff/timeout schedule shared
+  by MPI wire retransmissions, consensus patience, and app-level recovery
+  loops (tuned by the fault spec's ``retry,...`` clause);
+- :mod:`~repro.resilience.consensus` — the fault-consensus rounds behind
+  ``Communicator.agree()`` and ``Communicator.shrink()``;
+- degraded-topology rescheduling lives in :mod:`repro.coll` (the policy
+  re-prices collective schedules when links die), and the elastic apps in
+  :mod:`repro.apps.jacobi.elastic` / :mod:`repro.apps.cg.elastic`.
+
+See docs/FAULTS.md for the recovery lifecycle (revoke -> agree -> shrink).
+"""
+
+from .consensus import ConsensusState, consensus_round, consensus_state
+from .elastic import RECOVERABLE_ERRORS, ElasticLoop
+from .policy import RetryPolicy
+
+__all__ = [
+    "RetryPolicy",
+    "ConsensusState",
+    "consensus_round",
+    "consensus_state",
+    "ElasticLoop",
+    "RECOVERABLE_ERRORS",
+]

@@ -1,0 +1,108 @@
+"""Fault-consensus rounds for the recovery runtime (ULFM-style agree).
+
+One :class:`ConsensusState` per communicator id is shared by every member
+rank (via the job's shared-state registry). A *round* is one collective
+vote: every live member deposits a flag, crashed members are counted as
+absent by the fault injector, and the first member to observe completion
+snapshots the result so all members return the identical verdict — even
+when further crashes land between their wake-ups.
+
+Determinism: wake-ups ride the engine's FIFO broadcast, votes land in
+simulation order, and the snapshot is computed exactly once, so one
+(program, fault spec, seed) always yields the same sequence of verdicts
+and survivor lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import SimTimeoutError
+from ..sim.sync import Broadcast
+from .policy import RetryPolicy
+
+__all__ = ["ConsensusState", "consensus_state", "consensus_round"]
+
+
+class ConsensusState:
+    """Shared vote board for one communicator (all member ranks)."""
+
+    def __init__(self, engine, members):
+        self.engine = engine
+        self.members: Tuple[int, ...] = tuple(members)
+        self.bcast = Broadcast(engine, name="uniconn-agree")
+        # seq -> {global_rank: flag} deposited votes for each round.
+        self.votes: Dict[int, Dict[int, bool]] = {}
+        # seq -> (ok, survivors) snapshot taken by the round's first finisher.
+        self.results: Dict[int, Tuple[bool, Tuple[int, ...]]] = {}
+        self.hooked = False
+
+
+def consensus_state(job, comm_id: int, engine, members) -> ConsensusState:
+    """The shared consensus board for one communicator, creating it (and
+    hooking crash notifications) on first use."""
+    state = job.shared_state(
+        ("uniconn_consensus", comm_id),
+        lambda: ConsensusState(engine, members),
+    )
+    injector = engine.fault_injector
+    if injector is not None and not state.hooked:
+        state.hooked = True
+        # A crash can complete a pending round (the dead rank will never
+        # vote); wake the waiters so they re-evaluate.
+        injector.crash_hooks.append(lambda _rank: state.bcast.notify_all())
+    return state
+
+
+def consensus_round(
+    state: ConsensusState,
+    seq: int,
+    my_rank: int,
+    flag: bool,
+    policy: Optional[RetryPolicy] = None,
+) -> Tuple[bool, Tuple[int, ...]]:
+    """Run one vote round; returns ``(ok, survivors)``.
+
+    ``ok`` is True iff every member voted True and none crashed —
+    ULFM agreement semantics: a crash anywhere in the communicator fails
+    the vote, forcing the caller through recovery before a possibly
+    stale iteration is committed. ``survivors`` is the member list minus
+    ranks the injector reports crashed, in membership order.
+
+    The wait tolerates a bounded number of watchdog timeouts (the
+    recovery window may legitimately exceed the engine watchdog while a
+    slow peer drains); patience comes from ``policy.max_retries``, after
+    which the hang is surfaced unchanged.
+    """
+    engine = state.engine
+    injector = engine.fault_injector
+    policy = policy or RetryPolicy()
+    votes = state.votes.setdefault(seq, {})
+    votes[my_rank] = bool(flag)
+    state.bcast.notify_all()
+
+    def done() -> bool:
+        if seq in state.results:
+            return True
+        if injector is None:
+            return len(votes) == len(state.members)
+        crashed = injector.crashed_ranks
+        return all(m in votes or m in crashed for m in state.members)
+
+    timeouts = 0
+    while not done():
+        try:
+            state.bcast.wait_for(done)
+        except SimTimeoutError:
+            timeouts += 1
+            if done():
+                break
+            if timeouts > policy.max_retries:
+                raise
+    if seq not in state.results:
+        crashed = frozenset(injector.crashed_ranks) if injector is not None else frozenset()
+        survivors = tuple(m for m in state.members if m in votes and m not in crashed)
+        ok = len(survivors) == len(state.members) and all(votes[m] for m in survivors)
+        state.results[seq] = (ok, survivors)
+        state.bcast.notify_all()
+    return state.results[seq]

@@ -1,0 +1,65 @@
+"""Unified retry policy for every recovery path.
+
+One frozen dataclass replaces the MPI-only retransmission knobs: the MPI
+matcher's wire retransmissions, the consensus engine's watchdog patience,
+and any app-level recovery loop all derive their backoff schedule from the
+same :class:`RetryPolicy`, so one ``retry,...`` clause in a fault spec
+tunes them together. Deterministic: jitter (when enabled) is drawn from
+the fault injector's seeded RNG, in simulation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff/timeout schedule for retried operations.
+
+    ``base``        first backoff delay (virtual seconds);
+    ``max_retries`` attempts before giving up;
+    ``multiplier``  geometric growth per attempt;
+    ``jitter``      extra slack in ``[0, jitter)`` fractions of the backoff,
+                    drawn from a seeded RNG (0 disables, keeping historical
+                    byte-identical schedules);
+    ``timeout``     optional wall cutoff (virtual seconds since the first
+                    attempt) that overrides the attempt budget.
+    """
+
+    base: float = 2e-5
+    max_retries: int = 6
+    multiplier: float = 2.0
+    jitter: float = 0.0
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError(f"retry base must be > 0, got {self.base}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"retry multiplier must be >= 1, got {self.multiplier}")
+        if self.jitter < 0.0:
+            raise ValueError(f"retry jitter must be >= 0, got {self.jitter}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"retry timeout must be > 0, got {self.timeout}")
+
+    def backoff(self, attempt: int, rng=None) -> float:
+        """Delay before retrying after failed attempt number ``attempt``
+        (0-based). With ``jitter`` and an ``rng``, adds seeded random slack.
+        """
+        delay = self.base * (self.multiplier ** attempt)
+        if self.jitter > 0.0 and rng is not None:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+    def exhausted(self, attempt: int, elapsed: float = 0.0) -> bool:
+        """True when attempt number ``attempt`` (0-based) should not run:
+        the attempt budget is spent, or ``elapsed`` passed the timeout."""
+        if self.timeout is not None and elapsed >= self.timeout:
+            return True
+        return attempt >= self.max_retries

@@ -218,6 +218,13 @@ class Engine:
         # no plan is installed.
         self.fault_injector: Optional[Any] = None
         self.watchdog_timeout: Optional[float] = None
+        # Data-plane fence (see Communicator.revoke): deferred delivery
+        # callbacks capture this counter at issue time and drop themselves
+        # when it has advanced — a revocation tears down every in-flight
+        # transfer, so stale payloads can never land in buffers the next
+        # communicator generation has already rebuilt. Stays 0 (and every
+        # comparison trivially equal) unless a revoke happens.
+        self.fence_epoch: int = 0
         # Happens-before sanitizer (see repro.sanitize). None means off: every
         # hook is one attribute check and the event schedule — hence the
         # trace — is byte-identical to an uninstrumented run.
@@ -230,6 +237,18 @@ class Engine:
     # ------------------------------------------------------------------ #
     # Public API used by simulated code.
     # ------------------------------------------------------------------ #
+
+    def fence(self) -> int:
+        """Invalidate every in-flight data-plane delivery.
+
+        Bumped by communicator revocation: backends snapshot ``fence_epoch``
+        when they schedule a deferred payload write (one-sided put/get
+        delivery, wire delivery, collective completion) and drop the write
+        if the epoch moved on — the simulated analogue of connection
+        teardown on revoke. Returns the new epoch.
+        """
+        self.fence_epoch += 1
+        return self.fence_epoch
 
     def spawn(self, fn: Callable[[], Any], name: str = "task") -> Task:
         """Create a simulated process. It becomes runnable immediately."""
@@ -284,7 +303,7 @@ class Engine:
         if lag > 0:
             duration += lag
         self.schedule(duration, task.make_ready)
-        self.block(f"sleep({duration:g})")
+        self.block(f"sleep({duration:g})", watchdog=False)
 
     def defer_busy(self, seconds: float) -> float:
         """Commit the calling task's host to ``seconds`` more busy time
@@ -303,7 +322,7 @@ class Engine:
         task.busy_until = start + seconds
         return task.busy_until - self.now
 
-    def block(self, reason: str = "") -> None:
+    def block(self, reason: str = "", *, watchdog: bool = True) -> None:
         """Suspend the calling task until someone calls ``make_ready`` on it.
 
         The caller must have already arranged its own wake-up (a timer, a
@@ -317,12 +336,15 @@ class Engine:
         that outlives it raises :class:`SimTimeoutError` in the blocked task,
         carrying the deadlock-style waiter report — a hang under injected
         faults becomes an actionable per-task error instead of waiting for
-        whole-simulation quiescence.
+        whole-simulation quiescence. Determinate waits pass
+        ``watchdog=False``: a :meth:`sleep` ends at a known virtual time by
+        construction, so it can never hang and must not trip a watchdog
+        shorter than a modeled (healthy) delay.
         """
         task = self._require_current()
-        watchdog = None
-        if self.watchdog_timeout is not None:
-            watchdog = self.schedule(
+        wd_timer = None
+        if watchdog and self.watchdog_timeout is not None:
+            wd_timer = self.schedule(
                 self.watchdog_timeout, lambda: self._watchdog_expire(task)
             )
         while True:
@@ -348,8 +370,8 @@ class Engine:
                 # task may not observe `now` until the debt is settled.
                 self.schedule(task.busy_until - self.now, task.make_ready)
                 continue
-            if watchdog is not None:
-                watchdog.cancel()
+            if wd_timer is not None:
+                wd_timer.cancel()
                 if task._pending_error is not None:
                     error, task._pending_error = task._pending_error, None
                     raise error
@@ -469,16 +491,28 @@ class Engine:
         self._done_sem.release()
         return None
 
+    def _fault_context(self) -> str:
+        """One provenance line ("fault spec '...' seed=N") when an injector
+        is installed, else "" — appended to hang reports so a failure found
+        by a chaos sweep is replayable from the error text alone."""
+        injector = self.fault_injector
+        describe = getattr(injector, "describe", None)
+        return describe() if describe is not None else ""
+
     def _waiter_report(self) -> str:
         """One line per live task: its name and pending operation.
 
         Wait reasons carry the operation and message tag where the blocking
         primitive recorded them (e.g. ``event:req:recv[1->0 tag=0]``), so
         both deadlock and watchdog-timeout reports name the stuck transfer.
+        Under fault injection the active spec and seed are appended.
         """
         lines = []
         for task in sorted(self._tasks, key=lambda t: t.name):
             lines.append(f"  {task.name}: blocked on {task.wait_reason or '<unknown>'}")
+        context = self._fault_context()
+        if context:
+            lines.append(f"  active {context}")
         return "\n".join(lines)
 
     def _watchdog_expire(self, task: Task) -> None:

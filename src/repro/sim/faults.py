@@ -26,10 +26,11 @@ Spec grammar (``FaultPlan.parse``), clauses separated by ``;``, fields by
     retry,base=2e-5,max=6                          # MPI backoff parameters
     watchdog,timeout=0.5                           # engine watchdog (s)
 
-``link`` values are :mod:`fnmatch` patterns over :class:`Link` names;
-``src``/``dst``/``tag`` are optional filters (omitted = any) over *global*
-ranks and MPI tags; ``p`` is a per-attempt probability drawn from the
-seeded RNG.
+``link`` values are exact :class:`Link` names or :mod:`fnmatch` patterns
+over them (exact names win, so the literal brackets in ``nic-out[0]`` are
+not parsed as a character class); ``src``/``dst``/``tag`` are optional
+filters (omitted = any) over *global* ranks and MPI tags; ``p`` is a
+per-attempt probability drawn from the seeded RNG.
 """
 
 from __future__ import annotations
@@ -49,9 +50,34 @@ __all__ = [
     "Straggler",
     "FaultPlan",
     "FaultInjector",
+    "SPEC_GRAMMAR",
 ]
 
 _INF = float("inf")
+
+
+def _link_matches(name: str, pattern: str) -> bool:
+    """Exact-name match first, then :func:`fnmatchcase`.
+
+    Link names contain literal brackets (``nvlink[1->2]``, ``nic-out[0]``),
+    which :mod:`fnmatch` would otherwise parse as character classes — so the
+    obvious spec ``down,link=nic-out[0]`` would silently match nothing.
+    Exact names always work; glob metacharacters keep their meaning.
+    """
+    return name == pattern or fnmatchcase(name, pattern)
+
+#: Human-readable spec grammar, appended to every parse error so a bad token
+#: is diagnosable (and fixable) from the error text alone.
+SPEC_GRAMMAR = """\
+valid fault spec grammar (clauses separated by ';', fields by ','):
+  down,link=<name|pattern>[,start=<s>][,end=<s>]
+  degrade,link=<name|pattern>,factor=<f>[,start=<s>][,end=<s>]
+  drop[,src=<rank>][,dst=<rank>][,tag=<tag>][,p=<prob>][,start=<s>][,end=<s>]
+  corrupt[,src=<rank>][,dst=<rank>][,tag=<tag>][,p=<prob>][,start=<s>][,end=<s>]
+  crash,rank=<rank>,at=<s>
+  straggler,gpu=<gpu>,factor=<f>
+  retry[,base=<s>][,max=<n>][,mult=<f>][,jitter=<f>][,timeout=<s>]
+  watchdog,timeout=<s>"""
 
 
 @dataclass(frozen=True)
@@ -142,8 +168,11 @@ class FaultPlan:
     message_faults: Tuple[MessageFault, ...] = ()
     crashes: Tuple[RankCrash, ...] = ()
     stragglers: Tuple[Straggler, ...] = ()
-    retry_base: float = 2e-5  # first MPI retransmission backoff (s)
+    retry_base: float = 2e-5  # first retransmission backoff (s)
     max_retries: int = 6  # retransmission budget per transfer
+    retry_multiplier: float = 2.0  # backoff growth per attempt
+    retry_jitter: float = 0.0  # seeded random slack, fraction of backoff
+    retry_timeout: Optional[float] = None  # give up after this much time (s)
     watchdog: Optional[float] = None  # engine watchdog timeout (s)
 
     def empty(self) -> bool:
@@ -156,9 +185,74 @@ class FaultPlan:
             or self.watchdog is not None
         )
 
+    def retry_policy(self):
+        """The plan's retransmission knobs as a unified RetryPolicy."""
+        from ..resilience import RetryPolicy
+
+        return RetryPolicy(
+            base=self.retry_base,
+            max_retries=self.max_retries,
+            multiplier=self.retry_multiplier,
+            jitter=self.retry_jitter,
+            timeout=self.retry_timeout,
+        )
+
+    def to_spec(self) -> str:
+        """Canonical spec string: ``FaultPlan.parse(plan.to_spec())`` is
+        equivalent to ``plan``, so any error text carrying it is replayable."""
+        clauses: List[str] = []
+        for lf in self.link_faults:
+            c = f"{lf.kind},link={lf.link}"
+            if lf.kind == "degrade":
+                c += f",factor={lf.factor:g}"
+            if lf.start != 0.0:
+                c += f",start={lf.start:g}"
+            if lf.end != _INF:
+                c += f",end={lf.end:g}"
+            clauses.append(c)
+        for mf in self.message_faults:
+            c = mf.kind
+            for name in ("src", "dst", "tag"):
+                value = getattr(mf, name)
+                if value is not None:
+                    c += f",{name}={value}"
+            if mf.p != 1.0:
+                c += f",p={mf.p:g}"
+            if mf.start != 0.0:
+                c += f",start={mf.start:g}"
+            if mf.end != _INF:
+                c += f",end={mf.end:g}"
+            clauses.append(c)
+        for cr in self.crashes:
+            clauses.append(f"crash,rank={cr.rank},at={cr.at:g}")
+        for st in self.stragglers:
+            clauses.append(f"straggler,gpu={st.gpu},factor={st.factor:g}")
+        defaults = FaultPlan()
+        retry_fields = []
+        if self.retry_base != defaults.retry_base:
+            retry_fields.append(f"base={self.retry_base:g}")
+        if self.max_retries != defaults.max_retries:
+            retry_fields.append(f"max={self.max_retries}")
+        if self.retry_multiplier != defaults.retry_multiplier:
+            retry_fields.append(f"mult={self.retry_multiplier:g}")
+        if self.retry_jitter != defaults.retry_jitter:
+            retry_fields.append(f"jitter={self.retry_jitter:g}")
+        if self.retry_timeout is not None:
+            retry_fields.append(f"timeout={self.retry_timeout:g}")
+        if retry_fields:
+            clauses.append("retry," + ",".join(retry_fields))
+        if self.watchdog is not None:
+            clauses.append(f"watchdog,timeout={self.watchdog:g}")
+        return ";".join(clauses)
+
     @staticmethod
     def parse(spec: str) -> "FaultPlan":
-        """Build a plan from the compact CLI spec string (see module doc)."""
+        """Build a plan from the compact CLI spec string (see module doc).
+
+        Any malformed spec raises :class:`FaultInjectionError` (which is
+        also a :class:`ValueError`) naming the offending token and listing
+        the full grammar.
+        """
         plan = FaultPlan()
         links: List[LinkFault] = []
         messages: List[MessageFault] = []
@@ -170,7 +264,8 @@ class FaultPlan:
             for item in parts[1:]:
                 if "=" not in item:
                     raise FaultInjectionError(
-                        f"malformed fault field {item!r} in clause {clause!r}"
+                        f"malformed fault field {item!r} in clause {clause!r} "
+                        f"(expected key=value)\n{SPEC_GRAMMAR}"
                     )
                 key, value = item.split("=", 1)
                 kv[key.strip()] = value.strip()
@@ -198,22 +293,33 @@ class FaultPlan:
                 elif kind == "straggler":
                     stragglers.append(Straggler(gpu=int(kv.pop("gpu")), factor=float(kv.pop("factor"))))
                 elif kind == "retry":
+                    timeout = kv.pop("timeout", None)
                     plan = replace(plan,
                                    retry_base=float(kv.pop("base", plan.retry_base)),
-                                   max_retries=int(kv.pop("max", plan.max_retries)))
+                                   max_retries=int(kv.pop("max", plan.max_retries)),
+                                   retry_multiplier=float(kv.pop("mult", plan.retry_multiplier)),
+                                   retry_jitter=float(kv.pop("jitter", plan.retry_jitter)),
+                                   retry_timeout=float(timeout) if timeout is not None else plan.retry_timeout)
                 elif kind == "watchdog":
                     plan = replace(plan, watchdog=float(kv.pop("timeout")))
                 else:
-                    raise FaultInjectionError(f"unknown fault clause kind {kind!r}")
+                    raise FaultInjectionError(
+                        f"unknown fault clause kind {kind!r} in clause {clause!r}\n{SPEC_GRAMMAR}"
+                    )
             except KeyError as exc:
                 raise FaultInjectionError(
                     f"fault clause {clause!r} is missing required field {exc.args[0]!r}"
+                    f"\n{SPEC_GRAMMAR}"
                 ) from None
+            except FaultInjectionError:
+                raise
             except ValueError as exc:
-                raise FaultInjectionError(f"bad value in fault clause {clause!r}: {exc}") from None
+                raise FaultInjectionError(
+                    f"bad value in fault clause {clause!r}: {exc}\n{SPEC_GRAMMAR}"
+                ) from None
             if kv:
                 raise FaultInjectionError(
-                    f"unknown field(s) {sorted(kv)} in fault clause {clause!r}"
+                    f"unknown field(s) {sorted(kv)} in fault clause {clause!r}\n{SPEC_GRAMMAR}"
                 )
         return replace(plan,
                        link_faults=tuple(links),
@@ -241,6 +347,15 @@ class FaultInjector:
         self.crashed_ranks: set = set()
         self.log: List[Tuple[float, str, dict]] = []
         self.engine: Optional[Engine] = None
+        # Callbacks fired after a rank crash lands (rank: int) -> None.
+        # The recovery runtime hangs consensus wake-ups off these.
+        self.crash_hooks: List[Any] = []
+        # (gpu_ids, active persistent downs) -> frozenset of dead rank pairs.
+        self._dead_cache: dict = {}
+
+    def describe(self) -> str:
+        """One-line provenance, embedded in hang reports: spec + seed."""
+        return f"fault spec {self.plan.to_spec()!r} seed={self.seed}"
 
     # ------------------------------------------------------------------ #
     # Installation.
@@ -278,7 +393,7 @@ class FaultInjector:
         windows = sorted(
             (f.start, f.end, f.kind, f.factor)
             for f in self.plan.link_faults
-            if fnmatchcase(link.name, f.link)
+            if _link_matches(link.name, f.link)
         )
         if windows:
             link.fault_windows = windows
@@ -316,6 +431,45 @@ class FaultInjector:
         """The subset of ``ranks`` that have crashed so far, sorted."""
         return sorted(r for r in ranks if r in self.crashed_ranks)
 
+    def dead_pairs_for(self, topo) -> Optional[frozenset]:
+        """Rank pairs of ``topo`` whose path crosses a *permanently* down
+        link that is active at the current virtual time, or None.
+
+        This is what lets :class:`repro.coll.CollPolicy` regenerate
+        collective schedules around a dead link (ring -> tree fallback)
+        instead of waiting forever on it. Transient outages (finite
+        ``end``) are the physical layer's problem and are not rerouted.
+        Cached per (placement, active-fault set); cheap when the plan has
+        no persistent ``down`` clauses.
+        """
+        now = self.engine.now if self.engine is not None else 0.0
+        active = tuple(
+            (f.link, f.start)
+            for f in self.plan.link_faults
+            if f.kind == "down" and f.end == _INF and f.start <= now
+        )
+        if not active:
+            return None
+        key = (tuple(topo.gpu_ids), active)
+        dead = self._dead_cache.get(key)
+        if dead is None:
+            patterns = [p for p, _ in active]
+
+            def link_dead(link) -> bool:
+                return any(_link_matches(link.name, p) for p in patterns)
+
+            pairs = set()
+            for a in range(topo.nranks):
+                for b in range(topo.nranks):
+                    if a == b:
+                        continue
+                    path = topo.cluster.path(topo.gpu_ids[a], topo.gpu_ids[b])
+                    if any(link_dead(l) for l in path.links):
+                        pairs.add((a, b))
+            dead = frozenset(pairs)
+            self._dead_cache[key] = dead
+        return dead or None
+
     # ------------------------------------------------------------------ #
     # Event recording.
     # ------------------------------------------------------------------ #
@@ -338,6 +492,8 @@ class FaultInjector:
                 task.poisoned = True
                 task.make_ready()
                 break
+        for hook in list(self.crash_hooks):
+            hook(crash.rank)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<FaultInjector seed={self.seed} events={len(self.log)}>"

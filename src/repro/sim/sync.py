@@ -258,9 +258,11 @@ def wait_until(
     finally:
         timer.cancel()
     if expired[0] and not predicate():
+        context = engine._fault_context()
         raise SimTimeoutError(
             f"{what or f'wait on {broadcast.name}'} timed out after {timeout:g}s "
-            f"of virtual time at t={engine.now:.9g}s",
+            f"of virtual time at t={engine.now:.9g}s"
+            + (f" (active {context})" if context else ""),
             when=engine.now,
         )
 

@@ -1,0 +1,73 @@
+"""health() after abort()/revoke(): one behaviour on every backend.
+
+ISSUE satellite: GPUCCL used to be the only backend whose ``health()``
+noticed an ``abort()`` (through the async error latch); MPI and GPUSHMEM
+reported ``ok=True`` on other members after a peer aborted. The abort now
+latches into the communicator's shared flags, so the post-abort snapshot
+is equivalent across backends — asserted here field by field.
+"""
+
+import pytest
+
+from repro.errors import UniconnError
+from tests.core.conftest import ALL_BACKENDS, uniconn_run
+
+
+def _abort_and_probe(env, comm, coord):
+    """Rank 0 aborts; every rank reports its health afterwards."""
+    if comm.global_rank() == 0:
+        try:
+            comm.abort("unit-test abort")
+        except UniconnError:
+            pass  # abort always raises; the latch is what we probe
+    env.engine.sleep(1e-4)
+    h = comm.health()
+    return (h.ok, h.crashed_ranks, "aborted" in h.detail,
+            "unit-test abort" in h.detail)
+
+
+def test_health_after_abort_consistent_across_backends():
+    per_backend = {}
+    for backend in ALL_BACKENDS:
+        report = uniconn_run(3, backend, _abort_and_probe)
+        per_backend[backend] = list(report)
+        # Every member — not just the aborter — sees the same verdict.
+        assert per_backend[backend] == [(False, (), True, True)] * 3
+    # Cross-backend equivalence: identical snapshots, not just "not ok".
+    snapshots = {tuple(v) for v in per_backend.values()}
+    assert len(snapshots) == 1, f"backends diverge: {per_backend}"
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_health_after_revoke_reports_revoked(backend):
+    def body(env, comm, coord):
+        comm.revoke("maintenance")
+        h = comm.health()
+        return (h.ok, "revoked" in h.detail, "maintenance" in h.detail)
+
+    assert list(uniconn_run(2, backend, body)) == [(False, True, True)] * 2
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_healthy_run_reports_ok(backend):
+    def body(env, comm, coord):
+        h = comm.health()
+        return (h.ok, h.crashed_ranks, h.detail)
+
+    assert list(uniconn_run(2, backend, body)) == [(True, (), "")] * 2
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_shrunk_communicator_scopes_health_to_members(backend):
+    # A crashed rank outside the (shrunken) communicator must not poison
+    # its health: the survivor group is healthy again after recovery.
+    def body(env, comm, coord):
+        env.engine.sleep(5e-4)
+        assert not comm.health().ok  # world comm sees the crash
+        comm.agree(True)
+        comm.revoke("shrinking")
+        new = comm.shrink()
+        return new.health().ok
+
+    report = uniconn_run(3, backend, body, fault_plan="crash,rank=1,at=1e-4")
+    assert [r for r in report if r is not None] == [True, True]

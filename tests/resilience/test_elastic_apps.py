@@ -1,0 +1,89 @@
+"""Elastic Jacobi and CG: shrink, re-decompose, converge deterministically.
+
+The contract (docs/FAULTS.md, "Elastic recovery"): after any survivable
+injected fault the elastic variants recover by shrinking and replaying
+from the committed checkpoint; Jacobi stays *bitwise* equal to the serial
+reference (the 5-point update is order-independent), CG still converges to
+tolerance; and the whole recovery schedule is a deterministic function of
+(fault spec, seed). The full matrix lives in benchmarks/chaos_sweep.py —
+this file pins the per-backend contract at test scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import cg as cg_app
+from repro.apps import jacobi as jacobi_app
+from repro.errors import FaultInjectionError
+
+BACKENDS = ("mpi", "gpuccl", "gpushmem")
+CFG = jacobi_app.JacobiConfig(nx=32, ny=34, iters=16, warmup=2)
+CRASH = "crash,rank=1,at=1e-4;watchdog,timeout=5e-3"
+
+
+def _run_jacobi(backend, spec, seed=5):
+    report = jacobi_app.launch_variant(f"elastic:{backend}", CFG, 4,
+                                       collect=True, fault_plan=spec,
+                                       fault_seed=seed)
+    return [r for r in report if r is not None]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_elastic_jacobi_fault_free_matches_serial(backend):
+    survivors = _run_jacobi(backend, None)
+    ref = jacobi_app.serial_jacobi(CFG, iters=CFG.warmup + CFG.iters)
+    assert np.array_equal(jacobi_app.assemble(CFG, survivors), ref)
+    assert all(r.restarts == 0 for r in survivors)
+    assert all(r.nranks == 4 for r in survivors)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_elastic_jacobi_survives_crash_bitwise(backend):
+    survivors = _run_jacobi(backend, CRASH)
+    assert len(survivors) == 3
+    assert all(r.nranks == 3 for r in survivors)  # shrunk group
+    ref = jacobi_app.serial_jacobi(CFG, iters=CFG.warmup + CFG.iters)
+    assert np.array_equal(jacobi_app.assemble(CFG, survivors), ref)
+
+
+def test_elastic_jacobi_recovery_is_deterministic():
+    a = jacobi_app.assemble(CFG, _run_jacobi("mpi", CRASH, seed=9))
+    b = jacobi_app.assemble(CFG, _run_jacobi("mpi", CRASH, seed=9))
+    assert a.tobytes() == b.tobytes()
+
+
+def _run_cg(backend, spec, seed=5):
+    cfg = cg_app.CgConfig(n=256, nnz_per_row=9, iters=20, seed=3)
+    problem = cg_app.make_problem(cfg)
+    report = cg_app.launch_variant(f"elastic:{backend}", cfg, 4,
+                                   problem=problem, collect=True,
+                                   fault_plan=spec, fault_seed=seed)
+    survivors = [r for r in report if r is not None]
+    return cfg, problem, survivors
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_elastic_cg_survives_crash_and_converges(backend):
+    cfg, problem, survivors = _run_cg(backend, CRASH)
+    assert len(survivors) == 3
+    x = cg_app.assemble_x(survivors, cfg.n)
+    assert cg_app.final_residual(problem, x) < 1e-4
+    assert sum(r.restarts for r in survivors) >= 1
+
+
+def test_elastic_cg_recovery_is_deterministic():
+    cfg, problem, a = _run_cg("gpuccl", CRASH, seed=11)
+    _, _, b = _run_cg("gpuccl", CRASH, seed=11)
+    xa = cg_app.assemble_x(a, cfg.n)
+    xb = cg_app.assemble_x(b, cfg.n)
+    assert xa.tobytes() == xb.tobytes()
+
+
+def test_unsurvivable_fault_exhausts_budget_cleanly():
+    # A permanent total drop has no survivable schedule: the elastic loop
+    # must spend its budget and surface FaultInjectionError — not hang.
+    with pytest.raises(FaultInjectionError, match="recoveries"):
+        jacobi_app.launch_variant(
+            "elastic:mpi", CFG, 4,
+            fault_plan="drop,p=1;retry,base=1e-6,max=1;watchdog,timeout=2e-3",
+        )

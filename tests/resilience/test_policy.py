@@ -1,0 +1,67 @@
+"""RetryPolicy: the one backoff/timeout schedule every recovery path shares."""
+
+import random
+
+import pytest
+
+from repro.resilience import RetryPolicy
+from repro.sim import FaultPlan
+
+
+def test_defaults_match_legacy_mpi_knobs():
+    # The policy replaced the MPI-only retransmission knobs; the defaults
+    # must stay byte-compatible with the historical schedule.
+    plan = FaultPlan()
+    policy = RetryPolicy()
+    assert policy.base == plan.retry_base
+    assert policy.max_retries == plan.max_retries
+    assert policy.jitter == 0.0  # jitter off = historical schedules
+
+
+def test_backoff_is_geometric():
+    policy = RetryPolicy(base=1e-5, multiplier=2.0)
+    assert policy.backoff(0) == 1e-5
+    assert policy.backoff(1) == 2e-5
+    assert policy.backoff(4) == 16e-5
+
+
+def test_jitter_is_seeded_and_bounded():
+    policy = RetryPolicy(base=1e-5, jitter=0.5)
+    a = [policy.backoff(i, random.Random(3)) for i in range(4)]
+    b = [policy.backoff(i, random.Random(3)) for i in range(4)]
+    assert a == b  # same seed -> same slack
+    for i, delay in enumerate(a):
+        lo = policy.base * policy.multiplier ** i
+        assert lo <= delay < lo * 1.5
+    # No rng (or jitter=0): exact geometric schedule, no randomness.
+    assert policy.backoff(2, None) == policy.base * 4
+
+
+def test_exhausted_by_attempts_and_by_timeout():
+    policy = RetryPolicy(max_retries=3)
+    assert not policy.exhausted(2)
+    assert policy.exhausted(3)
+    timed = RetryPolicy(max_retries=100, timeout=1e-3)
+    assert not timed.exhausted(50, elapsed=0.5e-3)
+    assert timed.exhausted(0, elapsed=1e-3)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"base": 0.0},
+        {"max_retries": -1},
+        {"multiplier": 0.5},
+        {"jitter": -0.1},
+        {"timeout": 0.0},
+    ],
+)
+def test_rejects_invalid_parameters(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+def test_fault_spec_retry_clause_builds_the_policy():
+    plan = FaultPlan.parse("retry,base=3e-5,max=4")
+    policy = plan.retry_policy()
+    assert policy.base == 3e-5 and policy.max_retries == 4
