@@ -47,11 +47,13 @@ sanitize-smoke:
 # Deprecation lane: the new keyword-only API surface must be warning-clean.
 # Old-API tier-1 tests keep running under the default filters elsewhere;
 # here DeprecationWarning is a hard error over the new-API tests and the
-# migrated examples.
+# migrated examples, and tools/check_shim_clean.py asserts no in-repo
+# caller still uses the deprecated spellings (the tree is shim-clean).
 check-deprecations:
 	$(PYTHON) -m pytest -q -W error::DeprecationWarning tests/obs tests/core/test_api_shims.py tests/core/test_split_equivalence.py
 	$(PYTHON) -W error::DeprecationWarning examples/quickstart.py
 	$(PYTHON) -W error::DeprecationWarning examples/jacobi2d.py perlmutter 4 64
+	$(PYTHON) tools/check_shim_clean.py
 
 # Elastic-recovery gate (docs/FAULTS.md, "Elastic recovery"): the
 # revoke/agree/shrink + elastic-app test suites, the crash-mid-collective

@@ -6,6 +6,11 @@ scheduler events/sec for:
 
 - 64-rank Jacobi over the three native backends (the heaviest tier-1 shape);
 - the OSU bandwidth window loop (2 ranks, deep per-message event chains);
+- 64-rank Jacobi capture/replay rows (``jacobi64_capture_*``): a small grid
+  run long enough that steady-state iterations dominate, measured with
+  ``capture="off"`` vs ``capture="regions"`` on the fast path — the
+  ``speedup_replay`` column (replayed events/sec inside the fused replay vs
+  the live fast path's events/sec) is gated ``>= 10x`` by ``--check``;
 
 each in both scheduler modes — ``slow`` (``REPRO_SIM_FASTPATH=0``, the
 reference herd-wakeup/always-switch scheduler) and ``fast`` (targeted
@@ -44,12 +49,18 @@ from repro.launcher import launch  # noqa: E402
 SCHEMA = "repro-bench-wallclock/1"
 BASELINE_PATH = REPO_ROOT / "BENCH_wallclock.json"
 REGRESSION_FRACTION = 0.70  # --check fails below this fraction of baseline
+MIN_REPLAY_SPEEDUP = 10.0   # --check floor for capture-replay throughput
 
 JACOBI_BACKENDS = ("mpi-native", "gpuccl-native", "gpushmem-host-native")
 
 # (nx, ny, iters, warmup) — full matches the benchmarks/_common.py CI shape.
 JACOBI_DIMS = {"full": (512, 514, 12, 2), "smoke": (192, 194, 4, 1)}
 JACOBI_RANKS = 64
+
+# Capture/replay rows: a small grid run long enough that the steady-state
+# loop dominates — replay's whole point — with the same 64-rank fan-out.
+CAPTURE_DIMS = {"full": (64, 66, 2000, 1), "smoke": (64, 66, 600, 1)}
+CAPTURE_VARIANTS = ("mpi-native", "uniconn:mpi")
 
 OSU_CFG = {
     "full": OsuConfig(sizes=tuple(1 << k for k in range(2, 23, 2)),
@@ -87,6 +98,88 @@ BENCHES = {
        for b in JACOBI_BACKENDS},
     "osu_bw_window_mpi": (_run_osu, 2),
 }
+
+CAPTURE_BENCHES = {
+    f"jacobi{JACOBI_RANKS}_capture_{v}": (v, 2) for v in CAPTURE_VARIANTS
+}
+
+
+def _run_jacobi_capture(variant: str, capture: str, scale: str) -> dict:
+    nx, ny, iters, warmup = CAPTURE_DIMS[scale]
+    cfg = JacobiConfig(nx=nx, ny=ny, iters=iters, warmup=warmup)
+    t0 = time.perf_counter()
+    report = launch_variant(variant, cfg, JACOBI_RANKS, capture=capture)
+    stats = dict(report.stats)
+    stats["host_seconds"] = time.perf_counter() - t0
+    return stats
+
+
+def _measure_capture(variant: str, scale: str, repeats: int) -> dict:
+    """Capture off vs regions, both on the fast path.
+
+    The headline number is *replay throughput*: replayed timeline events per
+    host second spent inside the fused replay loop, against the live fast
+    path's events/sec from the capture-off run. Both rates come from the
+    same run pair, so machine-load swings mostly cancel in the ratio.
+    """
+    best: dict = {}
+    best_replay_host = None
+    os.environ["REPRO_SIM_FASTPATH"] = "1"
+    try:
+        for rep in range(repeats):
+            modes = ("off", "regions") if rep % 2 == 0 else ("regions", "off")
+            for mode in modes:
+                attempt = _run_jacobi_capture(variant, mode, scale)
+                if mode == "regions":
+                    # The replayed-event count is deterministic, so the
+                    # fastest replay pass wins independently of which
+                    # attempt had the best end-to-end wallclock.
+                    rh = attempt["capture"]["replay_host_seconds"]
+                    if best_replay_host is None or rh < best_replay_host:
+                        best_replay_host = rh
+                if (mode not in best
+                        or attempt["host_seconds"] < best[mode]["host_seconds"]):
+                    best[mode] = attempt
+    finally:
+        os.environ.pop("REPRO_SIM_FASTPATH", None)
+    off, on = best["off"], best["regions"]
+    if off["virtual_time"] != on["virtual_time"]:
+        raise AssertionError(
+            f"virtual time diverged: off={off['virtual_time']!r} "
+            f"regions={on['virtual_time']!r}"
+        )
+    cap = on["capture"]
+    if cap["replays"] < 1 or cap["events_replayed"] <= 0:
+        raise AssertionError(f"capture never replayed: {cap}")
+    # Every timeline event either fired live or was replayed; the union must
+    # reconstruct the capture-off timeline exactly.
+    if on["timers_fired"] + cap["events_replayed"] != off["timers_fired"]:
+        raise AssertionError(
+            f"timeline accounting diverged: {on['timers_fired']} live + "
+            f"{cap['events_replayed']} replayed != {off['timers_fired']}"
+        )
+    live_rate = off["timers_fired"] / off["host_seconds"]
+    replay_rate = cap["events_replayed"] / best_replay_host
+    return {
+        "off": {
+            "host_seconds": round(off["host_seconds"], 4),
+            "events_per_sec": round(live_rate),
+            "timers_fired": off["timers_fired"],
+            "virtual_time": off["virtual_time"],
+        },
+        "replay": {
+            "host_seconds": round(on["host_seconds"], 4),
+            "timers_fired": on["timers_fired"],
+            "replays": cap["replays"],
+            "events_replayed": cap["events_replayed"],
+            "iterations_skipped": cap["iterations_skipped"],
+            "replay_host_seconds": round(best_replay_host, 4),
+            "events_per_sec": round(replay_rate),
+            "virtual_time": on["virtual_time"],
+        },
+        "speedup_replay": round(replay_rate / live_rate, 2),
+        "speedup_wallclock": round(off["host_seconds"] / on["host_seconds"], 2),
+    }
 
 
 def _measure(runner, scale: str, repeats: int) -> dict:
@@ -164,6 +257,20 @@ def run_scale(scale: str) -> dict:
             f"{rec['speedup_events_per_sec']}x ev/s",
             flush=True,
         )
+    for name, (variant, repeats) in CAPTURE_BENCHES.items():
+        print(f"[bench_wallclock] {scale}:{name} ...", flush=True)
+        rec = _measure_capture(variant, scale, repeats)
+        results[name] = rec
+        print(
+            f"    live {rec['off']['events_per_sec']:>9} ev/s "
+            f"({rec['off']['host_seconds']:.2f}s)  "
+            f"replay {rec['replay']['events_per_sec']:>9} ev/s "
+            f"({rec['replay']['events_replayed']} ev in "
+            f"{rec['replay']['replay_host_seconds']:.2f}s)  "
+            f"speedup {rec['speedup_replay']}x replay, "
+            f"{rec['speedup_wallclock']}x wall",
+            flush=True,
+        )
     return results
 
 
@@ -183,6 +290,19 @@ def check_regression(results: dict, scale: str) -> int:
         return 1
     status = 0
     for name, rec in results.items():
+        if "replay" in rec:
+            # Capture rows gate on the replay/live ratio, which is measured
+            # within one run pair and thus load-insensitive — no baseline
+            # calibration needed.
+            got = rec["speedup_replay"]
+            if got < MIN_REPLAY_SPEEDUP:
+                print(f"[bench_wallclock] REGRESSION {name}: replay speedup "
+                      f"{got}x < {MIN_REPLAY_SPEEDUP}x floor", file=sys.stderr)
+                status = 1
+            else:
+                print(f"[bench_wallclock] OK {name}: replay speedup {got}x "
+                      f"(floor {MIN_REPLAY_SPEEDUP}x)")
+            continue
         base = base_scale.get(name)
         if base is None:
             print(f"[bench_wallclock] {name}: no baseline entry, skipping")
@@ -232,6 +352,11 @@ def main(argv=None) -> int:
         doc["meta"] = {
             "jacobi_ranks": JACOBI_RANKS,
             "jacobi_dims": {s: list(d) for s, d in JACOBI_DIMS.items()},
+            "capture_dims": {s: list(d) for s, d in CAPTURE_DIMS.items()},
+            "capture_rows": "capture=off vs capture=regions on the fast "
+                            "path; speedup_replay = replayed events/sec "
+                            "inside the fused replay vs live events/sec, "
+                            f"gated >= {MIN_REPLAY_SPEEDUP}x by --check",
             "events_per_sec": "timers_fired / host_seconds (timeline events; "
                               "identical count in both modes)",
             "sched_events": "switches + inline_resumes + timers_fired",

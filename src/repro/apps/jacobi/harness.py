@@ -14,6 +14,7 @@ import numpy as np
 
 from ...gpu import GpuEvent, dim3, elapsed
 from ...launcher import RankContext
+from ...sim.capture import loop_region
 from .domain import JacobiConfig, Partition, init_local, partition_rows
 from .kernels import JacobiState
 
@@ -91,10 +92,20 @@ def measure_loop(
         step()
     barrier()
     stream.synchronize()
+    # The steady-state loop: annotated for graph capture & replay. The
+    # pointer swap in step() gives the timeline a period of 2 iterations.
+    region = loop_region(
+        rank_ctx.engine, "jacobi.measure", replay_safe=True, parity=2, min_period=2
+    )
     start, end = GpuEvent(device, "start"), GpuEvent(device, "end")
     start.record(stream)
-    for _ in range(cfg.iters):
+    i = 0
+    while i < cfg.iters:
+        i += region.boundary(rank_ctx.rank, i, cfg.iters)
+        if i >= cfg.iters:
+            break
         step()
+        i += 1
     end.record(stream)
     end.synchronize()
     total = elapsed(start, end)

@@ -167,6 +167,15 @@ class _CommShared:
             san.acquire(recv)
             san.record(send.buf, "r", 0, send.count, note=f"ccl-send->{send.dst}")
         payload = as_array(send.buf, send.count).copy()
+        cap = self.engine.capture
+        if cap is not None:
+            sb = as_array(send.buf, send.count)
+            cap.effect(
+                ("csnap", send.src, send.dst,
+                 sb.__array_interface__["data"][0], send.count),
+                lambda p=payload, sb=sb: np.copyto(p, sb),
+            )
+            cap.on_reserve(transfer)
         epoch = self.engine.fence_epoch
 
         def deliver() -> None:
@@ -180,7 +189,16 @@ class _CommShared:
             if san is not None:
                 san.record(recv.buf, "w", 0, send.count,
                            note=f"ccl-recv<-{send.src}")
-            as_array(recv.buf)[: send.count] = payload
+            rb = as_array(recv.buf)
+            cap = self.engine.capture
+            if cap is not None:
+                cap.effect(
+                    ("cdlv", send.src, send.dst,
+                     rb.__array_interface__["data"][0], send.count),
+                    lambda rb=rb, p=payload, c=send.count: np.copyto(rb[:c], p),
+                    freshen=True,
+                )
+            rb[: send.count] = payload
             send.parent.entry_done()
             recv.parent.entry_done()
 

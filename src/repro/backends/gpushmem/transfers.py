@@ -90,6 +90,16 @@ def issue_put(
         metrics.inc("shmem_puts_total", size=size_class(nbytes), rank=src_pe)
         metrics.inc("shmem_bytes_total", nbytes, op="put", rank=src_pe)
 
+    cap = engine.capture
+    if cap is not None:
+        src_arr = as_array(src, count)
+        cap.effect(
+            ("psnap", src_pe, dst_pe,
+             src_arr.__array_interface__["data"][0], count),
+            lambda p=payload, sa=src_arr: np.copyto(p, sa),
+        )
+        cap.on_reserve(transfer)
+
     if on_local_done is not None:
         engine.schedule(max(0.0, transfer.inject_done - engine.now), on_local_done)
     epoch = engine.fence_epoch
@@ -114,6 +124,14 @@ def issue_put(
             # PartialDevice exchange — carries this payload write.
             san.acquire(path)
             san.record(dst_view, "w", 0, count, note=f"put<-pe{src_pe}")
+        cap = engine.capture
+        if cap is not None:
+            cap.effect(
+                ("pdlv", src_pe, dst_pe,
+                 dst_view.raw.__array_interface__["data"][0], count),
+                lambda dv=dst_view, p=payload, c=count: np.copyto(dv.raw[:c], p),
+                freshen=True,
+            )
         dst_view.raw[:count] = payload
         if san is not None:
             san.release(path)
@@ -122,6 +140,13 @@ def issue_put(
             sig, value, op = signal
 
             def fire_signal() -> None:
+                cap = engine.capture
+                if cap is not None:
+                    # apply_signal re-reads the live signal word, so the
+                    # same closure replays value-exactly for SET and adds
+                    # exactly once per replayed iteration for ADD.
+                    cap.effect(("psig", src_pe, dst_pe, value, op),
+                               lambda: apply_signal(sig, dst_pe, value, op))
                 apply_signal(sig, dst_pe, value, op)
                 if on_delivered is not None:
                     on_delivered()
@@ -174,6 +199,9 @@ def issue_get(
         metrics.inc("shmem_gets_total", size=size_class(nbytes), rank=src_pe)
         metrics.inc("shmem_bytes_total", nbytes, op="get", rank=src_pe)
 
+    cap = engine.capture
+    if cap is not None:
+        cap.on_reserve(transfer)
     epoch = engine.fence_epoch
 
     def deliver() -> None:
@@ -188,6 +216,17 @@ def issue_get(
             san.acquire(path)
             san.record(src_view, "r", 0, count, note=f"get<-pe{dst_pe}")
             san.record(dest, "w", 0, count, note=f"get<-pe{dst_pe}")
+        cap = engine.capture
+        if cap is not None:
+            # Gets read the remote buffer at delivery time; the replayed
+            # closure repeats the same live read, so it stays value-exact.
+            cap.effect(
+                ("gdlv", src_pe, dst_pe,
+                 src_view.raw.__array_interface__["data"][0], count),
+                lambda d=dest, sv=src_view, c=count: np.copyto(
+                    as_array(d)[:c], sv.raw[:c]),
+                freshen=True,
+            )
         as_array(dest)[:count] = src_view.raw[:count]
         if san is not None:
             san.release(path)

@@ -68,6 +68,11 @@ class _RecvRec:
         self.matched = False
 
 
+def _cap_ptr(a: np.ndarray) -> int:
+    """Stable identity of a buffer view for capture effect keys."""
+    return a.__array_interface__["data"][0]
+
+
 def _tags_match(recv: _RecvRec, send: _SendRec) -> bool:
     if recv.src is not ANY_SOURCE and recv.src != send.src:
         return False
@@ -86,6 +91,24 @@ class MessageEngine:
         # (comm_id, dst_local) -> pending records, in arrival order.
         self._sends: Dict[Tuple[int, int], List[_SendRec]] = {}
         self._recvs: Dict[Tuple[int, int], List[_RecvRec]] = {}
+        engine.time_shift_hooks.append(self._shift_time)
+
+    def _shift_time(self, span: float) -> None:
+        """Translate absolute anchors after a replay takeover.
+
+        A queued eager send's ``arrival_time`` and every link's
+        ``busy_until`` are absolute virtual times; structural identity
+        means the live run would have re-created them exactly ``span``
+        later, so the takeover shifts them instead of re-simulating.
+        Without this a post-replay receive would see a steady-state
+        in-flight message as "already here" and skip the wire delay.
+        """
+        for pending in self._sends.values():
+            for send in pending:
+                if not send.matched:
+                    send.arrival_time += span
+        for link in self.cluster.links():
+            link.busy_until += span
 
     # ------------------------------------------------------------------ #
 
@@ -146,6 +169,15 @@ class MessageEngine:
                                note=f"send[{src}->{dst} tag={tag}]")
                 rec.data = arr[:count].copy()
                 transfer = path.reserve(self.engine.now, nbytes)
+                cap = self.engine.capture
+                if cap is not None:
+                    # Replayable payload snapshot: refreshes this record's
+                    # eager copy from the live send buffer, in place.
+                    cap.effect(
+                        ("msnap", src, dst, tag, _cap_ptr(arr), count),
+                        lambda r=rec, a=arr, c=count: np.copyto(r.data, a[:c]),
+                    )
+                    cap.on_reserve(transfer)
                 record_transfer(metrics, "mpi", self.engine.now, transfer)
                 rec.arrival_time = transfer.delivered
                 # The sender's buffer is free once the payload is on the wire.
@@ -280,7 +312,18 @@ class MessageEngine:
                 san = self.engine.sanitizer
                 if san is not None:
                     san.record(recv.buf, "w", 0, send.count, note=note)
-                as_array(recv.buf)[: send.count] = payload
+                rb = as_array(recv.buf)
+                rb[: send.count] = payload
+                cap = self.engine.capture
+                if cap is not None:
+                    # Replayable delivery: lands the (re-snapshotted) eager
+                    # payload; freshen=True so a pending in-flight delivery
+                    # is overwritten with current data after a takeover.
+                    cap.effect(
+                        ("mdlv", send.src, dst, send.tag, _cap_ptr(rb), send.count),
+                        lambda rb=rb, p=payload, c=send.count: np.copyto(rb[:c], p),
+                        freshen=True,
+                    )
                 recv.request.complete()
 
             if send.arrival_time <= now:
@@ -300,6 +343,14 @@ class MessageEngine:
                     san.record(send.src_buf, "r", 0, send.count,
                                note=f"send[{send.src}->{dst} tag={send.tag}]")
                 payload = as_array(send.src_buf, send.count).copy()
+                cap = self.engine.capture
+                if cap is not None:
+                    sb = as_array(send.src_buf, send.count)
+                    cap.effect(
+                        ("rsnap", send.src, dst, send.tag, _cap_ptr(sb), send.count),
+                        lambda p=payload, sb=sb: np.copyto(p, sb),
+                    )
+                    cap.on_reserve(transfer)
                 self.engine.schedule(
                     max(0.0, transfer.inject_done - self.engine.now),
                     send.request.complete,
@@ -315,7 +366,15 @@ class MessageEngine:
                     san = self.engine.sanitizer
                     if san is not None:
                         san.record(recv.buf, "w", 0, send.count, note=note)
-                    as_array(recv.buf)[: send.count] = payload
+                    rb = as_array(recv.buf)
+                    rb[: send.count] = payload
+                    cap = self.engine.capture
+                    if cap is not None:
+                        cap.effect(
+                            ("rdlv", send.src, dst, send.tag, _cap_ptr(rb), send.count),
+                            lambda rb=rb, p=payload, c=send.count: np.copyto(rb[:c], p),
+                            freshen=True,
+                        )
                     recv.request.complete()
 
                 self.engine.schedule(max(0.0, transfer.delivered - self.engine.now), deliver)

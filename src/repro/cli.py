@@ -50,6 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "(docs/SANITIZER.md); races make the command "
                              "exit nonzero")
 
+    def _capture_arg(sp):
+        sp.add_argument("--capture", default=None,
+                        choices=["off", "auto", "regions"],
+                        help="graph capture & replay for steady-state loops "
+                             "(docs/MODEL.md); replay counters are printed "
+                             "after the run")
+
     sp = sub.add_parser("machines", help="print the Table I machine models")
 
     sp = sub.add_parser(
@@ -75,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--checkpoint-every", type=int, default=8,
                     help="iterations between in-memory checkpoints (--resilient)")
     _sanitize_arg(sp)
+    _capture_arg(sp)
 
     sp = sub.add_parser("cg", help="run the Conjugate Gradient solver")
     common(sp)
@@ -84,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--gpus", type=int, default=8)
     sp.add_argument("--iters", type=int, default=30)
     _sanitize_arg(sp)
+    _capture_arg(sp)
 
     for name in ("latency", "bandwidth"):
         sp = sub.add_parser(name, help=f"OSU-style {name} benchmark (2 GPUs)")
@@ -141,6 +150,19 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _print_capture(report, out) -> None:
+    """Print the graph-capture summary when capture was requested."""
+    cap = report.stats.get("capture")
+    if not cap or cap.get("mode", "off") == "off":
+        return
+    if not cap.get("enabled", False):
+        print(f"capture: disabled ({cap.get('disabled')})", file=out)
+        return
+    print(f"capture[{cap['mode']}]: {cap['replays']} replay(s), "
+          f"{cap['iterations_skipped']} iteration(s) skipped, "
+          f"{cap['events_replayed']} events replayed", file=out)
+
+
 def _print_races(report, out) -> int:
     """Print sanitizer findings; returns the count (nonzero exit signal)."""
     races = getattr(report, "races", [])
@@ -188,10 +210,11 @@ def _cmd_jacobi(args, out) -> int:
         results = launch_variant(variant, cfg, args.gpus, machine=args.machine,
                                  collect=args.verify,
                                  fault_plan=args.fault_spec, fault_seed=args.fault_seed,
-                                 sanitize=args.sanitize)
+                                 sanitize=args.sanitize, capture=args.capture)
     t = max(r.time_per_iter for r in results)
     print(f"jacobi {cfg.nx}x{cfg.ny} x{args.gpus} GPUs [{variant}] on {args.machine}: "
           f"{t * 1e6:.2f} us/iter", file=out)
+    _print_capture(results, out)
     for when, kind, fields in results.faults:
         detail = " ".join(f"{k}={v}" for k, v in fields.items())
         print(f"  fault t={when:.6g}s {kind} {detail}", file=out)
@@ -214,12 +237,13 @@ def _cmd_cg(args, out) -> int:
     problem = make_problem(cfg)
     results = launch_variant(f"uniconn:{args.backend}", cfg, args.gpus,
                              machine=args.machine, problem=problem, collect=True,
-                             sanitize=args.sanitize)
+                             sanitize=args.sanitize, capture=args.capture)
     x = assemble_x(results, cfg.n)
     rel = final_residual(problem, x) / float(np.linalg.norm(problem.b))
     t = max(r.time_per_iter for r in results)
     print(f"cg n={cfg.n} x{args.gpus} GPUs [uniconn:{args.backend}] on {args.machine}: "
           f"{t * 1e6:.2f} us/iter, |b-Ax|/|b| = {rel:.2e}", file=out)
+    _print_capture(results, out)
     return 1 if _print_races(results, out) else 0
 
 

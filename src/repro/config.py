@@ -45,6 +45,13 @@ class UniconnConfig:
     # `repro report`. The default level never emits trace records, keeping
     # fast-path traces byte-identical. launch(obs=...) overrides this.
     obs_level: str = "metrics"
+    # Graph capture & replay (repro.sim.capture): "off" (default) never
+    # installs the capture runtime — traces stay byte-identical and the
+    # engine hot path pays a single attribute check. "regions" replays
+    # loops annotated via Coordinator.graph_begin/graph_end or
+    # repro.sim.loop_region; "auto" additionally runs unannotated-loop
+    # detection on Coordinator.launch_kernel. launch(capture=...) overrides.
+    capture: str = "off"
 
 
 _config = UniconnConfig()

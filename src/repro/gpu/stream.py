@@ -73,6 +73,11 @@ class TimedOp(StreamOp):
             ):
                 # An aborted stream's in-flight op still retires (timing),
                 # but its memory effects are discarded — see Stream.abort.
+                cap = self.engine.capture
+                if cap is not None:
+                    # Kernel/memcpy actions read live buffers, so the same
+                    # closure replays value-exactly (never freshened).
+                    cap.effect(("op", self.name), self._action)
                 self._action()
             self._complete()
 
@@ -96,6 +101,9 @@ class ExternalOp(StreamOp):
         if action is not None and not (
             self.stream is not None and self.stream.aborted
         ):
+            cap = self.engine.capture
+            if cap is not None:
+                cap.effect(("xop", self.name), action)
             action()
         self._complete()
 
@@ -143,6 +151,9 @@ class Stream:
         if san is not None:
             # Enqueue happens-before the op runs, even if it starts later.
             op._san_enq = san.snapshot_enqueue(op, self)
+        cap = self.engine.capture
+        if cap is not None:
+            cap.n_enq += 1
         self.engine.trace("stream.enqueue", stream=self.name, op=op.name,
                           gpu=self.device.gpu_id)
         if self._active is None:
@@ -170,6 +181,9 @@ class Stream:
     def _advance(self, finished: StreamOp) -> None:
         if finished is not self._active:
             raise GpuError(f"stream {self.name}: out-of-order completion of {finished.name}")
+        cap = self.engine.capture
+        if cap is not None:
+            cap.n_comp += 1
         self.engine.trace("stream.complete", stream=self.name, op=finished.name,
                           gpu=self.device.gpu_id)
         san = self.engine.sanitizer

@@ -18,7 +18,7 @@ Routing:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from ..errors import HardwareError
 from .link import Link, Path
@@ -149,11 +149,15 @@ class Cluster:
         self._paths[key] = path
         return path
 
+    def links(self) -> Iterator[Link]:
+        """All links materialised so far (lazy creation: only used ones)."""
+        for coll in (self._intra, self._loop, self._nic_out, self._nic_in):
+            yield from coll.values()
+
     def reset_links(self) -> None:
         """Clear all occupancy state (for reusing a cluster across runs)."""
-        for coll in (self._intra, self._loop, self._nic_out, self._nic_in):
-            for link in coll.values():
-                link.reset()
+        for link in self.links():
+            link.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

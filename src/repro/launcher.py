@@ -140,6 +140,7 @@ def launch(
     trace_out: Optional[str] = None,
     sanitize: Union[str, bool, None] = None,
     coll: Any = None,
+    capture: Optional[str] = None,
 ) -> "RunReport":
     """Run ``fn(ctx, *args)`` on ``n_ranks`` simulated ranks.
 
@@ -178,6 +179,14 @@ def launch(
     path to a dumped table) replays saved selections. The default (None)
     honours the ``REPRO_COLL_TABLE`` environment variable, else leaves
     every backend on its legacy algorithm — byte-identical traces.
+
+    ``capture`` selects graph capture & replay (:mod:`repro.sim.capture`;
+    ``"off"``/``"auto"``/``"regions"``, default from
+    ``UniconnConfig.capture``): annotated steady-state loops are recorded
+    into a replay IR and, once their fingerprint stabilizes, replayed as a
+    fused pre-resolved schedule with byte-identical traces. Counters land
+    in ``report.stats["capture"]``. Fault injection or the sanitizer
+    disable capture for the whole run (live execution, reason recorded).
 
     ``fault_plan`` (a :class:`~repro.sim.FaultPlan` or a spec string for
     ``FaultPlan.parse``) installs deterministic fault injection seeded by
@@ -223,6 +232,23 @@ def launch(
         tracer.install(engine)
     cluster = Cluster(spec, n_nodes)
     injector = _make_injector(engine, cluster, fault_plan, fault_seed)
+    if capture is None:
+        capture = get_config().capture
+    from .sim.capture import CAPTURE_MODES, CaptureRuntime
+
+    if capture not in CAPTURE_MODES:
+        raise ValueError(f"unknown capture mode {capture!r} (off|auto|regions)")
+    cap_rt = None
+    capture_blocked = None
+    if capture != "off":
+        # Nondeterministic machinery and replay don't mix: live fallback.
+        if injector is not None:
+            capture_blocked = "fault-injector"
+        elif engine.sanitizer is not None:
+            capture_blocked = "sanitizer"
+        else:
+            cap_rt = CaptureRuntime(engine, capture)
+            engine.capture = cap_rt
     job = Job(engine, cluster, n_ranks, placement=placement)
 
     def body(rank: int) -> Any:
@@ -247,6 +273,18 @@ def launch(
                 report.stats["races_dropped"] = engine.sanitizer.dropped
         report.stats.update(engine.stats.as_dict())
         report.stats["virtual_time"] = engine.now
+        if cap_rt is not None:
+            report.stats["capture"] = cap_rt.stats_dict()
+        else:
+            report.stats["capture"] = {
+                "mode": capture,
+                "enabled": False,
+                "disabled": capture_blocked,
+                "replays": 0,
+                "events_replayed": 0,
+                "iterations_skipped": 0,
+                "replay_host_seconds": 0.0,
+            }
         report.metrics = engine.metrics
         if injector is not None:
             report.faults = list(injector.log)

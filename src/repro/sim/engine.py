@@ -98,12 +98,15 @@ class EngineStats:
 class Timer:
     """A cancellable callback scheduled at an absolute virtual time."""
 
-    __slots__ = ("when", "callback", "cancelled")
+    __slots__ = ("when", "callback", "cancelled", "cap")
 
     def __init__(self, when: float, callback: Callable[[], None]):
         self.when = when
         self.callback = callback
         self.cancelled = False
+        # Capture tag (parent entry, delay, order) — set by the graph
+        # capture runtime when one is installed (see repro.sim.capture).
+        self.cap = None
 
     def cancel(self) -> None:
         """Prevent the timer's callback from firing."""
@@ -233,6 +236,15 @@ class Engine:
         # engine installed: backends pay one attribute check and stay on
         # their legacy code paths, so default traces are byte-identical.
         self.coll: Optional[Any] = None
+        # Graph capture & replay runtime (see repro.sim.capture). None —
+        # the default — keeps every hook at one attribute check, so
+        # uncaptured runs schedule and trace exactly as before.
+        self.capture: Optional[Any] = None
+        # Components holding *absolute* virtual-time state (message queues
+        # with arrival times, link occupancy) register a shifter here; a
+        # replay takeover calls each with the span the clock jumped so that
+        # stale anchors land where a live run would have put them.
+        self.time_shift_hooks: List[Callable[[float], None]] = []
 
     # ------------------------------------------------------------------ #
     # Public API used by simulated code.
@@ -248,6 +260,10 @@ class Engine:
         teardown on revoke. Returns the new epoch.
         """
         self.fence_epoch += 1
+        if self.capture is not None:
+            # Teardown invalidates in-flight structure; replaying across a
+            # revocation could resurrect deliveries the fence dropped.
+            self.capture.disable("revoke")
         return self.fence_epoch
 
     def spawn(self, fn: Callable[[], Any], name: str = "task") -> Task:
@@ -257,6 +273,8 @@ class Engine:
         task = Task(self, fn, name)
         if self.sanitizer is not None:
             self.sanitizer.on_spawn(task)
+        if self.capture is not None:
+            self.capture.n_spawn += 1
         self._tasks.add(task)
         self.stats.tasks_spawned += 1
         task._thread.start()
@@ -287,6 +305,8 @@ class Engine:
         if self.sanitizer is not None:
             callback = self.sanitizer.wrap_callback(callback)
         timer = Timer(self.now + delay, callback)
+        if self.capture is not None:
+            self.capture.on_schedule(timer, delay)
         self._seq += 1
         heapq.heappush(self._heap, (timer.when, self._seq, timer))
         return timer
@@ -395,6 +415,8 @@ class Engine:
         """Emit a trace record if a hook is installed."""
         if self.trace_hook is not None:
             self.trace_hook(kind, t=self.now, **fields)
+            if self.capture is not None:
+                self.capture.on_record(kind, fields)
 
     def next_seq(self, kind: str) -> int:
         """Monotonic per-kind sequence numbers, scoped to this engine.
@@ -467,7 +489,13 @@ class Engine:
                     continue
                 if when > self.now:
                     self.now = when
-                timer.callback()
+                cap = self.capture
+                if cap is not None:
+                    cap.on_fire(timer)
+                    timer.callback()
+                    cap.on_fired()
+                else:
+                    timer.callback()
                 stats.timers_fired += 1
                 fired = True
             if fired:

@@ -100,6 +100,91 @@ def test_environment_exit_skips_finalize_on_error():
     assert launch(run, 2) == ["unwound", "unwound"]
 
 
+# --------------------------------------------------------------------------- #
+# The unified app launch surface: one keyword contract for every app.
+# --------------------------------------------------------------------------- #
+
+# Every run option an app launcher forwards to repro.launcher.launch. The
+# three surfaces must agree exactly — tooling (chaos sweep, benchmarks,
+# CLI) drives any app with the same keyword set.
+RUN_OPTION_KEYWORDS = {
+    "machine", "collect", "stats_out", "tracer", "fault_plan", "fault_seed",
+    "obs", "trace_out", "sanitize", "coll", "capture",
+}
+
+
+def _launch_surfaces():
+    import inspect
+
+    from repro.apps.cg import launch_variant as cg_launch
+    from repro.apps.jacobi import launch_variant as jacobi_launch
+    from repro.apps.jacobi2d import launch_2d
+
+    # (fn, positional head, surface-specific extras)
+    return [
+        (jacobi_launch, ("variant", "cfg", "nranks"), set()),
+        (cg_launch, ("variant", "cfg", "nranks"), {"problem"}),
+        (launch_2d, ("cfg", "nranks"), {"backend", "launch_mode"}),
+    ]
+
+
+def test_app_launchers_share_one_keyword_contract():
+    """jacobi.launch_variant / cg.launch_variant / jacobi2d.launch_2d:
+    identical run-option keywords, all keyword-only after the positional
+    head (the legacy positional spelling only survives via *legacy)."""
+    import inspect
+
+    for fn, head, extras in _launch_surfaces():
+        sig = inspect.signature(fn)
+        params = list(sig.parameters.values())
+        names = [p.name for p in params]
+        assert tuple(names[: len(head)]) == head, fn.__qualname__
+        positional = [p.name for p in params
+                      if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)]
+        assert positional == list(head), (
+            f"{fn.__qualname__}: only {head} may be positional, got {positional}"
+        )
+        kwonly = {p.name for p in params if p.kind == p.KEYWORD_ONLY}
+        assert kwonly == RUN_OPTION_KEYWORDS | extras, (
+            f"{fn.__qualname__}: keyword set diverged: "
+            f"{sorted(kwonly ^ (RUN_OPTION_KEYWORDS | extras))}"
+        )
+
+
+def test_app_positional_options_warn_once_and_still_work():
+    from repro.apps.jacobi import JacobiConfig, launch_variant
+
+    _clear("jacobi.launch_variant.positional")
+    cfg = JacobiConfig(nx=32, ny=34, iters=2, warmup=0)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DeprecationWarning)
+        report = launch_variant("mpi-native", cfg, 2, "perlmutter", True)
+    msgs = [str(w.message) for w in caught
+            if issubclass(w.category, DeprecationWarning)]
+    assert len(msgs) == 1 and "positional" in msgs[0]
+    assert len(report) == 2
+    assert report[0].interior is not None  # positional collect=True honoured
+
+    # Keyword spelling of the same run never warns.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        launch_variant("mpi-native", cfg, 2, machine="perlmutter", collect=True)
+
+
+def test_app_stats_out_is_deprecated_alias():
+    from repro.apps.jacobi import JacobiConfig, launch_variant
+
+    _clear("launch_variant.stats_out")
+    cfg = JacobiConfig(nx=32, ny=34, iters=2, warmup=0)
+    stats = {}
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DeprecationWarning)
+        report = launch_variant("mpi-native", cfg, 2, stats_out=stats)
+    assert [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert stats == report.stats
+    assert "virtual_time" in report.stats
+
+
 def test_launch_stats_out_is_deprecated_alias():
     _clear("launch.stats_out")
     stats = {}

@@ -23,15 +23,14 @@ CFG = JacobiConfig(nx=96, ny=98, iters=3, warmup=1)
 
 
 def _traced_run(monkeypatch, variant: str, fast: bool, fault_plan=None,
-                sanitize=None, coll=None):
+                sanitize=None, coll=None, capture=None, cfg=CFG):
     monkeypatch.setenv("REPRO_SIM_FASTPATH", "1" if fast else "0")
     tracer = Tracer()
-    stats: dict = {}
-    results = launch_variant(variant, CFG, 8, stats_out=stats, tracer=tracer,
+    results = launch_variant(variant, cfg, 8, tracer=tracer,
                              fault_plan=fault_plan, sanitize=sanitize,
-                             coll=coll)
+                             coll=coll, capture=capture)
     trace = json.dumps({"traceEvents": to_chrome_trace(tracer)}, sort_keys=True)
-    return results, stats, trace
+    return results, results.stats, trace
 
 
 @pytest.mark.parametrize(
@@ -133,6 +132,76 @@ def test_trace_byte_identical_fast_vs_slow_with_coll_policy(monkeypatch):
         monkeypatch, "gpuccl-native", fast=False, coll="auto")
     assert stats_fast["virtual_time"] == stats_slow["virtual_time"]
     assert trace_fast == trace_slow
+
+
+# --------------------------------------------------------------------------- #
+# Graph capture & replay (repro.sim.capture).
+# --------------------------------------------------------------------------- #
+
+# Long enough past the settling transient for the detector to admit replay
+# (three consecutive bit-identical periods, then whole skipped spans).
+CFG_STEADY = JacobiConfig(nx=96, ny=98, iters=48, warmup=1)
+
+
+def test_trace_byte_identical_capture_off_vs_regions(monkeypatch):
+    """Replay is invisible in virtual time: a captured run that skips whole
+    iterations as fused pre-resolved schedules must produce the byte-identical
+    Chrome trace — and the bit-identical clock — of an uncaptured run."""
+    _, stats_off, trace_off = _traced_run(monkeypatch, "mpi-native", fast=True,
+                                          capture="off", cfg=CFG_STEADY)
+    _, stats_on, trace_on = _traced_run(monkeypatch, "mpi-native", fast=True,
+                                        capture="regions", cfg=CFG_STEADY)
+    cap = stats_on["capture"]
+    assert cap["enabled"] and cap["disabled"] is None
+    assert cap["replays"] >= 1
+    assert cap["events_replayed"] > 0
+    assert cap["iterations_skipped"] > 0
+    assert stats_off["virtual_time"] == stats_on["virtual_time"]
+    assert trace_off == trace_on
+
+
+def test_trace_byte_identical_capture_fast_vs_slow(monkeypatch):
+    """Capture + replay must respect the fast path's own determinism
+    contract: both scheduler modes replay and still trace identically."""
+    _, stats_fast, trace_fast = _traced_run(monkeypatch, "mpi-native", fast=True,
+                                            capture="regions", cfg=CFG_STEADY)
+    _, stats_slow, trace_slow = _traced_run(monkeypatch, "mpi-native", fast=False,
+                                            capture="regions", cfg=CFG_STEADY)
+    assert stats_fast["capture"]["replays"] >= 1
+    assert stats_slow["capture"]["replays"] >= 1
+    assert stats_fast["virtual_time"] == stats_slow["virtual_time"]
+    assert trace_fast == trace_slow
+
+
+def test_capture_disabled_by_fault_injector(monkeypatch):
+    """Any fault plan — even one whose windows never overlap the job —
+    forces live execution: replay and nondeterministic machinery don't mix.
+    The run still traces byte-identically to a plain uncaptured run."""
+    _, stats_plain, trace_plain = _traced_run(monkeypatch, "mpi-native",
+                                              fast=True, cfg=CFG_STEADY)
+    inert = "drop,tag=0,start=1e6,end=2e6;straggler,gpu=0,factor=1"
+    _, stats_cap, trace_cap = _traced_run(monkeypatch, "mpi-native", fast=True,
+                                          fault_plan=inert, capture="regions",
+                                          cfg=CFG_STEADY)
+    cap = stats_cap["capture"]
+    assert cap["enabled"] is False
+    assert cap["disabled"] == "fault-injector"
+    assert cap["replays"] == 0 and cap["events_replayed"] == 0
+    assert stats_plain["virtual_time"] == stats_cap["virtual_time"]
+    assert trace_plain == trace_cap
+
+
+def test_capture_disabled_by_sanitizer(monkeypatch):
+    """The sanitizer observes every event; skipping events would blind it,
+    so ``sanitize=`` forces the capture bailout (live fallback)."""
+    results, stats, _ = _traced_run(monkeypatch, "mpi-native", fast=True,
+                                    sanitize="race", capture="regions",
+                                    cfg=CFG_STEADY)
+    cap = stats["capture"]
+    assert cap["enabled"] is False
+    assert cap["disabled"] == "sanitizer"
+    assert cap["replays"] == 0
+    assert results.races == []
 
 
 def test_fastpath_env_toggle(monkeypatch):

@@ -117,9 +117,8 @@ def test_link_degradation_scales_serialization():
 
 def test_injected_link_outage_slows_the_job():
     def vt(plan):
-        stats = {}
-        launch_variant("mpi-native", CFG, 4, stats_out=stats, fault_plan=plan)
-        return stats["virtual_time"]
+        report = launch_variant("mpi-native", CFG, 4, fault_plan=plan)
+        return report.stats["virtual_time"]
 
     healthy = vt(None)
     slowed = vt(f"down,link=nvlink*,start=1e-5,end={healthy:.9g}")
@@ -132,10 +131,9 @@ def test_injected_link_outage_slows_the_job():
 
 
 def _faulty_run(spec, seed):
-    stats = {}
     results = launch_variant("mpi-resilient", CFG, 4, collect=True,
-                             stats_out=stats, fault_plan=spec, fault_seed=seed)
-    return results, stats
+                             fault_plan=spec, fault_seed=seed)
+    return results, results.stats
 
 
 def test_same_seed_reproduces_schedule_and_timing():
@@ -156,8 +154,7 @@ def test_different_seed_changes_probabilistic_schedule():
 
 
 def test_empty_plan_installs_nothing():
-    stats = {}
-    launch_variant("mpi-native", CFG, 4, stats_out=stats, fault_plan="")
+    stats = launch_variant("mpi-native", CFG, 4, fault_plan="").stats
     assert "faults" not in stats
 
 
@@ -167,12 +164,11 @@ def test_empty_plan_installs_nothing():
 
 
 def test_transient_drops_recover_via_backoff():
-    healthy_stats = {}
-    healthy = launch_variant("mpi-native", CFG, 4, collect=True,
-                             stats_out=healthy_stats)
-    faulty_stats = {}
+    healthy = launch_variant("mpi-native", CFG, 4, collect=True)
+    healthy_stats = healthy.stats
     faulty = launch_variant("mpi-native", CFG, 4, collect=True,
-                            stats_out=faulty_stats, fault_plan=TRANSIENT_DROPS)
+                            fault_plan=TRANSIENT_DROPS)
+    faulty_stats = faulty.stats
     ref = serial_jacobi(CFG, iters=CFG.warmup + CFG.iters)
     assert np.array_equal(assemble(CFG, faulty), ref)
     # Retransmission spent backoff time: at least one retry interval.
@@ -289,9 +285,8 @@ def test_deadlock_error_reports_time_and_pending_ops():
 
 def test_straggler_gpu_slows_virtual_time():
     def vt(plan):
-        stats = {}
-        launch_variant("mpi-native", CFG, 4, stats_out=stats, fault_plan=plan)
-        return stats["virtual_time"]
+        report = launch_variant("mpi-native", CFG, 4, fault_plan=plan)
+        return report.stats["virtual_time"]
 
     assert vt("straggler,gpu=0,factor=4") > vt(None)
 

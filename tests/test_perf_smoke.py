@@ -16,9 +16,7 @@ CFG = JacobiConfig(nx=96, ny=98, iters=3, warmup=1)
 
 def _stats(monkeypatch, variant: str, fast: bool) -> dict:
     monkeypatch.setenv("REPRO_SIM_FASTPATH", "1" if fast else "0")
-    stats: dict = {}
-    launch_variant(variant, CFG, 8, stats_out=stats)
-    return stats
+    return launch_variant(variant, CFG, 8).stats
 
 
 @pytest.mark.perf
@@ -40,6 +38,5 @@ def test_fast_path_reduces_scheduler_traffic(monkeypatch, variant):
 @pytest.mark.perf
 def test_fast_path_is_the_default(monkeypatch):
     monkeypatch.delenv("REPRO_SIM_FASTPATH", raising=False)
-    stats: dict = {}
-    launch_variant("mpi-native", CFG, 8, stats_out=stats)
+    stats = launch_variant("mpi-native", CFG, 8).stats
     assert stats["inline_resumes"] > 0

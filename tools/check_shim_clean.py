@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Assert the tree itself no longer uses deprecated launch-surface shims.
+
+``make check-deprecations`` runs this after the warning-as-error pytest
+lane. The pytest lane proves the shims *warn*; this proves nothing in the
+repo still *calls* them: every in-repo caller of ``stats_out=`` (and the
+positional app-launch spellings) has been migrated to ``RunReport.stats``
+and keyword arguments. Shim definitions and the tests that exercise them
+on purpose are allowlisted.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Directories whose Python files must be shim-clean.
+SCAN = ("src", "tests", "benchmarks", "examples", "tools")
+
+# Files that define a shim (the deprecated keyword still exists there) or
+# test that the shim warns. Everything else must not mention stats_out at
+# all — neither passing it nor accepting it.
+ALLOW = {
+    "src/repro/launcher.py",          # launch(stats_out=...) shim definition
+    "src/repro/apps/jacobi/__init__.py",
+    "src/repro/apps/cg/__init__.py",
+    "src/repro/apps/jacobi2d/solver.py",
+    "tests/core/test_api_shims.py",   # exercises the shims deliberately
+    "tools/check_shim_clean.py",      # this checker
+}
+
+PATTERNS = (
+    # Passing or accepting the retired stats_out parameter.
+    (re.compile(r"\bstats_out\b"), "stats_out (use RunReport.stats)"),
+)
+
+
+def main() -> int:
+    bad = []
+    for top in SCAN:
+        for path in sorted((ROOT / top).rglob("*.py")):
+            rel = path.relative_to(ROOT).as_posix()
+            if rel in ALLOW:
+                continue
+            text = path.read_text(encoding="utf-8")
+            for lineno, line in enumerate(text.splitlines(), 1):
+                for pat, what in PATTERNS:
+                    if pat.search(line):
+                        bad.append(f"{rel}:{lineno}: {what}: {line.strip()}")
+    if bad:
+        print("deprecated shim usage found in the tree:", file=sys.stderr)
+        for entry in bad:
+            print(f"  {entry}", file=sys.stderr)
+        return 1
+    print(f"shim-clean: {', '.join(SCAN)} free of deprecated launch-surface usage")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
