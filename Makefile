@@ -68,18 +68,25 @@ chaos-matrix:
 	$(PYTHON) -m benchmarks.chaos_sweep --json chaos_matrix.json
 
 # Collective algorithm engine gate (docs/COLLECTIVES.md): the schedule /
-# tuner / cross-backend equivalence matrix, a schema-validated table dump,
-# then the smoke-scale tuned-vs-ring sweep checked exactly against the
-# committed BENCH_coll.json (virtual times are deterministic).
+# tuner / cross-backend equivalence matrix (including the protocol-pinned
+# ring+LL/tree+LL/2/recdbl+Simple/2 selections), the byte-identity
+# default-trace invariants, a schema-validated table dump, then the
+# smoke-scale tuned-vs-ring and tuned-vs-Simple-only sweeps checked
+# exactly against the committed BENCH_coll.json (virtual times are
+# deterministic; the coll_protocol_* rows gate the LL small-message
+# payoff at >= 1.5x).
 coll-smoke:
 	$(PYTHON) -m pytest -q tests/coll
+	$(PYTHON) -m pytest -q tests/sim/test_fastpath.py -k "coll or capture"
 	$(PYTHON) -m repro tune --coll --gpus 64 --dump /tmp/coll_table.json
 	$(PYTHON) benchmarks/bench_coll.py --smoke --check
 
-# Full-scale collective benchmark; rewrites the committed baseline.
+# Full-scale collective benchmark; rewrites the committed baseline, then
+# re-checks it — the tuned-beats-ring and coll_protocol_* >= 1.5x gates
+# still apply to freshly written numbers.
 bench-coll:
-	$(PYTHON) benchmarks/bench_coll.py --update
-	$(PYTHON) benchmarks/bench_coll.py --smoke --update
+	$(PYTHON) benchmarks/bench_coll.py --update --check
+	$(PYTHON) benchmarks/bench_coll.py --smoke --update --check
 
 # Full-scale wall-clock benchmark; rewrites the committed baseline.
 bench-wallclock:

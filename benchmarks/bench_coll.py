@@ -71,17 +71,33 @@ def run(scale: str) -> dict:
             }
             for size in cfg.sizes
         }
+        # Protocol rows: the full tuner (algorithm x protocol x channels)
+        # against the NCCL legacy default — bandwidth-optimized ring on
+        # the Simple protocol, one channel.  Small messages are where LL
+        # pays off (no rendezvous round-trip); the check gate requires
+        # the tuned small-message AllReduce to win by >= 1.5x.
+        simple = run_collective("gpuccl", kind, cfg, machine=MACHINE,
+                                gpus=GPUS, coll="ring+Simple")
+        results[f"coll_protocol_{kind}"] = {
+            str(size): {
+                "simple_s": simple[size],
+                "tuned_s": tuned[size],
+                "speedup": simple[size] / tuned[size],
+            }
+            for size in cfg.sizes
+        }
     return results
 
 
 def render(results: dict, out=sys.stdout) -> None:
     for kind, rows in results.items():
+        base = "simple" if kind.startswith("coll_protocol_") else "ring"
         print(f"\ngpuccl {kind} @{GPUS} GPUs on {MACHINE} (virtual time/call):",
               file=out)
-        print(f"{'bytes':>10s} {'ring':>12s} {'tuned':>12s} {'speedup':>8s}",
+        print(f"{'bytes':>10s} {base:>12s} {'tuned':>12s} {'speedup':>8s}",
               file=out)
         for size, row in rows.items():
-            print(f"{int(size):>10d} {row['ring_s'] * 1e6:>10.2f}us "
+            print(f"{int(size):>10d} {row[base + '_s'] * 1e6:>10.2f}us "
                   f"{row['tuned_s'] * 1e6:>10.2f}us {row['speedup']:>7.2f}x",
                   file=out)
 
@@ -90,7 +106,17 @@ def check(results: dict, scale: str) -> int:
     failures = []
     for kind, rows in results.items():
         if not any(row["speedup"] > 1.0 for row in rows.values()):
-            failures.append(f"{kind}: tuned never beats fixed ring")
+            failures.append(f"{kind}: tuned never beats the baseline path")
+    # Protocol fidelity gate: LL's rendezvous-free small-message path must
+    # buy the tuned AllReduce >= 1.5x over Simple-only at the smallest size.
+    proto_ar = results.get("coll_protocol_all_reduce")
+    if proto_ar:
+        smallest = min(proto_ar, key=int)
+        sp = proto_ar[smallest]["speedup"]
+        if sp < 1.5:
+            failures.append(
+                f"coll_protocol_all_reduce@{smallest}B: tuned only {sp:.2f}x "
+                "over Simple-only (need >= 1.5x)")
     if BASELINE_PATH.exists():
         doc = json.loads(BASELINE_PATH.read_text())
         baseline = doc.get("scales", {}).get(scale)
@@ -104,7 +130,10 @@ def check(results: dict, scale: str) -> int:
                     if ref is None:
                         failures.append(f"{kind}/{size}: not in baseline")
                         continue
-                    for field in ("ring_s", "tuned_s"):
+                    fields = ("simple_s", "tuned_s") \
+                        if kind.startswith("coll_protocol_") \
+                        else ("ring_s", "tuned_s")
+                    for field in fields:
                         a, b = row[field], ref[field]
                         if abs(a - b) > REL_TOLERANCE * max(abs(a), abs(b)):
                             failures.append(

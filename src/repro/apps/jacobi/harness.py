@@ -101,7 +101,10 @@ def measure_loop(
     start.record(stream)
     i = 0
     while i < cfg.iters:
-        i += region.boundary(rank_ctx.rank, i, cfg.iters)
+        # The stream lets a fully-async loop (whose host-side marks all
+        # collapse into one timer window) fall back to device-order
+        # boundary markers instead of disabling capture.
+        i += region.boundary(rank_ctx.rank, i, cfg.iters, stream=stream)
         if i >= cfg.iters:
             break
         step()

@@ -31,19 +31,31 @@ class _CollSlot:
         self.op = op
         self.root = root
         self.nranks = nranks
-        self.algorithm = algorithm
+        # The selection may be a CollSelection carrying protocol/channel
+        # knobs; the slot keys on all three so a rank arriving with a
+        # different wire protocol is a call-order mismatch, same as a
+        # different algorithm.
+        self.algorithm = str(algorithm)
+        self.protocol = getattr(algorithm, "protocol", None)
+        self.channels = getattr(algorithm, "channels", 1)
         self.records: Dict[int, tuple] = {}
 
     def arrive(self, shared, rank: int, op_handle, send_snapshot, recv_buf,
                kind: str, count: int, op: Optional[str], root: Optional[int],
                algorithm: str) -> None:
-        if (kind, count, op, root, algorithm) != (
-                self.kind, self.count, self.op, self.root, self.algorithm):
+        protocol = getattr(algorithm, "protocol", None)
+        channels = getattr(algorithm, "channels", 1)
+        if (kind, count, op, root, str(algorithm), protocol, channels) != (
+                self.kind, self.count, self.op, self.root, self.algorithm,
+                self.protocol, self.channels):
             raise GpucclError(
                 f"mismatched collective on rank {rank}: "
-                f"got {kind}(count={count}, op={op}, root={root}, algorithm={algorithm}), "
+                f"got {kind}(count={count}, op={op}, root={root}, "
+                f"algorithm={algorithm}, protocol={protocol}, "
+                f"channels={channels}), "
                 f"expected {self.kind}(count={self.count}, op={self.op}, "
-                f"root={self.root}, algorithm={self.algorithm})"
+                f"root={self.root}, algorithm={self.algorithm}, "
+                f"protocol={self.protocol}, channels={self.channels})"
             )
         if rank in self.records:
             raise GpucclError(f"rank {rank} joined collective twice")
@@ -58,9 +70,11 @@ class _CollSlot:
     def _fire(self, shared) -> None:
         itemsize = next(iter(self.records.values()))[1].dtype.itemsize
         nbytes = self.count * itemsize
-        # "ring" reproduces the historical RingModel timing exactly; any
-        # other catalogue algorithm is priced over its generated schedule.
-        duration = shared.ring.duration(self.kind, nbytes, self.algorithm)
+        # "ring" with no explicit protocol reproduces the historical
+        # RingModel timing exactly; any other selection is priced over its
+        # generated schedule with the chosen wire protocol and rail count.
+        duration = shared.ring.duration(self.kind, nbytes, self.algorithm,
+                                        self.protocol, self.channels)
         epoch = shared.engine.fence_epoch
 
         def complete() -> None:
@@ -131,7 +145,10 @@ def _submit(comm, stream: Stream, kind: str, send: BufferLike, recv: Optional[Bu
     metrics = comm.engine.metrics
     if metrics.enabled:
         nbytes = int(count * as_array(send).dtype.itemsize)
-        metrics.inc("gpuccl_collectives_total", kind=kind, algorithm=algorithm,
+        metrics.inc("gpuccl_collectives_total", kind=kind,
+                    algorithm=str(algorithm),
+                    protocol=getattr(algorithm, "protocol", None) or "-",
+                    channels=str(getattr(algorithm, "channels", 1)),
                     size=size_class(nbytes), rank=comm.rank)
     comm._coll_seq += 1
     seq = comm._coll_seq

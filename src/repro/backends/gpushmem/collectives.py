@@ -47,7 +47,11 @@ class _Slot:
         self.count = count
         self.op = op
         self.root = root
-        self.algorithm = algorithm
+        # Selections carry protocol/channel knobs for the put-with-signal
+        # rounds; the slot keys on all three (see check()).
+        self.algorithm = str(algorithm)
+        self.protocol = getattr(algorithm, "protocol", None)
+        self.channels = getattr(algorithm, "channels", 1)
         self.records: Dict[int, tuple] = {}
         self.finishers: List = []
         from ...sim import SimEvent
@@ -69,12 +73,17 @@ class _Slot:
 
     def check(self, kind: str, count: int, op: Optional[str], root: Optional[int],
               algorithm: str) -> None:
-        if (kind, count, op, root, algorithm) != (
-                self.kind, self.count, self.op, self.root, self.algorithm):
+        protocol = getattr(algorithm, "protocol", None)
+        channels = getattr(algorithm, "channels", 1)
+        if (kind, count, op, root, str(algorithm), protocol, channels) != (
+                self.kind, self.count, self.op, self.root, self.algorithm,
+                self.protocol, self.channels):
             raise GpushmemError(
                 f"mismatched team collective: {kind}(count={count}, op={op}, root={root}, "
-                f"algorithm={algorithm}) vs {self.kind}(count={self.count}, op={self.op}, "
-                f"root={self.root}, algorithm={self.algorithm})"
+                f"algorithm={algorithm}, protocol={protocol}, channels={channels}) "
+                f"vs {self.kind}(count={self.count}, op={self.op}, "
+                f"root={self.root}, algorithm={self.algorithm}, "
+                f"protocol={self.protocol}, channels={self.channels})"
             )
 
     def _fire(self) -> None:
@@ -83,10 +92,12 @@ class _Slot:
             if snap is not None:
                 itemsize = snap.dtype.itemsize
                 break
-        # "tree" is the historical put-tree formula; other catalogue
-        # algorithms are priced over their generated schedules.
+        # "tree" with no explicit protocol is the historical put-tree
+        # formula; any other selection is priced over its generated
+        # schedule with the chosen wire protocol and rail count.
         duration = self.team.model.duration(self.kind, self.count * itemsize,
-                                            self.algorithm)
+                                            self.algorithm, self.protocol,
+                                            self.channels)
 
         epoch = self.world.engine.fence_epoch
 
@@ -224,8 +235,13 @@ class ShmemTeam:
                     algorithm = selected
         metrics = engine.metrics
         if metrics.enabled:
+            legacy_tree = (algorithm == "tree"
+                           and getattr(algorithm, "protocol", None) is None)
+            algo_label = "put-tree" if legacy_tree else str(algorithm)
             metrics.inc("shmem_collectives_total", kind=kind,
-                        algorithm="put-tree" if algorithm == "tree" else algorithm,
+                        algorithm=algo_label,
+                        protocol=getattr(algorithm, "protocol", None) or "-",
+                        channels=str(getattr(algorithm, "channels", 1)),
                         team_size=self.size, rank=self.members[self.my_pe])
         slot = self._slot(kind, count, op, root, algorithm)
         n_snap = count if snapshot_count is None else snapshot_count

@@ -108,30 +108,45 @@ def _coll_topology(comm):
 
 def _select_schedule(comm, kind: str, count: int, itemsize: int,
                      root: int = 0):
-    """A generated Schedule when the engine policy picks a non-native
-    algorithm for this call, else None (stay on the legacy code path)."""
+    """``(Schedule, channels)`` when the engine policy picks a non-native
+    algorithm for this call, else None (stay on the legacy code path).
+
+    The selected channel count stripes every schedule message into that
+    many isend/irecv chunks (:func:`_run_schedule`); wire protocols are a
+    GPU-kernel concept and do not apply to MPI, so a selection's protocol
+    knob is ignored here.
+    """
     policy = comm.engine.coll
     if policy is None or comm.size <= 1:
         return None
-    algorithm = policy.select("mpi", kind, int(count * itemsize),
-                              _coll_topology(comm), engine=comm.engine)
-    if algorithm is None or algorithm == "native":
+    selected = policy.select("mpi", kind, int(count * itemsize),
+                             _coll_topology(comm), engine=comm.engine)
+    if selected is None or selected == "native":
         return None
     from ...coll import generate
 
-    return generate(algorithm, kind, comm.size, count,
-                    topo=_coll_topology(comm), root=root)
+    sched = generate(str(selected), kind, comm.size, count,
+                     topo=_coll_topology(comm), root=root)
+    if sched is None:
+        return None
+    return sched, max(1, int(getattr(selected, "channels", 1)))
 
 
-def _run_schedule(comm, sched, work: np.ndarray, op: Optional[str]) -> None:
+def _run_schedule(comm, sched, work: np.ndarray, op: Optional[str],
+                  channels: int = 1) -> None:
     """Execute one rank's step program of a Schedule over ``work``.
 
     A single collective tag covers every round: the matcher is FIFO per
     ordered (src, dst) pair and each round's messages balance exactly
     (validated by the pure-python executor in the tests), so a fast rank
     posting the next round early can never match a message across rounds.
+
+    ``channels > 1`` stripes each Send/Recv/RecvReduce into that many
+    chunks (balanced :func:`~repro.coll.schedule.chunk_layout`, identical
+    on both sides, so per-pair FIFO keeps chunk order); the data lands
+    bitwise where the unstriped program would put it.
     """
-    from ...coll.schedule import Copy, Recv, RecvReduce, Send
+    from ...coll.schedule import Copy, Recv, RecvReduce, Send, chunk_layout
 
     tag = comm._next_coll_tag()
     for steps in sched.rank_rounds(comm.rank):
@@ -145,14 +160,32 @@ def _run_schedule(comm, sched, work: np.ndarray, op: Optional[str]) -> None:
             if isinstance(st, Send):
                 view = work[st.offset:st.offset + st.length]
                 _stage(comm, view, st.length)
-                reqs.append(comm.isend(view, st.length, st.peer, tag))
+                if channels == 1:
+                    reqs.append(comm.isend(view, st.length, st.peer, tag))
+                else:
+                    for off, ln in chunk_layout(st.length, channels):
+                        if ln:
+                            reqs.append(comm.isend(view[off:off + ln], ln,
+                                                   st.peer, tag))
             elif isinstance(st, RecvReduce):
                 tmp = np.empty(st.length, work.dtype)
-                reqs.append(comm.irecv(tmp, st.length, st.peer, tag))
+                if channels == 1:
+                    reqs.append(comm.irecv(tmp, st.length, st.peer, tag))
+                else:
+                    for off, ln in chunk_layout(st.length, channels):
+                        if ln:
+                            reqs.append(comm.irecv(tmp[off:off + ln], ln,
+                                                   st.peer, tag))
                 reduce_recvs.append((st, tmp))
             elif isinstance(st, Recv):
                 view = work[st.offset:st.offset + st.length]
-                reqs.append(comm.irecv(view, st.length, st.peer, tag))
+                if channels == 1:
+                    reqs.append(comm.irecv(view, st.length, st.peer, tag))
+                else:
+                    for off, ln in chunk_layout(st.length, channels):
+                        if ln:
+                            reqs.append(comm.irecv(view[off:off + ln], ln,
+                                                   st.peer, tag))
                 plain_recvs.append(st)
             else:
                 copies.append(st)
@@ -168,7 +201,7 @@ def _run_schedule(comm, sched, work: np.ndarray, op: Optional[str]) -> None:
 
 
 def _execute_schedule(comm, sched, sendbuf, recvbuf, count: int,
-                      op: Optional[str], root: int) -> None:
+                      op: Optional[str], root: int, channels: int = 1) -> None:
     """Stage one rank's data through a host workspace, run the schedule,
     and write the result back into the caller's buffer.
 
@@ -186,7 +219,7 @@ def _execute_schedule(comm, sched, sendbuf, recvbuf, count: int,
         _record(comm, sendbuf, "r", 0, in_count, note)
     work = init_workspace(kind, r, p, count, as_array(sendbuf), root,
                           sched.workspace)
-    _run_schedule(comm, sched, work, op)
+    _run_schedule(comm, sched, work, op, channels)
     out = extract_output(kind, r, p, count, work, root)
     if out is not None:
         _record(comm, recvbuf, "w", 0, out.size, note)
@@ -210,10 +243,11 @@ def bcast(comm, buf: BufferLike, count: int, root: int) -> None:
     _check_root(p, root)
     if p == 1:
         return
-    sched = _select_schedule(comm, "broadcast", count,
-                             as_array(buf).dtype.itemsize, root)
-    if sched is not None:
-        _execute_schedule(comm, sched, buf, buf, count, None, root)
+    picked = _select_schedule(comm, "broadcast", count,
+                              as_array(buf).dtype.itemsize, root)
+    if picked is not None:
+        sched, channels = picked
+        _execute_schedule(comm, sched, buf, buf, count, None, root, channels)
         return
     tag = comm._next_coll_tag()
     vrank = (r - root) % p
@@ -256,10 +290,12 @@ def reduce(comm, sendbuf: BufferLike, recvbuf: Optional[BufferLike], count: int,
 
 
 def allreduce(comm, sendbuf: BufferLike, recvbuf: BufferLike, count: int, op: str) -> None:
-    sched = _select_schedule(comm, "all_reduce", count,
-                             as_array(sendbuf).dtype.itemsize)
-    if sched is not None:
-        _execute_schedule(comm, sched, sendbuf, recvbuf, count, op, 0)
+    picked = _select_schedule(comm, "all_reduce", count,
+                              as_array(sendbuf).dtype.itemsize)
+    if picked is not None:
+        sched, channels = picked
+        _execute_schedule(comm, sched, sendbuf, recvbuf, count, op, 0,
+                          channels)
         return
     reduce(comm, sendbuf, recvbuf, count, op, root=0)
     bcast(comm, recvbuf, count, root=0)
@@ -349,10 +385,12 @@ def scatterv(
 
 
 def allgather(comm, sendbuf: BufferLike, recvbuf: BufferLike, count: int) -> None:
-    sched = _select_schedule(comm, "all_gather", count,
-                             as_array(sendbuf).dtype.itemsize)
-    if sched is not None:
-        _execute_schedule(comm, sched, sendbuf, recvbuf, count, None, 0)
+    picked = _select_schedule(comm, "all_gather", count,
+                              as_array(sendbuf).dtype.itemsize)
+    if picked is not None:
+        sched, channels = picked
+        _execute_schedule(comm, sched, sendbuf, recvbuf, count, None, 0,
+                          channels)
         return
     p = comm.size
     counts = [count] * p
@@ -389,10 +427,12 @@ def reduce_scatter(comm, sendbuf: BufferLike, recvbuf: BufferLike,
         _record(comm, recvbuf, "w", 0, count, "reduce_scatter")
         as_array(recvbuf, count)[:count] = as_array(sendbuf, count)
         return
-    sched = _select_schedule(comm, "reduce_scatter", count,
-                             as_array(sendbuf).dtype.itemsize)
-    if sched is not None:
-        _execute_schedule(comm, sched, sendbuf, recvbuf, count, op, 0)
+    picked = _select_schedule(comm, "reduce_scatter", count,
+                              as_array(sendbuf).dtype.itemsize)
+    if picked is not None:
+        sched, channels = picked
+        _execute_schedule(comm, sched, sendbuf, recvbuf, count, op, 0,
+                          channels)
         return
     total = p * count
     if r == 0:

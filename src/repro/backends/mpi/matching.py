@@ -96,19 +96,18 @@ class MessageEngine:
     def _shift_time(self, span: float) -> None:
         """Translate absolute anchors after a replay takeover.
 
-        A queued eager send's ``arrival_time`` and every link's
-        ``busy_until`` are absolute virtual times; structural identity
-        means the live run would have re-created them exactly ``span``
-        later, so the takeover shifts them instead of re-simulating.
-        Without this a post-replay receive would see a steady-state
-        in-flight message as "already here" and skip the wire delay.
+        A queued eager send's ``arrival_time`` is an absolute virtual
+        time; structural identity means the live run would have
+        re-created it exactly ``span`` later, so the takeover shifts it
+        instead of re-simulating.  Without this a post-replay receive
+        would see a steady-state in-flight message as "already here" and
+        skip the wire delay.  (Link ``busy_until`` anchors are shifted
+        by the launcher's cluster-wide hook, not per-world here.)
         """
         for pending in self._sends.values():
             for send in pending:
                 if not send.matched:
                     send.arrival_time += span
-        for link in self.cluster.links():
-            link.busy_until += span
 
     # ------------------------------------------------------------------ #
 

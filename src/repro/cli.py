@@ -275,11 +275,16 @@ def _cmd_tune_coll(args, out) -> int:
     for backend in tuner.backends():
         for kind in table.entries[sig][backend]:
             bands = table.entries[sig][backend][kind]
-            desc = ", ".join(
-                f"{algo}" + (f" <= {ceiling} B" if ceiling is not None else "")
-                for ceiling, algo in bands
-            )
-            print(f"  {backend:9s} {kind:15s} {desc}", file=out)
+            parts = []
+            for ceiling, algo, protocol, channels in bands:
+                name = algo
+                if protocol is not None:
+                    name += f"+{protocol}"
+                if channels != 1:
+                    name += f"/{channels}"
+                parts.append(
+                    name + (f" < {ceiling} B" if ceiling is not None else ""))
+            print(f"  {backend:9s} {kind:15s} {', '.join(parts)}", file=out)
     dest = args.dump or args.output
     if dest:
         table.save(dest)

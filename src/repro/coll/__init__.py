@@ -14,18 +14,29 @@ import it.
 
 from .algorithms import (ALGORITHMS, DEFAULT_ALGORITHM, candidates, generate,
                          is_applicable)
-from .cost import Topology, schedule_cost
+from .cost import (CHANNEL_COUNTS, PROTOCOL_SPECS, PROTOCOLS, ProtocolSpec,
+                   Topology, protocol_spec, schedule_cost)
 from .models import CANONICAL_SHMEM_KINDS, GpucclModel, MpiModel, ShmemModel
 from .schedule import (KINDS, Copy, Recv, RecvReduce, Schedule, Send,
                        chunk_layout, execute_schedule, reference_collective,
                        ring_neighbors, ring_path_params)
-from .schema import SCHEMA_NAME, SCHEMA_VERSION, validate_table
-from .tuner import ENV_TABLE, CollPolicy, CollTable, CollTuner, resolve_policy
+from .schema import (SCHEMA_NAME, SCHEMA_VERSION, CollTableError, migrate_v1,
+                     validate_table)
+from .tuner import (ENV_TABLE, CollPolicy, CollSelection, CollTable,
+                    CollTuner, resolve_policy)
 
 __all__ = [
     "ALGORITHMS",
     "DEFAULT_ALGORITHM",
     "CANONICAL_SHMEM_KINDS",
+    "CHANNEL_COUNTS",
+    "PROTOCOLS",
+    "PROTOCOL_SPECS",
+    "ProtocolSpec",
+    "protocol_spec",
+    "CollSelection",
+    "CollTableError",
+    "migrate_v1",
     "KINDS",
     "Schedule",
     "Send",

@@ -19,11 +19,72 @@ occupancy the backends charge at execution time.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from .schedule import Copy, Recv, RecvReduce, Schedule, Send
 
-__all__ = ["Topology", "schedule_cost"]
+__all__ = [
+    "Topology",
+    "ProtocolSpec",
+    "PROTOCOLS",
+    "PROTOCOL_SPECS",
+    "CHANNEL_COUNTS",
+    "protocol_spec",
+    "schedule_cost",
+]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Wire-protocol behaviour knobs ("Demystifying NCCL", PAPERS.md).
+
+    ``bw_factor`` is the fraction of path bandwidth the protocol's framing
+    leaves for payload (LL interleaves a 4B flag with every 4B of data,
+    LL128 spends 8B of every 128B line on flags), ``overhead_factor``
+    scales the per-message overhead (flag-embedded protocols skip most of
+    the per-message setup), and ``rendezvous_factor`` adds that many extra
+    path latencies per message for the ready-to-receive handshake only the
+    bandwidth-optimized Simple protocol performs.
+    """
+
+    name: str
+    bw_factor: float
+    overhead_factor: float
+    rendezvous_factor: float
+
+
+#: Protocol catalogue, latency-optimized to bandwidth-optimized.
+PROTOCOL_SPECS: Dict[str, ProtocolSpec] = {
+    # 4B data + 4B flag per 8B line: half bandwidth, no rendezvous, and
+    # the flag write doubles as the arrival signal (no message setup).
+    "LL": ProtocolSpec("LL", 0.5, 0.0, 0.0),
+    # 120B data per 128B line: ~95% bandwidth, partial setup cost.
+    "LL128": ProtocolSpec("LL128", 0.9375, 0.5, 0.0),
+    # Full-bandwidth pipelined chunking, but every message pays a full
+    # rendezvous round trip before the payload moves.
+    "Simple": ProtocolSpec("Simple", 1.0, 1.0, 2.0),
+}
+
+PROTOCOLS: Tuple[str, ...] = tuple(PROTOCOL_SPECS)
+
+#: Channel ("rail") counts the tuner explores. Channels divide a message
+#: across parallel FIFOs that share the same physical wire, so they only
+#: recover bandwidth a single channel leaves on the table (``bw_scale``)
+#: while multiplying per-message overheads.
+CHANNEL_COUNTS: Tuple[int, ...] = (1, 2, 4)
+
+
+def protocol_spec(name: Union[str, ProtocolSpec, None]) -> Optional[ProtocolSpec]:
+    """Resolve a protocol name to its spec (``None`` passes through)."""
+    if name is None or isinstance(name, ProtocolSpec):
+        return name
+    try:
+        return PROTOCOL_SPECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; expected one of {PROTOCOLS}"
+        ) from None
 
 
 class Topology:
@@ -80,14 +141,29 @@ class Topology:
 def schedule_cost(sched: Schedule, topo: Topology, itemsize: int = 1, *,
                   bw_scale: float = 1.0, per_round_overhead: float = 0.0,
                   staging_threshold: int = 0,
-                  staging_inv_bw: float = 0.0) -> float:
+                  staging_inv_bw: float = 0.0,
+                  protocol: Union[str, ProtocolSpec, None] = None,
+                  channels: int = 1) -> float:
     """Predicted seconds for one execution of ``sched`` on ``topo``.
 
     ``bw_scale`` discounts path bandwidth (e.g. GPUCCL ring efficiency),
     ``per_round_overhead`` adds a fixed charge per round (e.g. SHMEM host
     post cost), and ``staging_*`` model host bounce-buffer copies above an
     eager threshold (2x for the send+recv side is the caller's job).
+
+    ``protocol`` applies a :class:`ProtocolSpec`'s framing/rendezvous
+    terms to every send; ``channels`` stripes each message over that many
+    parallel rails sharing the wire — each rail pays per-message overhead
+    but the stripes together can recover bandwidth a single channel's
+    ``bw_scale`` discount leaves idle (capped at the physical wire). The
+    defaults (``None``, ``1``) price sends with arithmetic identical to
+    the historical model, so legacy callers see bit-identical costs.
     """
+    spec = protocol_spec(protocol)
+    bw_factor = 1.0 if spec is None else spec.bw_factor
+    ov_factor = 1.0 if spec is None else spec.overhead_factor
+    lat_factor = 1.0 if spec is None else 1.0 + spec.rendezvous_factor
+    eff_scale = min(channels * bw_scale, 1.0) * bw_factor
     local_bw = topo.local_bandwidth()
     total = 0.0
     for rnd in sched.rounds:
@@ -98,7 +174,8 @@ def schedule_cost(sched: Schedule, topo: Topology, itemsize: int = 1, *,
                 if isinstance(st, Send):
                     nbytes = st.length * itemsize
                     lat, bw, ov = topo.path_params(rank, st.peer)
-                    rank_cost += lat + ov + nbytes / (bw * bw_scale)
+                    rank_cost += (lat * lat_factor + ov * ov_factor * channels
+                                  + nbytes / (bw * eff_scale))
                     if staging_inv_bw and nbytes > staging_threshold:
                         rank_cost += nbytes * staging_inv_bw
                 elif isinstance(st, RecvReduce):

@@ -19,10 +19,31 @@ import math
 from typing import Dict, List, Optional, Tuple
 
 from .algorithms import generate
-from .cost import Topology, schedule_cost
-from .schedule import ring_path_params
+from .cost import ProtocolSpec, Topology, protocol_spec, schedule_cost
+from .schedule import Schedule, ring_path_params
 
 __all__ = ["GpucclModel", "ShmemModel", "MpiModel", "CANONICAL_SHMEM_KINDS"]
+
+
+class _ScheduleCache:
+    """Shared generated-schedule cache, keyed off (algorithm, kind, size).
+
+    Protocol x channel tuning prices the same schedule under many knob
+    combinations; regenerating it per combination would dominate tuner
+    time, so each model memoizes generation separately from pricing.
+    """
+
+    def __init__(self, nranks: int, topo: Topology):
+        self._nranks = nranks
+        self._topo = topo
+        self._scheds: Dict[Tuple[str, str, int], Optional[Schedule]] = {}
+
+    def get(self, algorithm: str, kind: str, nbytes: int) -> Optional[Schedule]:
+        key = (algorithm, kind, int(nbytes))
+        if key not in self._scheds:
+            self._scheds[key] = generate(
+                algorithm, kind, self._nranks, int(nbytes), topo=self._topo)
+        return self._scheds[key]
 
 #: GPUSHMEM native collective kind -> canonical schedule kind (barrier and
 #: alltoall have no schedule counterpart and stay on the legacy path).
@@ -52,7 +73,8 @@ class GpucclModel:
         # Local reduction/copy speed inside the fused kernel.
         self.local_bandwidth = cluster.machine.gpu.mem_bandwidth / 2.0
         self.topo = Topology(cluster, gpu_ids)
-        self._cache: Dict[Tuple[str, str, int], float] = {}
+        self._cache: Dict[Tuple, float] = {}
+        self._scheds = _ScheduleCache(self.p, self.topo)
 
     # ------------------------------------------------------------------ #
     # The legacy ring formulas (the "ring" algorithm).
@@ -105,18 +127,47 @@ class GpucclModel:
         "reduce_scatter": "reduce_scatter_time",
     }
 
-    def duration(self, kind: str, nbytes: int, algorithm: str = "ring") -> float:
-        """Kernel duration for one collective under ``algorithm``."""
-        if algorithm == "ring" or self.p == 1:
+    def duration(self, kind: str, nbytes: int, algorithm: str = "ring",
+                 protocol: Optional[str] = None, channels: int = 1) -> float:
+        """Kernel duration for one collective under ``algorithm``.
+
+        With ``protocol=None`` and ``channels=1`` this is the historical
+        model bit-for-bit (closed-form ring, schedule cost otherwise).
+        An explicit protocol prices even ``ring`` over its generated
+        schedule so LL/LL128/Simple framing applies per send, with a base
+        of the kernel launch, the protocol's share of the fixed protocol
+        machinery, and one FIFO-arming charge per channel.
+        """
+        if protocol is None and channels == 1:
+            if algorithm == "ring" or self.p == 1:
+                return getattr(self, self._RING_TIMES[kind])(nbytes)
+            key = (kind, algorithm, nbytes)
+            cached = self._cache.get(key)
+            if cached is None:
+                sched = self._scheds.get(algorithm, kind, nbytes)
+                if sched is None:
+                    return getattr(self, self._RING_TIMES[kind])(nbytes)
+                cached = self._base() + schedule_cost(
+                    sched, self.topo, 1, bw_scale=self.profile.ring_efficiency
+                )
+                self._cache[key] = cached
+            return cached
+        if self.p == 1:
             return getattr(self, self._RING_TIMES[kind])(nbytes)
-        key = (kind, algorithm, nbytes)
+        spec = protocol_spec(protocol)
+        key = (kind, algorithm, spec.name if spec else None, channels, nbytes)
         cached = self._cache.get(key)
         if cached is None:
-            sched = generate(algorithm, kind, self.p, int(nbytes), topo=self.topo)
+            sched = self._scheds.get(algorithm, kind, nbytes)
             if sched is None:
                 return getattr(self, self._RING_TIMES[kind])(nbytes)
-            cached = self._base() + schedule_cost(
-                sched, self.topo, 1, bw_scale=self.profile.ring_efficiency
+            ov_factor = 1.0 if spec is None else spec.overhead_factor
+            base = (self.profile.comm_launch_overhead
+                    + ov_factor * self.profile.protocol_overhead
+                    + channels * self.profile.channel_launch_overhead)
+            cached = base + schedule_cost(
+                sched, self.topo, 1, bw_scale=self.profile.ring_efficiency,
+                protocol=spec, channels=channels,
             )
             self._cache[key] = cached
         return cached
@@ -137,7 +188,8 @@ class ShmemModel:
         self.hop_latency, self.bandwidth = ring_path_params(cluster, gpu_ids)
         self.rounds = max(1, math.ceil(math.log2(max(self.p, 2))))
         self.topo = Topology(cluster, gpu_ids)
-        self._cache: Dict[Tuple[str, str, int], float] = {}
+        self._cache: Dict[Tuple, float] = {}
+        self._scheds = _ScheduleCache(self.p, self.topo)
 
     def barrier_time(self) -> float:
         """Modelled duration of one team barrier."""
@@ -163,22 +215,46 @@ class ShmemModel:
 
         raise GpushmemError(f"unknown collective kind {kind!r}")
 
-    def duration(self, kind: str, nbytes: int, algorithm: str = "tree") -> float:
-        """Duration of one *native-kind* collective under ``algorithm``."""
+    def duration(self, kind: str, nbytes: int, algorithm: str = "tree",
+                 protocol: Optional[str] = None, channels: int = 1) -> float:
+        """Duration of one *native-kind* collective under ``algorithm``.
+
+        ``protocol=None, channels=1`` reproduces the historical put-tree /
+        schedule-cost split exactly. An explicit protocol prices even
+        ``tree`` over its generated schedule, applying LL/LL128/Simple
+        framing to every put round plus one proxy post per extra rail.
+        """
         canonical = CANONICAL_SHMEM_KINDS.get(kind)
-        if algorithm == "tree" or canonical is None or self.p == 1:
+        if protocol is None and channels == 1:
+            if algorithm == "tree" or canonical is None or self.p == 1:
+                return self.collective_time(kind, nbytes)
+            key = (kind, algorithm, nbytes)
+            cached = self._cache.get(key)
+            if cached is None:
+                sched = self._scheds.get(algorithm, canonical, nbytes)
+                if sched is None:
+                    return self.collective_time(kind, nbytes)
+                cached = schedule_cost(
+                    sched, self.topo, 1,
+                    per_round_overhead=self.profile.host_post_overhead,
+                ) + self.barrier_time()
+                self._cache[key] = cached
+            return cached
+        if canonical is None or self.p == 1:
             return self.collective_time(kind, nbytes)
-        key = (kind, algorithm, nbytes)
+        spec = protocol_spec(protocol)
+        key = (kind, algorithm, spec.name if spec else None, channels, nbytes)
         cached = self._cache.get(key)
         if cached is None:
-            sched = generate(algorithm, canonical, self.p, int(nbytes),
-                             topo=self.topo)
+            sched = self._scheds.get(algorithm, canonical, nbytes)
             if sched is None:
                 return self.collective_time(kind, nbytes)
-            cached = schedule_cost(
-                sched, self.topo, 1,
-                per_round_overhead=self.profile.host_post_overhead,
-            ) + self.barrier_time()
+            cached = (channels * self.profile.channel_post_overhead
+                      + schedule_cost(
+                          sched, self.topo, 1,
+                          per_round_overhead=self.profile.host_post_overhead,
+                          protocol=spec, channels=channels,
+                      ) + self.barrier_time())
             self._cache[key] = cached
         return cached
 
@@ -200,7 +276,8 @@ class MpiModel:
         self._staging_inv_bw = (
             0.0 if profile.collective_gpu_direct else 1.0 / profile.eager_copy_bandwidth
         )
-        self._cache: Dict[Tuple[str, str, int], float] = {}
+        self._cache: Dict[Tuple, float] = {}
+        self._scheds = _ScheduleCache(self.p, self.topo)
 
     def _transfer(self, nbytes: float) -> float:
         lat, bw, ov = self.topo.path_params(0, self.p - 1)
@@ -227,21 +304,37 @@ class MpiModel:
                 self.p - 1) * self._transfer(nbytes)
         raise ValueError(f"unknown collective kind {kind!r}")
 
-    def duration(self, kind: str, nbytes: int, algorithm: str = "native") -> float:
+    def duration(self, kind: str, nbytes: int, algorithm: str = "native",
+                 protocol: Optional[str] = None, channels: int = 1) -> float:
+        """Estimated latency of one collective under ``algorithm``.
+
+        MPI has no GPU wire protocols — ``protocol`` is accepted for API
+        symmetry but ignored on the ``native`` path, and the tuner pins it
+        to ``None`` for this backend. ``channels`` models striping every
+        send into that many isend/irecv chunks: each chunk pays its own
+        host calls and per-message overhead, and there is no idle wire
+        bandwidth to recover, so extra channels only ever help when the
+        executor's real per-chunk pipelining (not modelled here) wins.
+        """
         base = self.profile.collective_call_overhead
         if algorithm == "native" or self.p == 1:
             return base + self._native(kind, nbytes)
-        key = (kind, algorithm, nbytes)
+        spec = protocol_spec(protocol)
+        if spec is None and channels == 1:
+            key = (kind, algorithm, nbytes)
+        else:
+            key = (kind, algorithm, spec.name if spec else None, channels, nbytes)
         cached = self._cache.get(key)
         if cached is None:
-            sched = generate(algorithm, kind, self.p, int(nbytes), topo=self.topo)
+            sched = self._scheds.get(algorithm, kind, nbytes)
             if sched is None:
                 return base + self._native(kind, nbytes)
             cached = schedule_cost(
                 sched, self.topo, 1,
-                per_round_overhead=2 * self.profile.host_call_overhead,
+                per_round_overhead=2 * self.profile.host_call_overhead * channels,
                 staging_threshold=self.profile.eager_threshold,
                 staging_inv_bw=self._staging_inv_bw,
+                protocol=spec, channels=channels,
             )
             self._cache[key] = cached
         return base + cached

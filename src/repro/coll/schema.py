@@ -1,37 +1,81 @@
 """Schema for the ``repro tune --coll --dump`` tuning-table JSON document.
 
 Mirrors :mod:`repro.obs.schema`: hand-rolled structural validation, a
-``ValueError`` naming the first offending field, and a version bump
-whenever a required field changes shape. The CI ``coll-smoke`` lane
+:class:`CollTableError` naming the first offending field, and a version
+bump whenever a required field changes shape. The CI ``coll-smoke`` lane
 round-trips a dumped table through :func:`validate_table`; the
 ``REPRO_COLL_TABLE`` loader validates before installing a policy.
+
+Version history:
+
+- **v1** — bands are ``[max_nbytes, algorithm]`` pairs with *inclusive*
+  ceilings (``nbytes <= max_nbytes``).
+- **v2** — bands are ``[ceiling_nbytes, algorithm, protocol, channels]``
+  quadruples with *exclusive* ceilings (``nbytes < ceiling``), matching
+  the tuner's "first size the next winner wins" convention; ``protocol``
+  is an NCCL-style wire protocol name or ``null`` (backend legacy) and
+  ``channels`` the parallel-rail count. :func:`migrate_v1` upgrades old
+  documents losslessly (an inclusive ceiling ``c`` becomes the exclusive
+  ceiling ``c + 1``; protocol/channels default to legacy).
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict
 
-__all__ = ["SCHEMA_NAME", "SCHEMA_VERSION", "validate_table"]
+__all__ = [
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "CollTableError",
+    "validate_table",
+    "migrate_v1",
+]
 
 SCHEMA_NAME = "repro.coll.table"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _BACKENDS = ("mpi", "gpuccl", "gpushmem")
 _KINDS = ("all_reduce", "all_gather", "broadcast", "reduce", "reduce_scatter")
+_PROTOCOLS = ("LL", "LL128", "Simple")
+
+
+class CollTableError(ValueError):
+    """A tuning-table document failed validation or version dispatch."""
 
 
 def _fail(msg: str) -> None:
-    raise ValueError(f"invalid {SCHEMA_NAME} document: {msg}")
+    raise CollTableError(f"invalid {SCHEMA_NAME} document: {msg}")
+
+
+def _check_band(where: str, band: Any) -> None:
+    if not isinstance(band, (list, tuple)) or len(band) != 4:
+        _fail(f"{where} must be a [ceiling_nbytes, algorithm, protocol, "
+              "channels] quadruple")
+    ceiling, algo, protocol, channels = band
+    if ceiling is not None and not isinstance(ceiling, int):
+        _fail(f"{where}: ceiling_nbytes must be an int or null")
+    if not isinstance(algo, str) or not algo:
+        _fail(f"{where}: algorithm must be a non-empty string")
+    if protocol is not None and protocol not in _PROTOCOLS:
+        _fail(f"{where}: protocol must be null or one of {_PROTOCOLS}")
+    if not isinstance(channels, int) or isinstance(channels, bool) \
+            or channels < 1:
+        _fail(f"{where}: channels must be a positive int")
 
 
 def validate_table(doc: Any) -> Dict[str, Any]:
-    """Validate a tuning table; returns it unchanged or raises ValueError."""
+    """Validate a v2 tuning table; returns it unchanged or raises
+    :class:`CollTableError`. A v1 document must go through
+    :func:`migrate_v1` first (the :class:`~repro.coll.tuner.CollTable`
+    loader does this); any other version is rejected up front so a stale
+    or future table never half-loads."""
     if not isinstance(doc, dict):
         _fail(f"expected object, got {type(doc).__name__}")
     if doc.get("schema") != SCHEMA_NAME:
         _fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA_NAME!r}")
     if doc.get("version") != SCHEMA_VERSION:
-        _fail(f"version is {doc.get('version')!r}, expected {SCHEMA_VERSION}")
+        _fail(f"version is {doc.get('version')!r}, expected {SCHEMA_VERSION} "
+              f"(v1 documents must be migrated via migrate_v1)")
     if not isinstance(doc.get("machine"), str):
         _fail("machine must be a string")
     entries = doc.get("entries")
@@ -52,19 +96,49 @@ def validate_table(doc: Any) -> Dict[str, Any]:
                     _fail(f"entries[{sig!r}].{backend}: unknown kind {kind!r}")
                 if not isinstance(bands, list) or not bands:
                     _fail(f"entries[{sig!r}].{backend}.{kind} must be a "
-                          "non-empty list of [max_nbytes, algorithm] bands")
+                          "non-empty list of band quadruples")
                 for i, band in enumerate(bands):
-                    if (not isinstance(band, (list, tuple)) or len(band) != 2):
-                        _fail(f"entries[{sig!r}].{backend}.{kind}[{i}] must "
-                              "be a [max_nbytes, algorithm] pair")
-                    ceiling, algo = band
-                    if ceiling is not None and not isinstance(ceiling, int):
-                        _fail(f"entries[{sig!r}].{backend}.{kind}[{i}]: "
-                              "max_nbytes must be an int or null")
-                    if not isinstance(algo, str) or not algo:
-                        _fail(f"entries[{sig!r}].{backend}.{kind}[{i}]: "
-                              "algorithm must be a non-empty string")
+                    _check_band(f"entries[{sig!r}].{backend}.{kind}[{i}]",
+                                band)
                 if bands[-1][0] is not None:
                     _fail(f"entries[{sig!r}].{backend}.{kind}: last band "
                           "must be open-ended (null ceiling)")
     return doc
+
+
+def migrate_v1(doc: Any) -> Dict[str, Any]:
+    """Upgrade a v1 document to v2 (returns a new document).
+
+    v1 ceilings were inclusive (``nbytes <= c`` selects the band), v2
+    ceilings are exclusive, so ``c`` maps to ``c + 1`` — every integer
+    message size resolves to the same band before and after migration.
+    Protocol and channel count default to the backend legacy selection
+    (``null`` / ``1``), which is exactly what a v1 table meant.
+    """
+    if not isinstance(doc, dict):
+        _fail(f"expected object, got {type(doc).__name__}")
+    if doc.get("version") != 1:
+        _fail(f"migrate_v1 got version {doc.get('version')!r}, expected 1")
+    entries: Dict[str, Any] = {}
+    for sig, backends in (doc.get("entries") or {}).items():
+        new_backends: Dict[str, Any] = {}
+        for backend, kinds in (backends or {}).items():
+            new_kinds: Dict[str, Any] = {}
+            for kind, bands in (kinds or {}).items():
+                new_bands = []
+                for band in bands or []:
+                    if not isinstance(band, (list, tuple)) or len(band) != 2:
+                        _fail(f"entries[{sig!r}].{backend}.{kind}: v1 bands "
+                              "must be [max_nbytes, algorithm] pairs")
+                    ceiling, algo = band
+                    new_ceiling = None if ceiling is None else ceiling + 1
+                    new_bands.append([new_ceiling, algo, None, 1])
+                new_kinds[kind] = new_bands
+            new_backends[backend] = new_kinds
+        entries[sig] = new_backends
+    return validate_table({
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "machine": doc.get("machine", ""),
+        "entries": entries,
+    })

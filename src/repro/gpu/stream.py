@@ -31,6 +31,12 @@ __all__ = ["Stream", "StreamOp", "TimedOp", "ExternalOp", "TaskOp"]
 class StreamOp:
     """Base class for one stream-ordered operation."""
 
+    # Silent ops (capture boundary markers) ride the FIFO for ordering
+    # only: no trace records, no enqueue/complete balance, no sanitizer
+    # bookkeeping — a stream with silent ops behaves byte-identically to
+    # one without them.
+    silent = False
+
     def __init__(self, engine: Engine, name: str):
         self.engine = engine
         self.name = name
@@ -147,15 +153,16 @@ class Stream:
             raise GpuError(f"stream {self.name}: enqueue on an aborted stream")
         op.stream = self
         self._last = op
-        san = self.engine.sanitizer
-        if san is not None:
-            # Enqueue happens-before the op runs, even if it starts later.
-            op._san_enq = san.snapshot_enqueue(op, self)
-        cap = self.engine.capture
-        if cap is not None:
-            cap.n_enq += 1
-        self.engine.trace("stream.enqueue", stream=self.name, op=op.name,
-                          gpu=self.device.gpu_id)
+        if not op.silent:
+            san = self.engine.sanitizer
+            if san is not None:
+                # Enqueue happens-before the op runs, even if it starts later.
+                op._san_enq = san.snapshot_enqueue(op, self)
+            cap = self.engine.capture
+            if cap is not None:
+                cap.n_enq += 1
+            self.engine.trace("stream.enqueue", stream=self.name, op=op.name,
+                              gpu=self.device.gpu_id)
         if self._active is None:
             self._active = op
             self._start(op)
@@ -164,6 +171,9 @@ class Stream:
         return op
 
     def _start(self, op: StreamOp) -> None:
+        if op.silent:
+            op.start()
+            return
         self.engine.trace("stream.start", stream=self.name, op=op.name,
                           gpu=self.device.gpu_id)
         san = self.engine.sanitizer
@@ -181,17 +191,18 @@ class Stream:
     def _advance(self, finished: StreamOp) -> None:
         if finished is not self._active:
             raise GpuError(f"stream {self.name}: out-of-order completion of {finished.name}")
-        cap = self.engine.capture
-        if cap is not None:
-            cap.n_comp += 1
-        self.engine.trace("stream.complete", stream=self.name, op=finished.name,
-                          gpu=self.device.gpu_id)
-        san = self.engine.sanitizer
-        if san is not None:
-            # FIFO chain: each op's completion context (which contains its
-            # memory effects) happens-before the next op on this stream.
-            # push_op acquires this in _start.
-            san.release(self)
+        if not finished.silent:
+            cap = self.engine.capture
+            if cap is not None:
+                cap.n_comp += 1
+            self.engine.trace("stream.complete", stream=self.name, op=finished.name,
+                              gpu=self.device.gpu_id)
+            san = self.engine.sanitizer
+            if san is not None:
+                # FIFO chain: each op's completion context (which contains
+                # its memory effects) happens-before the next op on this
+                # stream. push_op acquires this in _start.
+                san.release(self)
         if self.aborted:
             self._active = None
             return

@@ -40,6 +40,10 @@ class GpucclProfile:
     protocol_overhead: float  # fixed per-message protocol cost (LL/Simple)
     ring_efficiency: float  # achievable fraction of bottleneck link bw
     bootstrap_overhead: float  # one-time comm-init cost
+    # Each communication channel ("rail") adds one more block of the fused
+    # kernel to launch and its own FIFO to arm; explicit-protocol pricing
+    # charges this per selected channel.
+    channel_launch_overhead: float = 9.0e-7
 
 
 @dataclass(frozen=True)
@@ -57,6 +61,8 @@ class GpushmemProfile:
     # skip most of the transfer software stack; this is subtracted from the
     # channel latency (clamped at the wire's serialization time).
     device_direct_discount: float = 1.2e-6
+    # Arming one more put-with-signal rail costs an extra proxy post.
+    channel_post_overhead: float = 7.0e-7
 
 
 @dataclass(frozen=True)

@@ -249,6 +249,18 @@ def launch(
         else:
             cap_rt = CaptureRuntime(engine, capture)
             engine.capture = cap_rt
+
+            # Link busy_until anchors are absolute virtual times; a replay
+            # takeover must translate them by the skipped span or post-replay
+            # transfers would see every link as long idle. Owning this shift
+            # here (once per engine, covering the whole cluster) lets the
+            # capture verifier accept steady-state periodic congestion.
+            def _shift_links(span: float, _cluster=cluster) -> None:
+                for link in _cluster.links():
+                    link.busy_until += span
+
+            engine.time_shift_hooks.append(_shift_links)
+            cap_rt.congestion_safe = True
     job = Job(engine, cluster, n_ranks, placement=placement)
 
     def body(rank: int) -> Any:

@@ -58,6 +58,29 @@ deliveries are freshened from the template's re-snapshotted data),
 engine name-sequences and metrics deltas are applied, and every rank's
 loop consumes the skipped iterations through its next ``boundary()``.
 
+Device-order marks (async-host loops)
+-------------------------------------
+
+A fully asynchronous host loop (GPUCCL/GPUSHMEM native variants)
+enqueues every iteration without blocking: all of its ``boundary()``
+calls land in one timer window, the marks collapse onto a single entry
+index, and the detector can never cut the timeline into periods.  When
+the reference rank sees three consecutive marks with an identical entry
+index it switches the region to *device-mark* mode — provided the
+caller passed its stream to ``boundary(..., stream=...)``.  From then
+on every boundary call enqueues a silent :class:`_BoundaryOp` on the
+rank's stream; the marker records the mark when the *device* reaches it
+(stream FIFO order), which restores per-iteration periodicity.  A
+device-mode takeover sizes ``K`` from the whole periods of markers
+still queued (the host has already enqueued that work) and, instead of
+granting the host loop skipped iterations, fast-forwards every attached
+stream's queue past the replayed span.  Markers are invisible: they
+emit no trace records, count in no stream balance, and take zero
+virtual time, so an async captured run still traces byte-identically to
+an uncaptured one.  If no stream is available — or the device marks
+collapse too — capture disables itself with a recorded
+``boundary-collapse:<region>`` reason instead of silently staying live.
+
 Bailout rules
 -------------
 
@@ -133,11 +156,53 @@ class _NullRegion:
 
     __slots__ = ()
 
-    def boundary(self, rank: int, i: int, n: Optional[int] = None) -> int:
+    def boundary(self, rank: int, i: int, n: Optional[int] = None,
+                 stream=None) -> int:
         return 0
 
 
 _NULL_REGION = _NullRegion()
+
+
+class _BoundaryOp:
+    """Silent stream op marking one iteration boundary in device order.
+
+    Enqueued by :meth:`CaptureRegion.boundary` once a region has switched
+    to device-mark mode.  It implements just enough of the ``StreamOp``
+    surface for :class:`repro.gpu.stream.Stream` to carry it, and its
+    ``silent`` flag keeps it out of traces, stream enqueue/complete
+    balances and the sanitizer — the op exists only for the capture
+    runtime and costs zero virtual time, so captured async runs still
+    trace byte-identically to uncaptured ones.
+    """
+
+    silent = True
+
+    __slots__ = ("engine", "name", "done", "completed_at", "stream",
+                 "region", "rank", "i")
+
+    def __init__(self, engine, region: "CaptureRegion", rank: int, i: int):
+        from .sync import SimEvent
+
+        self.engine = engine
+        self.name = f"capture-boundary:{region.key}"
+        self.done = SimEvent(engine, name=f"op:{self.name}")
+        self.completed_at = None
+        self.stream = None
+        self.region = region
+        self.rank = rank
+        self.i = i
+
+    def start(self) -> None:
+        if self.region.rt.disabled is None:
+            self.region._device_mark(self)
+        self._complete()
+
+    def _complete(self) -> None:
+        self.completed_at = self.engine.now
+        self.done.set()
+        if self.stream is not None:
+            self.stream._advance(self)
 
 
 def loop_region(engine, name: str, *, replay_safe: bool = True,
@@ -154,7 +219,8 @@ class CaptureRegion:
     """One annotated steady-state loop (shared by every rank's task)."""
 
     __slots__ = ("rt", "key", "replay_safe", "parity", "min_period",
-                 "ref_rank", "last_i", "pending", "history", "keep")
+                 "ref_rank", "last_i", "pending", "history", "keep",
+                 "device_mode", "streams", "n_total")
 
     def __init__(self, rt: "CaptureRuntime", key: str, replay_safe: bool,
                  parity: int, min_period: int):
@@ -168,14 +234,21 @@ class CaptureRegion:
         self.pending: Dict[int, int] = {}
         self.history: List[_Mark] = []
         self.keep: Optional[int] = None  # oldest entry this region needs
+        # Device-mark mode (async-host loops; see module docstring).
+        self.device_mode = False
+        self.streams: Dict[int, Any] = {}  # rank -> stream carrying markers
+        self.n_total: Optional[int] = None
 
     # ------------------------------------------------------------------ #
 
-    def boundary(self, rank: int, i: int, n: Optional[int] = None) -> int:
+    def boundary(self, rank: int, i: int, n: Optional[int] = None,
+                 stream=None) -> int:
         """Mark the top of iteration ``i``; returns iterations to skip.
 
         The caller must advance its loop counter by the returned skip (the
         iterations were replayed) before deciding whether to run the body.
+        Async-host loops pass their ``stream`` so a collapsing region can
+        fall back to device-order markers instead of disabling capture.
         """
         rt = self.rt
         skip = self.pending.pop(rank, 0) if self.pending else 0
@@ -184,32 +257,92 @@ class CaptureRegion:
             return skip
         if self.ref_rank is None:
             self.ref_rank = rank
+        if self.device_mode:
+            self._enqueue_marker(rank, i + skip, n, stream)
+            return skip
         cur = rt._cur
         if rank != self.ref_rank:
             cur.items.append(("b", self.key, rank))
             return skip
+        self._record_mark(i + skip)
+        marks = self.history
+        if len(marks) >= 3 and marks[-1].idx == marks[-3].idx:
+            # Host marks collapsed: an async loop enqueued three iterations
+            # inside one timer window, so host-side marks can never cut the
+            # timeline.  Hand the job to device-order markers when the
+            # caller gave us its stream; otherwise disable loudly so the
+            # run reports why replay never engaged.
+            self.device_mode = True
+            self.history.clear()
+            self.keep = None
+            rt._update_keep()
+            self._enqueue_marker(rank, i + skip, n, stream)
+            return skip
+        if (skip == 0 and self.replay_safe and n is not None
+                and len(marks) >= 2 * self.min_period + 1):
+            skip += self._try_replay(n)
+        self._trim_ring()
+        return skip
+
+    def _record_mark(self, i: int) -> None:
+        """Append one reference-rank mark cut at the current ring position."""
+        rt = self.rt
         eng = rt.engine
         metrics = eng.metrics
+        cur = rt._cur
         m = len(cur.items)
-        cur.items.append(("b", self.key, rank))
+        cur.items.append(("b", self.key, self.ref_rank))
         self.history.append(_Mark(
-            i + skip, rt._abs, m, rt._order, rt.n_enq, rt.n_comp, rt.n_spawn,
+            i, rt._abs, m, rt._order, rt.n_enq, rt.n_comp, rt.n_spawn,
             dict(eng._name_seqs),
             dict(metrics._counters) if metrics.enabled else {},
             {k: (h.count, h.sum, dict(h.buckets))
              for k, h in metrics._histograms.items()} if metrics.enabled else {},
         ))
-        if (skip == 0 and self.replay_safe and n is not None
-                and len(self.history) >= 2 * self.min_period + 1):
-            skip += self._try_replay(n)
+
+    def _trim_ring(self) -> None:
         # Ring housekeeping: everything older than the oldest mark the
         # detector can still use is dead weight.
         marks = self.history
         if marks:
             lo = marks[-(2 * _MAX_D + 1)] if len(marks) > 2 * _MAX_D + 1 else marks[0]
             self.keep = lo.idx
-            rt._update_keep()
-        return skip
+            self.rt._update_keep()
+
+    # ------------------------------------------------------------------ #
+    # Device-mark mode.
+    # ------------------------------------------------------------------ #
+
+    def _enqueue_marker(self, rank: int, i: int, n: Optional[int],
+                        stream) -> None:
+        """Queue a silent boundary marker on the rank's stream."""
+        rt = self.rt
+        if stream is None:
+            # No stream to carry device marks: collapse is unrecoverable.
+            rt.disable(f"boundary-collapse:{self.key}")
+            return
+        self.streams[rank] = stream
+        if n is not None:
+            self.n_total = n
+        stream.enqueue(_BoundaryOp(rt.engine, self, rank, i))
+
+    def _device_mark(self, op: _BoundaryOp) -> None:
+        """A marker reached the head of its stream: record in device order."""
+        rt = self.rt
+        if op.rank != self.ref_rank:
+            rt._cur.items.append(("b", self.key, op.rank))
+            return
+        self._record_mark(op.i)
+        marks = self.history
+        if len(marks) >= 3 and marks[-1].idx == marks[-3].idx:
+            # Even device-order marks collapse (a zero-event loop body):
+            # there is no third timeline to fall back to.
+            rt.disable(f"boundary-collapse:{self.key}")
+            return
+        if (self.replay_safe and self.n_total is not None
+                and len(marks) >= 2 * self.min_period + 1):
+            self._try_replay(self.n_total)
+        self._trim_ring()
 
     # ------------------------------------------------------------------ #
 
@@ -242,14 +375,25 @@ class CaptureRegion:
                 and m0.order == m1.order == m2.order):
             return rt._bail("marker-shape")
         # Stream/spawn balance: an enqueue-ahead imbalance or a task spawn
-        # means the period is not self-contained.
+        # means the period is not self-contained.  In device-mark mode the
+        # host enqueued the whole loop up front, so only the per-period
+        # *deltas* must repeat (enqueues are all behind us, completions
+        # drain at a steady per-period rate); the live enq==comp cross
+        # check would always fail there.
         if (m1.enq - m0.enq != m2.enq - m1.enq
                 or m1.comp - m0.comp != m2.comp - m1.comp
-                or m2.enq - m1.enq != m2.comp - m1.comp):
+                or (not self.device_mode
+                    and m2.enq - m1.enq != m2.comp - m1.comp)):
             return rt._bail("stream-imbalance")
         if m1.spawn != m0.spawn or m2.spawn != m1.spawn:
             return rt._bail("task-spawn")
-        if rt._congestion >= b0:
+        if rt._congestion >= b0 and not rt.congestion_safe:
+            # Queued transfers leave absolute busy_until anchors on links.
+            # With a registered link shifter (congestion_safe) those anchors
+            # translate exactly by the takeover span, and the queueing delays
+            # themselves are already encoded in the verified entry delays —
+            # periodic congestion extrapolates exactly.  Without a shifter,
+            # stay conservative and fall back to live execution.
             return rt._bail("congestion")
         ents, base = rt._entries, rt._base
         m = m2.item_idx
@@ -257,7 +401,14 @@ class CaptureRegion:
             ea = ents[b0 + k - base]
             eb = ents[b1 + k - base]
             if (ea.parent - b0 != eb.parent - b1 or ea.delay != eb.delay
-                    or ea.order != eb.order or ea.cb_end != eb.cb_end):
+                    or ea.order != eb.order):
+                return rt._bail("structure")
+            # Device marks fire mid-callback: the entry holding the newest
+            # mark hasn't reached on_fired yet, so its cb_end is still
+            # unset.  Like the head-only items compare below, skip the
+            # cb_end check for that one still-open entry.
+            if ea.cb_end != eb.cb_end and not (
+                    k == L and self.device_mode and b2 == rt._abs):
                 return rt._bail("structure")
             # Replay resolves fire times from a two-period rolling window;
             # a timer chained from further back cannot be re-timed.
@@ -291,7 +442,31 @@ class CaptureRegion:
         if eng.watchdog_timeout is not None:
             return rt._bail_int("watchdog")
         k0 = _lcm(d, self.parity) // d
-        K = (n - 1 - max(self.last_i.values())) // d
+        if self.device_mode:
+            # The host already enqueued the whole loop; replay can only
+            # cover iterations whose ops sit fully queued on *every*
+            # attached stream.  Advancing a stream K periods must pop
+            # exactly K periods' worth of queue *items*: popping by marker
+            # count alone would strand each stream's partial-iteration
+            # phase, re-running body ops whose effects the replay already
+            # applied (and double-registering their P2P matches).
+            qinfo = []
+            K = None
+            for s in self.streams.values():
+                pos = [j for j, qop in enumerate(s._queue)
+                       if qop.__class__ is _BoundaryOp]
+                if len(pos) < d + 1:
+                    return rt._bail_int("tail-too-short")
+                span = pos[d] - pos[0]  # queue items per period
+                if span <= 0:
+                    return rt._bail_int("queue-shape")
+                k_s = (len(pos) - 1) // d
+                K = k_s if K is None else min(K, k_s)
+                qinfo.append((s, pos, span))
+            if K is None:
+                K = 0
+        else:
+            K = (n - 1 - max(self.last_i.values())) // d
         K -= K % k0
         if K < k0:
             return rt._bail_int("tail-too-short")
@@ -317,6 +492,12 @@ class CaptureRegion:
             K = k_edge - k_edge % k0 if k_edge >= k0 else 0
             if K < k0:
                 return rt._bail_int("binade")
+        if self.device_mode:
+            # Queue layout must actually be periodic over the popped range:
+            # marker K*d+1 sits exactly K periods of items past marker 1.
+            for s, pos, span in qinfo:
+                if pos[K * d] - pos[0] != K * span:
+                    return rt._bail_int("queue-shape")
         # --- frozen frontier --------------------------------------------
         frozen = sorted(eng._heap)  # exact pop order: (when, seq, Timer)
         for _, _, t in frozen:
@@ -429,7 +610,10 @@ class CaptureRegion:
         for shift in eng.time_shift_hooks:
             shift(span)
         # --- re-time the frontier ---------------------------------------
-        eng._heap = []
+        # In place, never rebound: a device-mark takeover runs inside a
+        # timer callback, and Engine._select_next holds a local reference
+        # to the heap across that callback.
+        del eng._heap[:]
         KL = K * L
         for (_, _, t), slot in zip(frozen, slots):
             p, delay, order = t.cap
@@ -461,10 +645,26 @@ class CaptureRegion:
         rt._order = m_ord
         self.history.clear()
         self.keep = None
-        for rank in self.last_i:
-            self.last_i[rank] += S
-            if rank != self.ref_rank:
-                self.pending[rank] = S
+        if self.device_mode:
+            # The replayed iterations' ops are already sitting in the
+            # stream queues — the host enqueued them long ago.  Fast-forward
+            # every attached queue by exactly K periods of items, keeping
+            # its partial-iteration phase offset intact: the popped ops
+            # never run — the template effects just re-applied their data —
+            # and their ``done`` events release so nothing can hang on
+            # them.  Each stream's in-flight op was re-timed with the
+            # frontier above and stands in for its counterpart S
+            # iterations later.
+            for s, _pos, span in qinfo:
+                q = s._queue
+                for _ in range(K * span):
+                    q.popleft().done.set()
+            rt.device_replays += 1
+        else:
+            for rank in self.last_i:
+                self.last_i[rank] += S
+                if rank != self.ref_rank:
+                    self.pending[rank] = S
         rt.replays += 1
         rt.events_replayed += KL
         rt.iterations_skipped += S
@@ -555,11 +755,16 @@ class CaptureRuntime:
         self._order = 0
         self._keep: Optional[int] = None
         self._congestion = -1  # last entry index that saw link queueing
+        # True once the launcher registers a cluster-link busy_until
+        # shifter into engine.time_shift_hooks; lets _verify accept
+        # periodic link congestion instead of bailing out.
+        self.congestion_safe = False
         self.n_enq = 0
         self.n_comp = 0
         self.n_spawn = 0
         self.regions: Dict[str, CaptureRegion] = {}
         self.replays = 0
+        self.device_replays = 0
         self.events_replayed = 0
         self.iterations_skipped = 0
         self.replay_host_seconds = 0.0
@@ -679,10 +884,13 @@ class CaptureRuntime:
             "enabled": self.disabled is None,
             "disabled": self.disabled,
             "replays": self.replays,
+            "device_replays": self.device_replays,
             "events_replayed": self.events_replayed,
             "iterations_skipped": self.iterations_skipped,
             "replay_host_seconds": self.replay_host_seconds,
             "regions": sorted(self.regions),
+            "device_mark_regions": sorted(
+                k for k, r in self.regions.items() if r.device_mode),
             "bailouts": dict(sorted(self.bailouts.items())),
             "auto_detected_loops": len(self._auto_detected),
         }

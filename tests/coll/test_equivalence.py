@@ -51,10 +51,10 @@ def _body(env, comm, coord):
     run("reduce_scatter", N * p, N,
         lambda s, r: coord.reduce_scatter(s, r, N, "sum", comm))
 
-    # Broadcast is in-place: seed every rank, root 2 wins.
+    # Broadcast is in-place: seed every rank, root 2 (mod p) wins.
     bcast = Memory.alloc(env, N)
     bcast.write(_rank_input(rank, N))
-    coord.broadcast(bcast, N, 2, comm)
+    coord.broadcast(bcast, N, 2 % p, comm)
     coord.stream.synchronize()
     out["broadcast"] = bcast.read().copy()
     Memory.free(env, bcast)
@@ -69,7 +69,7 @@ def _expected(kind, p, rank):
     if kind == "reduce_scatter":
         total = sum(_rank_input(r, N * p) for r in range(p))
         return total[rank * N:(rank + 1) * N]
-    return _rank_input(2, N)  # broadcast from root 2
+    return _rank_input(2 % p, N)  # broadcast from root 2 (mod p)
 
 
 @pytest.mark.parametrize("policy", POLICIES, ids=lambda c: str(c))
@@ -77,6 +77,30 @@ def _expected(kind, p, rank):
 def test_collectives_bitwise_equal(backend, policy, monkeypatch):
     monkeypatch.delenv("REPRO_COLL_TABLE", raising=False)
     sizes = (7, 8, 12) if policy == "recdbl" else (7, 12)
+    for p in sizes:
+        report = uniconn_run(p, backend, _body, coll=policy, sanitize="race")
+        assert report.races == [], f"races at p={p}: {report.races}"
+        for rank in range(p):
+            for kind, got in report[rank].items():
+                want = _expected(kind, p, rank)
+                np.testing.assert_array_equal(
+                    got, want,
+                    err_msg=f"{backend}/{policy}/{kind} rank {rank} p={p}")
+
+
+# Protocol/channel knobs change wire pricing only — never routing or data.
+# One fixed selection per protocol (plus a multi-channel variant of each)
+# runs the same full matrix: results stay bitwise equal to the reference
+# oracle and race-free from 2 ranks through 16.
+PROTOCOL_POLICIES = ("ring+LL", "ring+LL128/2", "ring+Simple/4",
+                     "tree+LL/2", "recdbl+Simple/2")
+
+
+@pytest.mark.parametrize("policy", PROTOCOL_POLICIES, ids=lambda c: str(c))
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_protocol_selections_bitwise_equal(backend, policy, monkeypatch):
+    monkeypatch.delenv("REPRO_COLL_TABLE", raising=False)
+    sizes = (2, 8, 16) if policy.startswith("recdbl") else (2, 7, 16)
     for p in sizes:
         report = uniconn_run(p, backend, _body, coll=policy, sanitize="race")
         assert report.races == [], f"races at p={p}: {report.races}"

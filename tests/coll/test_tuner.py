@@ -5,9 +5,10 @@ import json
 
 import pytest
 
-from repro.coll import (ALGORITHMS, CollPolicy, CollTable, CollTuner,
-                        DEFAULT_ALGORITHM, ENV_TABLE, SCHEMA_NAME,
-                        resolve_policy, validate_table)
+from repro.coll import (ALGORITHMS, CollPolicy, CollTable, CollTableError,
+                        CollTuner, DEFAULT_ALGORITHM, ENV_TABLE, SCHEMA_NAME,
+                        SCHEMA_VERSION, migrate_v1, resolve_policy,
+                        validate_table)
 
 
 def _tuner(machine="perlmutter", gpus=64):
@@ -27,16 +28,37 @@ def test_table_roundtrip(tmp_path):
 
 
 def test_table_lookup_bands():
+    """Band ceilings are exclusive: a message exactly at a band edge
+    belongs to the *upper* band, matching CollTuner.best's convention."""
     table = CollTable(machine="perlmutter")
     table.set_bands("sig", "gpuccl", "all_reduce",
                     [(1024, "recdbl"), (1 << 20, "hier"), (None, "ring")])
     look = lambda n: table.lookup("sig", "gpuccl", "all_reduce", n)
     assert look(64) == "recdbl"
-    assert look(1024) == "recdbl"
-    assert look(1025) == "hier"
+    assert look(1023) == "recdbl"
+    assert look(1024) == "hier"  # at the edge: upper band wins
+    assert look((1 << 20) - 1) == "hier"
+    assert look(1 << 20) == "ring"
     assert look(64 << 20) == "ring"
     assert table.lookup("sig", "gpuccl", "broadcast", 64) is None
     assert table.lookup("other", "gpuccl", "all_reduce", 64) is None
+
+
+def test_table_lookup_agrees_with_best_at_band_edges():
+    """Regression for the band-boundary off-by-one: at every probe size —
+    including the exact sizes where the winner changes — the table lookup
+    must return the same selection CollTuner.best scores."""
+    t = _tuner(gpus=8)
+    table = t.build_table()
+    sig = t.topo.signature()
+    for backend in t.backends():
+        for kind in ("all_reduce", "all_gather"):
+            for size in t.PROBE_SIZES:
+                best, _ = t.best(backend, kind, size)
+                got = table.lookup(sig, backend, kind, size)
+                assert got.describe() == best.describe(), (
+                    f"{backend}/{kind}@{size}: table={got.describe()} "
+                    f"best={best.describe()}")
 
 
 def test_tuner_selects_differently_small_vs_large():
@@ -56,10 +78,21 @@ def test_tuner_selects_differently_small_vs_large():
 def test_crossovers_reported():
     t = _tuner()
     cross = t.crossovers("gpuccl", "all_reduce")
-    assert cross, "expected at least one algorithm crossover at 64 GPUs"
-    for nbytes, small_algo, large_algo in cross:
-        assert small_algo != large_algo
+    assert cross, "expected at least one selection crossover at 64 GPUs"
+    for nbytes, small_sel, large_sel in cross:
+        assert small_sel.describe() != large_sel.describe()
         assert nbytes in t.PROBE_SIZES
+
+
+def test_protocol_crossover_ll_to_simple():
+    """The paper's LL-wins-small / Simple-wins-large transition appears on
+    at least two machine profiles for the GPU kernel backend."""
+    for machine in ("perlmutter", "lumi"):
+        t = _tuner(machine, gpus=8)
+        small, _ = t.best("gpuccl", "all_reduce", 64)
+        large, _ = t.best("gpuccl", "all_reduce", 32 << 20)
+        assert small.protocol == "LL", (machine, small.describe())
+        assert large.protocol == "Simple", (machine, large.describe())
 
 
 def test_build_table_band_structure():
@@ -68,10 +101,12 @@ def test_build_table_band_structure():
         for kinds in backends.values():
             for bands in kinds.values():
                 assert bands[-1][0] is None  # last band open-ended
-                ceilings = [c for c, _ in bands[:-1]]
+                ceilings = [band[0] for band in bands[:-1]]
                 assert ceilings == sorted(ceilings)
-                for _, algo in bands:
+                for _, algo, protocol, channels in bands:
                     assert algo in ALGORITHMS or algo in DEFAULT_ALGORITHM.values()
+                    assert protocol in (None, "LL", "LL128", "Simple")
+                    assert isinstance(channels, int) and channels >= 1
 
 
 def test_policy_from_table_respects_bands():
@@ -130,6 +165,82 @@ def test_resolve_policy_forms(tmp_path, monkeypatch):
         resolve_policy("no-such-algorithm")
     with pytest.raises(TypeError):
         resolve_policy(42)
+
+
+def test_v1_table_migrates_losslessly(tmp_path):
+    """A v1 document (inclusive [max_nbytes, algorithm] bands) loads
+    through migrate_v1: every integer size resolves to the same algorithm
+    as the v2 original, with legacy protocol/channels."""
+    t = _tuner(gpus=8)
+    table = t.build_table()
+    sig = t.topo.signature()
+    v1_entries = {}
+    for s, backends in table.entries.items():
+        v1_entries[s] = {
+            backend: {
+                kind: [[None if c is None else c - 1, str(algo)]
+                       for c, algo, _prot, _ch in bands]
+                for kind, bands in kinds.items()
+            }
+            for backend, kinds in backends.items()
+        }
+    v1 = {"schema": SCHEMA_NAME, "version": 1,
+          "machine": table.machine, "entries": v1_entries}
+    path = tmp_path / "v1.json"
+    path.write_text(json.dumps(v1))
+    loaded = CollTable.load(str(path))
+    for backend in t.backends():
+        for kind in ("all_reduce", "all_gather"):
+            for size in t.PROBE_SIZES:
+                got = loaded.lookup(sig, backend, kind, size)
+                want = table.lookup(sig, backend, kind, size)
+                assert str(got) == str(want), (backend, kind, size)
+                assert got.protocol is None and got.channels == 1
+    # Direct migrate_v1 output is itself a valid v2 document.
+    validate_table(migrate_v1(v1))
+
+
+def test_unknown_schema_version_raises_coll_table_error():
+    """A future (or garbage) version must fail loudly with CollTableError,
+    never a KeyError from half-parsed entries."""
+    doc = _tuner(gpus=8).build_table().to_doc()
+    for version in (3, 99, None, "2"):
+        bad = {**doc, "version": version}
+        try:
+            CollTable.from_doc(bad)
+        except CollTableError:
+            pass
+        else:
+            raise AssertionError(f"version {version!r} accepted")
+
+
+def test_env_table_signature_mismatch_warns_and_falls_back(tmp_path,
+                                                           monkeypatch):
+    """A REPRO_COLL_TABLE tuned for another machine must not be applied
+    (wrong crossovers) and must not silently disable tuning: warn once,
+    then auto selection takes over."""
+    import warnings
+
+    from repro._compat import _warned
+
+    table = CollTuner("lumi", 8).build_table()
+    path = tmp_path / "lumi.json"
+    table.save(str(path))
+    monkeypatch.setenv(ENV_TABLE, str(path))
+    policy = resolve_policy(None)
+    assert policy is not None and policy.env_source
+    topo = CollTuner("perlmutter", 8).topo
+    _warned.discard(f"coll-table-mismatch:{topo.signature()}")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        sel = policy.select("gpuccl", "all_reduce", 64, topo)
+    assert sel is not None  # auto fallback picked a selection
+    msgs = [str(w.message) for w in caught]
+    assert any("falling back to auto selection" in m for m in msgs), msgs
+    # An explicitly passed mismatched table keeps the historical contract:
+    # signature miss -> no selection (legacy path), no warning.
+    explicit = CollPolicy.from_table(table)
+    assert explicit.select("gpuccl", "all_reduce", 64, topo) is None
 
 
 def test_cli_tune_coll_dump(tmp_path):

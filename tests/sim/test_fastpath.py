@@ -204,6 +204,71 @@ def test_capture_disabled_by_sanitizer(monkeypatch):
     assert results.races == []
 
 
+def test_async_host_capture_replays_via_device_marks(monkeypatch):
+    """Async-host loops (GPUCCL-native) enqueue every iteration without
+    blocking, so host-side boundary marks collapse into one timer window.
+    The region must fall back to device-order markers carried on the app
+    stream — and actually replay — instead of silently staying live."""
+    _, stats_off, trace_off = _traced_run(monkeypatch, "gpuccl-native",
+                                          fast=True, capture="off",
+                                          cfg=CFG_STEADY)
+    _, stats_on, trace_on = _traced_run(monkeypatch, "gpuccl-native",
+                                        fast=True, capture="regions",
+                                        cfg=CFG_STEADY)
+    cap = stats_on["capture"]
+    assert cap["enabled"] and cap["disabled"] is None
+    assert "jacobi.measure" in cap["device_mark_regions"]
+    assert cap["device_replays"] >= 1
+    assert cap["iterations_skipped"] > 0
+    assert stats_off["virtual_time"] == stats_on["virtual_time"]
+    assert trace_off == trace_on
+
+
+def test_async_host_capture_gpushmem_stays_live_but_observable(monkeypatch):
+    """GPUSHMEM signal words carry per-iteration values (the effect keys
+    embed them), so the timeline is never structurally periodic: the region
+    must stay live — with the device-mark fallback engaged and the bailouts
+    visible in stats, not a silent no-op — and trace byte-identically."""
+    _, stats_off, trace_off = _traced_run(monkeypatch, "gpushmem-host-native",
+                                          fast=True, capture="off",
+                                          cfg=CFG_STEADY)
+    _, stats_on, trace_on = _traced_run(monkeypatch, "gpushmem-host-native",
+                                        fast=True, capture="regions",
+                                        cfg=CFG_STEADY)
+    cap = stats_on["capture"]
+    assert cap["disabled"] is None
+    assert "jacobi.measure" in cap["device_mark_regions"]
+    assert cap["replays"] == 0
+    assert cap["bailouts"]  # live fallback is recorded, not silent
+    assert stats_off["virtual_time"] == stats_on["virtual_time"]
+    assert trace_off == trace_on
+
+
+def test_capture_disabled_on_boundary_collapse_without_stream(monkeypatch):
+    """An async loop whose boundary() calls carry no stream has no third
+    timeline to mark against: capture must disable itself with a recorded
+    reason (and still trace byte-identically), never silently stay live."""
+    from repro.sim.capture import CaptureRegion
+
+    orig = CaptureRegion.boundary
+
+    def no_stream(self, rank, i, n=None, stream=None):
+        return orig(self, rank, i, n, stream=None)
+
+    _, stats_off, trace_off = _traced_run(monkeypatch, "gpuccl-native",
+                                          fast=True, capture="off",
+                                          cfg=CFG_STEADY)
+    monkeypatch.setattr(CaptureRegion, "boundary", no_stream)
+    _, stats_on, trace_on = _traced_run(monkeypatch, "gpuccl-native",
+                                        fast=True, capture="regions",
+                                        cfg=CFG_STEADY)
+    cap = stats_on["capture"]
+    assert cap["disabled"] == "boundary-collapse:jacobi.measure"
+    assert cap["replays"] == 0 and cap["device_replays"] == 0
+    assert stats_off["virtual_time"] == stats_on["virtual_time"]
+    assert trace_off == trace_on
+
+
 def test_fastpath_env_toggle(monkeypatch):
     monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
     assert Engine().fast_path is False
