@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke bench-wallclock faults-demo obs-smoke sanitize-smoke check-deprecations coll-smoke bench-coll resilience-smoke chaos-matrix
+.PHONY: test perf-smoke bench-wallclock faults-demo obs-smoke sanitize-smoke check-deprecations coll-smoke bench-coll resilience-smoke chaos-matrix serve-smoke
 
 # Tier-1: the full deterministic test suite.
 test:
@@ -87,6 +87,14 @@ coll-smoke:
 bench-coll:
 	$(PYTHON) benchmarks/bench_coll.py --update --check
 	$(PYTHON) benchmarks/bench_coll.py --smoke --update --check
+
+# Job-service gate (docs/SERVE.md): the serve test suite, then an
+# end-to-end smoke through the real CLI — an 8-point sweep submitted
+# twice must be 100% cache hits and >= 2x faster the second time, and a
+# timeout-killed job must fail alone without poisoning the worker pool.
+serve-smoke:
+	$(PYTHON) -m pytest -q tests/serve
+	$(PYTHON) tools/serve_smoke.py
 
 # Full-scale wall-clock benchmark; rewrites the committed baseline.
 bench-wallclock:

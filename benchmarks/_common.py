@@ -11,8 +11,15 @@ from __future__ import annotations
 import os
 
 from repro.apps.osu import OsuConfig, default_sizes
+from repro.serve.matrix import expand_matrix  # noqa: F401  (re-export)
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "ci")
+
+# Sweep grids across the benchmarks (chaos_sweep scenario matrix,
+# bench_coll's kind x policy cells, `repro submit --sweep`) all expand
+# through repro.serve.expand_matrix: first axis outermost, values in the
+# order given — the exact order the hand-written nested loops used, so
+# seeded scenario identities are preserved by construction.
 
 
 def osu_config() -> OsuConfig:

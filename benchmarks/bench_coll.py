@@ -29,6 +29,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))  # for benchmarks._common when run as a script
 
 from repro.apps.osu.collectives import run_collective  # noqa: E402
 from repro.apps.osu.config import OsuConfig  # noqa: E402
@@ -55,34 +56,65 @@ def _cfg(scale: str) -> OsuConfig:
                      iters_large=2, warmup_large=1, repeats=1)
 
 
-def run(scale: str) -> dict:
+# Policy column of each benchmark cell -> the launch(coll=...) argument.
+# "simple" is the NCCL legacy default (bandwidth-optimized ring on the
+# Simple protocol, one channel) the protocol rows compare against; small
+# messages are where LL pays off (no rendezvous round-trip), and the
+# check gate requires the tuned small-message AllReduce to win >= 1.5x.
+POLICIES = {"ring": None, "tuned": "auto", "simple": "ring+Simple"}
+
+
+def run_cell(payload: dict) -> dict:
+    """One (kind, policy) sweep — the worker-pool unit for --jobs."""
+    cfg = _cfg(payload["scale"])
+    times = run_collective("gpuccl", payload["kind"], cfg, machine=MACHINE,
+                           gpus=GPUS, coll=POLICIES[payload["policy"]])
+    return {str(size): times[size] for size in cfg.sizes}
+
+
+def run(scale: str, jobs: int = 1) -> dict:
+    from benchmarks._common import expand_matrix
+
+    # The benchmark grid is the (kind x policy) cross product; virtual
+    # times are deterministic, so the --jobs pool path is bit-identical
+    # to the serial one.
+    cells = expand_matrix({"kind": list(KINDS), "policy": list(POLICIES)})
+    for cell in cells:
+        cell["scale"] = scale
+    if jobs > 1:
+        from repro.serve import WorkerPool
+
+        pool = WorkerPool(run_cell, jobs=jobs)
+        outcomes = pool.run(cells, job_ids=[f"{c['kind']}/{c['policy']}"
+                                           for c in cells])
+        failed = [o for o in outcomes if not o.ok]
+        if failed:
+            raise RuntimeError(f"benchmark cells failed: "
+                               f"{[(o.job_id, o.error) for o in failed]}")
+        times = {(c["kind"], c["policy"]): o.result
+                 for c, o in zip(cells, outcomes)}
+    else:
+        times = {(c["kind"], c["policy"]): run_cell(c) for c in cells}
+
     cfg = _cfg(scale)
     results = {}
     for kind in KINDS:
-        ring = run_collective("gpuccl", kind, cfg, machine=MACHINE,
-                              gpus=GPUS, coll=None)
-        tuned = run_collective("gpuccl", kind, cfg, machine=MACHINE,
-                               gpus=GPUS, coll="auto")
+        ring = times[(kind, "ring")]
+        tuned = times[(kind, "tuned")]
+        simple = times[(kind, "simple")]
         results[kind] = {
             str(size): {
-                "ring_s": ring[size],
-                "tuned_s": tuned[size],
-                "speedup": ring[size] / tuned[size],
+                "ring_s": ring[str(size)],
+                "tuned_s": tuned[str(size)],
+                "speedup": ring[str(size)] / tuned[str(size)],
             }
             for size in cfg.sizes
         }
-        # Protocol rows: the full tuner (algorithm x protocol x channels)
-        # against the NCCL legacy default — bandwidth-optimized ring on
-        # the Simple protocol, one channel.  Small messages are where LL
-        # pays off (no rendezvous round-trip); the check gate requires
-        # the tuned small-message AllReduce to win by >= 1.5x.
-        simple = run_collective("gpuccl", kind, cfg, machine=MACHINE,
-                                gpus=GPUS, coll="ring+Simple")
         results[f"coll_protocol_{kind}"] = {
             str(size): {
-                "simple_s": simple[size],
-                "tuned_s": tuned[size],
-                "speedup": simple[size] / tuned[size],
+                "simple_s": simple[str(size)],
+                "tuned_s": tuned[str(size)],
+                "speedup": simple[str(size)] / tuned[str(size)],
             }
             for size in cfg.sizes
         }
@@ -166,9 +198,15 @@ def main() -> int:
     ap.add_argument("--check", action="store_true",
                     help="fail on regression vs BENCH_coll.json")
     ap.add_argument("--update", action="store_true", help="rewrite baseline")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="fan (kind, policy) cells across N worker processes "
+                         "via the repro.serve pool (default 1: in-process; "
+                         "note each all_gather cell holds ~64 x largest-size "
+                         "buffers per rank, so concurrent cells need tens of "
+                         "GB of headroom each)")
     args = ap.parse_args()
     scale = "smoke" if args.smoke else "full"
-    results = run(scale)
+    results = run(scale, jobs=args.jobs)
     render(results)
     if args.update:
         update(results, scale)

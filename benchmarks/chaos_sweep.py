@@ -27,6 +27,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import hashlib
 import json
 import sys
@@ -90,16 +91,26 @@ class Scenario:
 
 
 def scenarios() -> List[Scenario]:
+    # The shared matrix expander (benchmarks/_common.py -> repro.serve)
+    # reproduces the original nested-loop order exactly — app outermost,
+    # then fault, then backend — so every seeded scenario keeps its seed.
+    from benchmarks._common import expand_matrix
+
+    fault_by_name = dict(SPECS)
     out = []
-    seed = 100
-    for app in ("jacobi", "cg"):
-        for fault_name, spec in SPECS:
-            for backend in BACKENDS:
-                seed += 1
-                out.append(Scenario(
-                    name=f"{app}/{backend}/{fault_name}",
-                    app=app, backend=backend, spec=spec, seed=seed,
-                ))
+    for seed, point in enumerate(
+        expand_matrix({
+            "app": ["jacobi", "cg"],
+            "fault": [name for name, _ in SPECS],
+            "backend": list(BACKENDS),
+        }),
+        start=101,
+    ):
+        out.append(Scenario(
+            name=f"{point['app']}/{point['backend']}/{point['fault']}",
+            app=point["app"], backend=point["backend"],
+            spec=fault_by_name[point["fault"]], seed=seed,
+        ))
     return out
 
 
@@ -110,6 +121,14 @@ def _jacobi_cfg() -> jacobi_app.JacobiConfig:
 def _cg_setup() -> Tuple[cg_app.CgConfig, cg_app.CgProblem]:
     cfg = cg_app.CgConfig(n=512, nnz_per_row=9, iters=20, seed=7)
     return cfg, cg_app.make_problem(cfg)
+
+
+def run_scenario_twice(payload: dict) -> Tuple[dict, dict]:
+    """Worker-pool entry: one scenario's determinism pair (module-level so
+    it pickles; each worker rebuilds the deterministic CG problem)."""
+    sc = Scenario(**payload)
+    problem = _cg_setup() if sc.app == "cg" else None
+    return run_scenario(sc, problem), run_scenario(sc, problem)
 
 
 def run_scenario(sc: Scenario, cg_problem=None) -> dict:
@@ -175,6 +194,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument("--smoke", action="store_true",
                     help="run the pinned CI subset with exact expected outcomes")
     ap.add_argument("--json", metavar="PATH", help="write results as JSON")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="fan scenarios across N worker processes via the "
+                         "repro.serve pool (default 1: in-process)")
     args = ap.parse_args(argv)
 
     all_scenarios = scenarios()
@@ -183,12 +205,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         missing = set(SMOKE) - {sc.name for sc in all_scenarios}
         assert not missing, f"smoke scenarios missing from the matrix: {missing}"
 
-    cg_problem = _cg_setup()
+    if args.jobs > 1:
+        # Scenario outcomes are deterministic, so the parallel path is
+        # bit-identical to the serial one — crash isolation comes free
+        # (a scenario that somehow hard-kills its worker fails alone).
+        from repro.serve import WorkerPool
+
+        pool = WorkerPool(run_scenario_twice, jobs=args.jobs)
+        outcomes = pool.run([dataclasses.asdict(sc) for sc in all_scenarios],
+                            job_ids=[sc.name for sc in all_scenarios])
+        pairs = []
+        for sc, outcome in zip(all_scenarios, outcomes):
+            if outcome.ok:
+                pairs.append(outcome.result)
+            else:
+                err = {"outcome": f"error:pool:{outcome.kind}",
+                       "correct": False, "survivors": 0, "final_group": 0,
+                       "fingerprint": f"pool:{outcome.error}"}
+                pairs.append((err, err))
+    else:
+        cg_problem = _cg_setup()
+        pairs = [(run_scenario(sc, cg_problem), run_scenario(sc, cg_problem))
+                 for sc in all_scenarios]
+
     rows = []
     failures = []
-    for sc in all_scenarios:
-        first = run_scenario(sc, cg_problem)
-        second = run_scenario(sc, cg_problem)
+    for sc, (first, second) in zip(all_scenarios, pairs):
         row = {"scenario": sc.name, "spec": sc.spec, "seed": sc.seed, **first}
         if first["fingerprint"] != second["fingerprint"]:
             failures.append(f"{sc.name}: nondeterministic "

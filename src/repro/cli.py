@@ -11,6 +11,9 @@ Subcommands::
     python -m repro tune    --coll --gpus 64 --dump coll_table.json
     python -m repro trace   --out trace.json     # Chrome-trace of a Jacobi run
     python -m repro report  --gpus 4             # per-rank time breakdown
+    python -m repro submit  --sweep app=jacobi,cg backend=mpi,gpuccl --jobs 4
+    python -m repro serve   --queue jobs.jsonl   # long-running job service
+    python -m repro jobs                         # result-store status table
 """
 
 from __future__ import annotations
@@ -147,6 +150,80 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also write the Chrome trace (with spans) here")
     _fault_args(sp)
     _sanitize_arg(sp)
+
+    # ---------------- repro.serve: the job-queue service ---------------- #
+
+    def _service_args(sp):
+        sp.add_argument("--store", default=None, metavar="PATH",
+                        help="result-store root (default: $REPRO_SERVE_STORE "
+                             "or ~/.cache/repro-serve)")
+        sp.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: all cores)")
+        sp.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-job wall-clock limit in seconds")
+        sp.add_argument("--retries", type=int, default=1,
+                        help="re-attempts after a failed/crashed/timed-out "
+                             "job (default 1)")
+        sp.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress events")
+
+    def _spec_args(sp):
+        sp.add_argument("--app", default="jacobi",
+                        choices=["jacobi", "cg", "latency", "bandwidth"])
+        sp.add_argument("--backend", default="mpi")
+        sp.add_argument("--mode", default="PureHost",
+                        choices=["PureHost", "PartialDevice", "PureDevice"])
+        sp.add_argument("--gpus", type=int, default=4)
+        sp.add_argument("--size", type=int, default=64,
+                        help="grid edge (jacobi) / rows (cg) / max bytes (osu)")
+        sp.add_argument("--iters", type=int, default=8)
+        sp.add_argument("--seed", type=int, default=0,
+                        help="problem seed (cg matrix)")
+        sp.add_argument("--coll", default=None,
+                        help="collective policy: auto, an algorithm, or a "
+                             "wire selection like ring+LL/2")
+        sp.add_argument("--collect", action="store_true",
+                        help="include a solution digest in the summary")
+        _fault_args(sp)
+        _sanitize_arg(sp)
+        _capture_arg(sp)
+
+    sp = sub.add_parser(
+        "submit", help="submit simulation jobs through the cached job service",
+        epilog="One spec comes from the flags; --sweep expands a matrix over "
+               "them, e.g. --sweep app=jacobi,cg backend=mpi,gpuccl size=32,64 "
+               "runs the 8-point cross product. Results are config-hash "
+               "cached (docs/SERVE.md): resubmitting a matrix serves every "
+               "duplicate from the store, bit-identical to the fresh run.")
+    common(sp)
+    _spec_args(sp)
+    _service_args(sp)
+    sp.add_argument("--sweep", nargs="+", default=None, metavar="AXIS=V1,V2",
+                    help="expand a job matrix over the base spec")
+    sp.add_argument("--json", default=None, metavar="FILE",
+                    help="write the batch's result documents here")
+
+    sp = sub.add_parser(
+        "serve", help="long-running job service consuming a JSONL queue",
+        epilog="Each queue line is a JobSpec object or {\"sweep\": {...}, "
+               "\"defaults\": {...}}. The loop tails the file (or FIFO) "
+               "and executes new lines as they arrive; --once drains the "
+               "current content and exits (the CI smoke mode).")
+    _service_args(sp)
+    sp.add_argument("--queue", required=True, metavar="PATH",
+                    help="JSONL job file or FIFO to consume")
+    sp.add_argument("--once", action="store_true",
+                    help="drain what is currently readable, then exit")
+    sp.add_argument("--poll", type=float, default=0.5, metavar="S",
+                    help="poll interval while tailing (default 0.5s)")
+
+    sp = sub.add_parser(
+        "jobs", help="table of job statuses from the result store")
+    sp.add_argument("--store", default=None, metavar="PATH",
+                    help="result-store root (default: $REPRO_SERVE_STORE "
+                         "or ~/.cache/repro-serve)")
+    sp.add_argument("--failed", action="store_true",
+                    help="show only failed jobs")
     return p
 
 
@@ -372,6 +449,119 @@ def _cmd_report(args, out) -> int:
     return 1 if races else 0
 
 
+def _make_service(args, out):
+    """Build a JobService from the shared --store/--jobs/... flags."""
+    from .serve import JobService, ResultStore
+
+    def printer(event):
+        label = event.get("spec") or event.get("error") or ""
+        wall = event.get("wall_s")
+        tail = f" ({wall:.2f}s)" if wall is not None else ""
+        dedup = " [dedup]" if event.get("dedup") else ""
+        print(f"  [{event['event']:>7s}] job {event['job']}"
+              f"{dedup} {label}{tail}", file=out)
+
+    store = ResultStore(args.store)
+    return JobService(store, jobs=args.jobs, timeout=args.timeout,
+                      retries=args.retries,
+                      events=None if args.quiet else printer)
+
+
+def _print_service_summary(svc, n_docs, out) -> None:
+    s = svc.summary()
+    cache = s["cache"]
+    print(f"{n_docs} job(s): {s['jobs']['done']:g} executed, "
+          f"{cache['hits']:g} cache hit(s), {s['jobs']['failed']:g} failed, "
+          f"{s['retries']:g} retrie(s), "
+          f"{s['worker_respawns']:g} worker respawn(s)", file=out)
+
+
+def _cmd_submit(args, out) -> int:
+    from .serve import JobSpec, expand_matrix, parse_sweep
+
+    base = dict(
+        app=args.app, backend=args.backend, mode=args.mode,
+        machine=args.machine, ranks=args.gpus, size=args.size,
+        iters=args.iters, seed=args.seed, fault_spec=args.fault_spec,
+        fault_seed=args.fault_seed, coll=args.coll,
+        capture=args.capture or "off", sanitize=bool(args.sanitize),
+        collect=args.collect,
+    )
+    if args.sweep:
+        axes = parse_sweep(args.sweep)
+        # "gpus" is the CLI spelling of the JobSpec "ranks" field.
+        axes = {("ranks" if k == "gpus" else k): v for k, v in axes.items()}
+        specs = [JobSpec.from_dict({**base, **point})
+                 for point in expand_matrix(axes)]
+    else:
+        specs = [JobSpec.from_dict(base)]
+    svc = _make_service(args, out)
+    docs = svc.run(specs)
+    for spec, doc in zip(specs, docs):
+        status = doc.get("status", "?")
+        mark = "ok " if status == "done" else "ERR"
+        detail = ""
+        summary = doc.get("summary") or {}
+        if "time_per_iter_s" in summary:
+            detail = f"  {summary['time_per_iter_s'] * 1e6:.2f} us/iter"
+        elif status == "failed":
+            detail = f"  {doc.get('error', '')}"
+        print(f"{mark} {spec.short_hash}  {spec.describe()}{detail}", file=out)
+    _print_service_summary(svc, len(docs), out)
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(docs, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"result documents -> {args.json}", file=out)
+    return 1 if any(d.get("status") != "done" for d in docs) else 0
+
+
+def _cmd_serve(args, out) -> int:
+    svc = _make_service(args, out)
+    print(f"serving jobs from {args.queue} "
+          f"(store: {svc.store.root}){' [once]' if args.once else ''}",
+          file=out)
+    try:
+        n = svc.serve_loop(args.queue, poll_s=args.poll, once=args.once)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        n = None
+        print("interrupted", file=out)
+    if n is not None:
+        _print_service_summary(svc, n, out)
+    return 0
+
+
+def _cmd_jobs(args, out) -> int:
+    from .serve import ResultStore
+
+    store = ResultStore(args.store)
+    rows = list(store.jobs())
+    if args.failed:
+        rows = [r for r in rows if r.get("status") != "done"]
+    if not rows:
+        print(f"no jobs in store {store.root}", file=out)
+        return 0
+    print(f"{'hash':12s} {'status':7s} {'wall':>8s} {'attempts':>8s}  job",
+          file=out)
+    for doc in rows:
+        job = doc.get("job", {})
+        from .serve import JobSpec
+
+        try:
+            label = JobSpec.from_dict(job).describe()
+        except (ValueError, TypeError):
+            label = repr(job)
+        wall = doc.get("wall_s")
+        print(f"{doc.get('config_hash', '?')[:12]:12s} "
+              f"{doc.get('status', '?'):7s} "
+              f"{(f'{wall:.2f}s' if wall is not None else '-'):>8s} "
+              f"{doc.get('attempts', 1):>8d}  {label}", file=out)
+    print(f"{len(rows)} job(s) in {store.root}", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -390,4 +580,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_trace(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
+    if args.command == "submit":
+        return _cmd_submit(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "jobs":
+        return _cmd_jobs(args, out)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -74,6 +74,13 @@ class CollSelection(str):
             out += f"/{self.channels}"
         return out
 
+    def spec_string(self) -> str:
+        """Canonical re-serialization: every spelling of the same
+        selection (``ring/1``, ``ring``) renders identically, so config
+        hashes built on it never cache-miss on formatting differences.
+        Round trip: ``CollSelection.parse(s.spec_string()) == s``."""
+        return self.describe()
+
     @classmethod
     def parse(cls, text: str) -> "CollSelection":
         """Inverse of :meth:`describe` (``ring+LL/2`` etc.)."""

@@ -52,6 +52,12 @@ class UniconnConfig:
     # repro.sim.loop_region; "auto" additionally runs unannotated-loop
     # detection on Coordinator.launch_kernel. launch(capture=...) overrides.
     capture: str = "off"
+    # Job service (repro.serve, docs/SERVE.md): the result-store root
+    # (None falls back to $REPRO_SERVE_STORE, then ~/.cache/repro-serve)
+    # and the worker-pool width (None = os.cpu_count()). The CLI's
+    # --store/--jobs flags override both per invocation.
+    serve_store: Optional[str] = None
+    serve_jobs: Optional[int] = None
 
 
 _config = UniconnConfig()

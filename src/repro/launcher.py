@@ -90,6 +90,97 @@ class RunReport(list):
         self.trace_path: Optional[str] = None
         self.races: List[Any] = []
 
+    # ------------------------------------------------------------------ #
+    # JSON round trip (the repro.serve result store persists this form).
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot: per-rank result summaries, stats, metrics,
+        faults, races, capture counters, trace path (as a string).
+
+        Per-rank results are summarized structurally — numpy arrays become
+        ``{"__ndarray__": {sha256, shape, dtype}}`` digests, so bit-level
+        comparisons survive serialization without shipping payloads.
+        ``RunReport.from_dict(report.to_dict())`` round-trips: serializing
+        the rebuilt report yields the identical document.
+        """
+        return {
+            "results": [_jsonify_result(r) for r in self],
+            "stats": {k: _jsonify_stats_value(k, v) for k, v in self.stats.items()},
+            "metrics": self.metrics.as_dict(),
+            "faults": [_fault_entry(f) for f in self.faults],
+            "races": [r if isinstance(r, dict) else r.as_dict() for r in self.races],
+            "trace_path": None if self.trace_path is None else str(self.trace_path),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Per-rank results come back as plain dicts (array payloads stay
+        digests) and races as plain dicts; stats/metrics/faults/trace_path
+        are faithful.
+        """
+        report = cls(d.get("results", ()))
+        report.stats = dict(d.get("stats", {}))
+        report.metrics = MetricsRegistry.from_dict(d.get("metrics", {}))
+        report.faults = [
+            (e["t"], e["kind"], dict(e["fields"])) for e in d.get("faults", ())
+        ]
+        report.races = list(d.get("races", ()))
+        report.trace_path = d.get("trace_path")
+        return report
+
+
+def _fault_entry(f) -> Dict[str, Any]:
+    """One injected fault as ``{"t", "kind", "fields"}`` (idempotent)."""
+    if isinstance(f, dict):
+        return {"t": f["t"], "kind": f["kind"], "fields": dict(f["fields"])}
+    when, kind, fields = f
+    return {"t": when, "kind": kind, "fields": dict(fields)}
+
+
+def _jsonify_stats_value(key: str, value: Any) -> Any:
+    if key == "faults":
+        return [_fault_entry(f) for f in value]
+    return _jsonify_result(value)
+
+
+def _jsonify_result(value: Any) -> Any:
+    """Recursively convert one per-rank result to JSON-safe data.
+
+    Dataclasses become field dicts, numpy scalars become Python numbers,
+    and arrays become content digests — large payloads never land in the
+    store, but bitwise equality of two runs is still decidable from the
+    serialized form.
+    """
+    import dataclasses
+
+    import numpy as np
+
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        import hashlib
+
+        data = np.ascontiguousarray(value)
+        return {"__ndarray__": {
+            "sha256": hashlib.sha256(data.tobytes()).hexdigest(),
+            "shape": list(data.shape),
+            "dtype": str(data.dtype),
+        }}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonify_result(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _jsonify_result(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify_result(v) for v in value]
+    return repr(value)
+
 
 class RankContext:
     """One rank's view of the job (the simulated process environment)."""

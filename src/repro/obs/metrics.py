@@ -53,6 +53,19 @@ def _series_name(key: _SeriesKey) -> str:
     return f"{name}{{{body}}}"
 
 
+def _parse_series_name(text: str) -> _SeriesKey:
+    """Inverse of :func:`_series_name` (label values come back as strings,
+    which re-render to the identical series name)."""
+    if not text.endswith("}") or "{" not in text:
+        return (text, ())
+    name, _, body = text[:-1].partition("{")
+    labels = []
+    for item in body.split(","):
+        k, _, v = item.partition("=")
+        labels.append((k, v))
+    return (name, tuple(labels))
+
+
 class _Histogram:
     """Decade-bucketed histogram with exact count/sum/min/max."""
 
@@ -192,6 +205,33 @@ class MetricsRegistry:
                 for k, h in sorted(self._histograms.items())
             },
         }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`as_dict` output (the result-store
+        round trip): ``from_dict(r.as_dict()).as_dict() == r.as_dict()``.
+
+        Label values come back as strings — they re-render to the same
+        series names, so snapshots and JSON stay identical; typed lookups
+        (``counter(name, rank=0)``) on a rebuilt registry must pass labels
+        as strings.
+        """
+        registry = cls(enabled=True)
+        for series, value in d.get("counters", {}).items():
+            registry._counters[_parse_series_name(series)] = value
+        for series, gauge in d.get("gauges", {}).items():
+            key = _parse_series_name(series)
+            registry._gauges[key] = gauge["last"]
+            registry._gauge_max[key] = gauge["max"]
+        for series, payload in d.get("histograms", {}).items():
+            hist = _Histogram()
+            hist.count = payload["count"]
+            hist.sum = payload["sum"]
+            hist.min = payload["min"]
+            hist.max = payload["max"]
+            hist.buckets = dict(payload["buckets"])
+            registry._histograms[_parse_series_name(series)] = hist
+        return registry
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -1,0 +1,188 @@
+"""JobSpec: a frozen, canonically-hashed description of one simulation.
+
+A spec captures everything that determines a run's outcome — app, backend
+variant, machine, job size, iteration counts, fault plan + seed, collective
+policy, capture/sanitize/obs flags — and nothing that doesn't (no store
+paths, no worker counts, no timestamps). Two specs that describe the same
+simulation hash identically even when they were spelled differently:
+
+- field values are normalized at construction (fault specs re-serialize
+  through :meth:`~repro.sim.faults.FaultPlan.spec_string`, collective
+  selections through :meth:`~repro.coll.CollSelection.spec_string`);
+- :meth:`config_hash` is SHA-256 over the sorted-key JSON of
+  :meth:`to_dict`, so kwargs/dict ordering can never leak into the hash;
+- defaults are literals (never the process-global config), so the hash is
+  stable across processes and interpreter invocations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+__all__ = ["JobSpec", "SPEC_SCHEMA", "canonical_coll", "canonical_fault_spec"]
+
+SPEC_SCHEMA = "repro.serve.jobspec/1"
+
+#: Apps the runner knows how to execute (docs/SERVE.md).
+APPS = ("jacobi", "cg", "latency", "bandwidth")
+
+_MODES = ("PureHost", "PartialDevice", "PureDevice")
+_OBS_LEVELS = ("off", "metrics", "spans")
+_CAPTURE_MODES = ("off", "auto", "regions")
+
+
+def canonical_fault_spec(spec: Optional[str]) -> Optional[str]:
+    """Normalize a fault spec string to its canonical serialization.
+
+    ``"crash, rank=1, at=0.0001"`` and ``"crash,rank=1,at=1e-4"`` (and any
+    clause reordering) all map to the same string, so equivalent plans hash
+    identically instead of cache-missing on formatting differences. An
+    empty plan normalizes to None.
+    """
+    if spec is None:
+        return None
+    from ..sim.faults import FaultPlan
+
+    plan = spec if isinstance(spec, FaultPlan) else FaultPlan.parse(spec)
+    return plan.spec_string() or None
+
+
+def canonical_coll(coll: Any) -> Optional[str]:
+    """Normalize a collective policy to its canonical spec string.
+
+    None/False/"off" -> None (backend legacy algorithms); "auto"/"tuned"
+    -> "auto" (cost-model selection); an algorithm or full wire selection
+    ("ring", "ring+LL/2", "tree/1") -> ``CollSelection.spec_string()``.
+    Table objects/paths are rejected: a path is not content-addressed, so
+    it cannot participate in a config hash that must be stable across
+    machines.
+    """
+    if coll is None or coll is False or coll == "off":
+        return None
+    if coll in ("auto", "tuned"):
+        return "auto"
+    if not isinstance(coll, str):
+        raise ValueError(
+            f"JobSpec coll must be None, 'auto', an algorithm name or a "
+            f"selection string (got {type(coll).__name__}); tuning tables "
+            f"are not hashable job inputs")
+    from ..coll import CollSelection
+    from ..coll.algorithms import ALGORITHMS, DEFAULT_ALGORITHM
+
+    sel = CollSelection.parse(coll)
+    known = set(ALGORITHMS) | set(DEFAULT_ALGORITHM.values())
+    if str(sel) not in known:
+        raise ValueError(f"unknown collective algorithm {str(sel)!r} in "
+                         f"coll spec {coll!r}; known: {sorted(known)}")
+    return sel.spec_string()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation request; every field is part of the config hash.
+
+    ``size`` is the app's characteristic size: the grid edge for jacobi,
+    the matrix rows for cg, the largest message for the OSU sweeps.
+    ``backend`` accepts a bare backend name ("mpi"/"gpuccl"/"gpushmem"),
+    a full variant ("elastic:mpi", "mpi-resilient", "gpuccl-native"), and
+    for jacobi composes with ``mode`` the same way the CLI does.
+    """
+
+    app: str = "jacobi"
+    backend: str = "mpi"
+    mode: str = "PureHost"
+    machine: str = "perlmutter"
+    ranks: int = 4
+    size: int = 64
+    iters: int = 8
+    seed: int = 0  # problem seed (cg matrix); reserved otherwise
+    fault_spec: Optional[str] = None
+    fault_seed: int = 0
+    coll: Optional[str] = None
+    capture: str = "off"
+    sanitize: bool = False
+    obs: str = "metrics"
+    collect: bool = False  # gather per-rank payloads into the summary digest
+
+    def __post_init__(self) -> None:
+        if self.app not in APPS:
+            raise ValueError(f"unknown app {self.app!r} (expected one of {APPS})")
+        if self.mode not in _MODES:
+            raise ValueError(f"unknown mode {self.mode!r} (expected one of {_MODES})")
+        if self.obs not in _OBS_LEVELS:
+            raise ValueError(f"unknown obs level {self.obs!r} (expected one of {_OBS_LEVELS})")
+        if self.capture not in _CAPTURE_MODES:
+            raise ValueError(f"unknown capture mode {self.capture!r} "
+                             f"(expected one of {_CAPTURE_MODES})")
+        if self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+        if self.size < 1 or self.iters < 1:
+            raise ValueError(f"size/iters must be >= 1, got {self.size}/{self.iters}")
+        # Normalize at construction so equality and hashing agree for
+        # every spelling of the same simulation.
+        object.__setattr__(self, "fault_spec", canonical_fault_spec(self.fault_spec))
+        object.__setattr__(self, "coll", canonical_coll(self.coll))
+        object.__setattr__(self, "sanitize", bool(self.sanitize))
+        object.__setattr__(self, "collect", bool(self.collect))
+        for name in ("ranks", "size", "iters", "seed", "fault_seed"):
+            object.__setattr__(self, name, int(getattr(self, name)))
+
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical JSON-safe form (field order is fixed, values
+        normalized); :meth:`from_dict` accepts any key order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "JobSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown JobSpec field(s) {sorted(unknown)} "
+                             f"(known: {sorted(known)})")
+        return cls(**d)
+
+    def config_hash(self) -> str:
+        """Deterministic content hash of this spec (hex SHA-256).
+
+        Stable across processes, dict orderings and equivalent spec-string
+        spellings; any semantic field change changes the hash.
+        """
+        doc = {"schema": SPEC_SCHEMA, **self.to_dict()}
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    @property
+    def short_hash(self) -> str:
+        return self.config_hash()[:12]
+
+    def variant(self) -> str:
+        """The app-level variant string this spec resolves to."""
+        if self.app in ("latency", "bandwidth"):
+            if ":" in self.backend or self.backend.endswith("-native"):
+                return self.backend
+            return f"uniconn:{self.backend}"
+        if ":" in self.backend or "-" in self.backend:
+            return self.backend  # elastic:mpi, mpi-resilient, gpuccl-native, ...
+        variant = f"uniconn:{self.backend}"
+        if self.app == "jacobi" and self.mode != "PureHost":
+            variant += f":{self.mode}"
+        return variant
+
+    def describe(self) -> str:
+        """One-line human label for tables and progress events."""
+        parts = [self.app, self.variant(), self.machine,
+                 f"x{self.ranks}", f"size={self.size}", f"iters={self.iters}"]
+        if self.fault_spec:
+            parts.append(f"faults[{self.fault_seed}]")
+        if self.coll:
+            parts.append(f"coll={self.coll}")
+        if self.capture != "off":
+            parts.append(f"capture={self.capture}")
+        if self.sanitize:
+            parts.append("sanitize")
+        return " ".join(parts)

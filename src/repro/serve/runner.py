@@ -1,0 +1,146 @@
+"""Execute one JobSpec into a JSON result document (worker-side).
+
+``execute_job`` is the module-level function the worker pool runs: it
+resolves the spec's app, drives the same launch surface the CLI uses,
+and returns the result document the store persists. Everything in the
+document is deterministic for a given spec — the simulation runs on a
+virtual clock and the report serializes with canonical digests — which
+is what makes cached results bit-identical to fresh runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict
+
+import numpy as np
+
+from .jobspec import JobSpec
+from .store import RESULT_SCHEMA
+
+__all__ = ["execute_job"]
+
+
+def execute_job(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one job (payload: ``JobSpec.to_dict()``); returns the result doc.
+
+    The document::
+
+        {"schema": "repro.serve.result/1", "status": "done",
+         "job": <canonical spec>, "config_hash": ..., "summary": {...},
+         "report": RunReport.to_dict()}
+
+    Deliberately excludes wall-clock time and timestamps: the parent
+    stamps those on the *envelope* it stores, keeping this body — the
+    part the bit-identity contract covers — free of nondeterminism.
+    """
+    spec = JobSpec.from_dict(spec_dict)
+    run = _APP_RUNNERS[spec.app]
+    report, summary = run(spec)
+    return {
+        "schema": RESULT_SCHEMA,
+        "status": "done",
+        "job": spec.to_dict(),
+        "config_hash": spec.config_hash(),
+        "summary": summary,
+        "report": report.to_dict(),
+    }
+
+
+def _launch_kwargs(spec: JobSpec) -> Dict[str, Any]:
+    return dict(
+        machine=spec.machine,
+        fault_plan=spec.fault_spec,
+        fault_seed=spec.fault_seed,
+        obs=spec.obs,
+        sanitize="race" if spec.sanitize else None,
+        coll=spec.coll,
+        capture=spec.capture,
+    )
+
+
+def _digest(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def _run_jacobi(spec: JobSpec):
+    from ..apps import jacobi
+
+    cfg = jacobi.JacobiConfig(nx=spec.size, ny=spec.size + 2, iters=spec.iters,
+                              warmup=max(1, spec.iters // 10))
+    report = jacobi.launch_variant(spec.variant(), cfg, spec.ranks,
+                                   collect=spec.collect, **_launch_kwargs(spec))
+    survivors = [r for r in report if r is not None]
+    summary: Dict[str, Any] = {
+        "time_per_iter_s": max(r.time_per_iter for r in survivors),
+        "survivors": len(survivors),
+        "virtual_time_s": report.stats.get("virtual_time"),
+    }
+    if spec.collect:
+        summary["solution_sha256"] = _digest(jacobi.assemble(cfg, survivors))
+    return report, summary
+
+
+def _run_cg(spec: JobSpec):
+    from ..apps import cg
+
+    cfg = cg.CgConfig(n=spec.size, nnz_per_row=min(33, max(3, spec.size // 16)),
+                      iters=spec.iters, seed=spec.seed or 7)
+    problem = cg.make_problem(cfg)
+    report = cg.launch_variant(spec.variant(), cfg, spec.ranks, problem=problem,
+                               collect=True, **_launch_kwargs(spec))
+    survivors = [r for r in report if r is not None]
+    x = cg.assemble_x(survivors, cfg.n)
+    residual = cg.final_residual(problem, x) / float(np.linalg.norm(problem.b))
+    summary: Dict[str, Any] = {
+        "time_per_iter_s": max(r.time_per_iter for r in survivors),
+        "survivors": len(survivors),
+        "relative_residual": residual,
+        "virtual_time_s": report.stats.get("virtual_time"),
+    }
+    if spec.collect:
+        summary["solution_sha256"] = _digest(x)
+    return report, summary
+
+
+def _osu_sizes(spec: JobSpec):
+    sizes = [8]
+    while sizes[-1] < spec.size:
+        sizes.append(sizes[-1] * 16)
+    sizes[-1] = spec.size
+    return tuple(dict.fromkeys(sizes))
+
+
+def _run_osu(spec: JobSpec, kind: str):
+    from ..apps.osu import OsuConfig, run_bandwidth, run_latency
+    from ..launcher import RunReport
+
+    cfg = OsuConfig(sizes=_osu_sizes(spec), iters_small=spec.iters,
+                    warmup_small=max(1, spec.iters // 10),
+                    iters_large=max(2, spec.iters // 4), warmup_large=1,
+                    repeats=1)
+    run = run_latency if kind == "latency" else run_bandwidth
+    # The OSU benches always use two GPUs; ranks > 2 asks for the
+    # inter-node placement (two GPUs on two nodes), matching --inter.
+    res = run(spec.variant(), cfg, machine=spec.machine,
+              inter_node=spec.ranks > 2)
+    report = RunReport()
+    unit = "seconds" if kind == "latency" else "bytes_per_s"
+    summary = {unit: {str(size): res[size] for size in cfg.sizes}}
+    return report, summary
+
+
+def _run_latency(spec: JobSpec):
+    return _run_osu(spec, "latency")
+
+
+def _run_bandwidth(spec: JobSpec):
+    return _run_osu(spec, "bandwidth")
+
+
+_APP_RUNNERS = {
+    "jacobi": _run_jacobi,
+    "cg": _run_cg,
+    "latency": _run_latency,
+    "bandwidth": _run_bandwidth,
+}

@@ -1,0 +1,143 @@
+"""Content-addressed result store keyed by JobSpec config hashes.
+
+Layout (``--store PATH``, ``REPRO_SERVE_STORE``, default
+``~/.cache/repro-serve``)::
+
+    <root>/<hash[:2]>/<hash>.json      # one result document per job
+
+Each document carries the canonical job spec, its hash, the outcome
+status, and — for completed jobs — the full JSON form of the run's
+:class:`~repro.launcher.RunReport` plus an app-level summary. Documents
+are written with sorted keys through an atomic rename, so a cached result
+is bit-identical to the freshly computed one and a crashed writer can
+never leave a half-written entry behind.
+
+Cache traffic is counted in a :class:`~repro.obs.MetricsRegistry`
+(``serve_cache_hits_total`` / ``serve_cache_misses_total`` /
+``serve_cache_invalidations_total``), surfaced by ``repro submit`` and
+``repro jobs``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["ResultStore", "RESULT_SCHEMA", "DEFAULT_STORE_ENV", "default_store_path"]
+
+RESULT_SCHEMA = "repro.serve.result/1"
+DEFAULT_STORE_ENV = "REPRO_SERVE_STORE"
+
+
+def default_store_path() -> Path:
+    """Resolve the store root: config, then env, then ``~/.cache``."""
+    from ..config import get_config
+
+    configured = getattr(get_config(), "serve_store", None)
+    if configured:
+        return Path(configured)
+    env = os.environ.get(DEFAULT_STORE_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-serve"
+
+
+class ResultStore:
+    """Persist and recall result documents by config hash."""
+
+    def __init__(self, root: Union[str, Path, None] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.root = Path(root) if root is not None else default_store_path()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def _path(self, config_hash: str) -> Path:
+        return self.root / config_hash[:2] / f"{config_hash}.json"
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, config_hash: str) -> Optional[Dict[str, Any]]:
+        """The completed result document for a hash, or None (a miss).
+
+        Only ``status == "done"`` documents count as hits; a stored
+        failure is reported as a miss so the job reruns next submit.
+        """
+        path = self._path(config_hash)
+        doc = None
+        if path.exists():
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, ValueError):
+                doc = None
+        if doc is None or doc.get("status") != "done":
+            self.metrics.inc("serve_cache_misses_total")
+            return None
+        self.metrics.inc("serve_cache_hits_total")
+        return doc
+
+    def peek(self, config_hash: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`get` but returns any-status documents and counts
+        nothing (used by ``repro jobs`` and the duplicate-dedup path)."""
+        path = self._path(config_hash)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def put(self, doc: Dict[str, Any]) -> Path:
+        """Write one result document (atomic rename, sorted keys)."""
+        config_hash = doc["config_hash"]
+        path = self._path(config_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(doc, sort_keys=True, indent=2) + "\n"
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(blob)
+        os.replace(tmp, path)
+        self.metrics.inc("serve_cache_writes_total",
+                         status=doc.get("status", "done"))
+        return path
+
+    def invalidate(self, config_hash: Optional[str] = None) -> int:
+        """Drop one entry (or every entry when hash is None); returns the
+        number of documents removed."""
+        removed = 0
+        if config_hash is not None:
+            path = self._path(config_hash)
+            if path.exists():
+                path.unlink()
+                removed = 1
+        else:
+            for path in self.root.glob("??/*.json"):
+                path.unlink()
+                removed += 1
+        if removed:
+            self.metrics.inc("serve_cache_invalidations_total", removed)
+        return removed
+
+    def jobs(self) -> Iterator[Dict[str, Any]]:
+        """Every stored result document, hash-sorted (for ``repro jobs``)."""
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            try:
+                yield json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json")) if self.root.exists() else 0
+
+    def counters(self) -> Dict[str, float]:
+        """The store's cache-traffic counters as a plain dict."""
+        return {
+            "hits": self.metrics.counter("serve_cache_hits_total"),
+            "misses": self.metrics.counter("serve_cache_misses_total"),
+            "invalidations": self.metrics.counter("serve_cache_invalidations_total"),
+        }

@@ -198,17 +198,51 @@ class FaultPlan:
         )
 
     def to_spec(self) -> str:
-        """Canonical spec string: ``FaultPlan.parse(plan.to_spec())`` is
-        equivalent to ``plan``, so any error text carrying it is replayable."""
+        """Spec string preserving clause order: ``FaultPlan.parse(
+        plan.to_spec())`` is equivalent to ``plan``, so any error text
+        carrying it is replayable. For a *canonical* form that is equal
+        for equivalent plans, use :meth:`spec_string`."""
+        return self._spec("{:g}".format)
+
+    def spec_string(self) -> str:
+        """Canonical re-serialization: equivalent plans — any clause
+        order, any float spelling (``1e-4`` vs ``0.0001``), any field
+        order — produce the identical string, so config hashes built on
+        it never cache-miss on formatting differences.
+
+        Round trip: ``FaultPlan.parse(p.spec_string()).spec_string() ==
+        p.spec_string()`` for every plan (floats render via :func:`repr`,
+        which is lossless in Python 3).
+        """
+        def none_low(v):
+            return (v is None, v if v is not None else 0)
+
+        plan = replace(
+            self,
+            link_faults=tuple(sorted(
+                self.link_faults,
+                key=lambda lf: (lf.kind, lf.link, lf.start, lf.end, lf.factor))),
+            message_faults=tuple(sorted(
+                self.message_faults,
+                key=lambda mf: (mf.kind, none_low(mf.src), none_low(mf.dst),
+                                none_low(mf.tag), mf.start, mf.end, mf.p))),
+            crashes=tuple(sorted(self.crashes, key=lambda cr: (cr.at, cr.rank))),
+            stragglers=tuple(sorted(
+                self.stragglers, key=lambda st: (st.gpu, st.factor))),
+        )
+        return plan._spec(lambda x: repr(float(x)))
+
+    def _spec(self, fmt) -> str:
+        """Render this plan as a spec string; ``fmt`` formats floats."""
         clauses: List[str] = []
         for lf in self.link_faults:
             c = f"{lf.kind},link={lf.link}"
             if lf.kind == "degrade":
-                c += f",factor={lf.factor:g}"
+                c += f",factor={fmt(lf.factor)}"
             if lf.start != 0.0:
-                c += f",start={lf.start:g}"
+                c += f",start={fmt(lf.start)}"
             if lf.end != _INF:
-                c += f",end={lf.end:g}"
+                c += f",end={fmt(lf.end)}"
             clauses.append(c)
         for mf in self.message_faults:
             c = mf.kind
@@ -217,32 +251,32 @@ class FaultPlan:
                 if value is not None:
                     c += f",{name}={value}"
             if mf.p != 1.0:
-                c += f",p={mf.p:g}"
+                c += f",p={fmt(mf.p)}"
             if mf.start != 0.0:
-                c += f",start={mf.start:g}"
+                c += f",start={fmt(mf.start)}"
             if mf.end != _INF:
-                c += f",end={mf.end:g}"
+                c += f",end={fmt(mf.end)}"
             clauses.append(c)
         for cr in self.crashes:
-            clauses.append(f"crash,rank={cr.rank},at={cr.at:g}")
+            clauses.append(f"crash,rank={cr.rank},at={fmt(cr.at)}")
         for st in self.stragglers:
-            clauses.append(f"straggler,gpu={st.gpu},factor={st.factor:g}")
+            clauses.append(f"straggler,gpu={st.gpu},factor={fmt(st.factor)}")
         defaults = FaultPlan()
         retry_fields = []
         if self.retry_base != defaults.retry_base:
-            retry_fields.append(f"base={self.retry_base:g}")
+            retry_fields.append(f"base={fmt(self.retry_base)}")
         if self.max_retries != defaults.max_retries:
             retry_fields.append(f"max={self.max_retries}")
         if self.retry_multiplier != defaults.retry_multiplier:
-            retry_fields.append(f"mult={self.retry_multiplier:g}")
+            retry_fields.append(f"mult={fmt(self.retry_multiplier)}")
         if self.retry_jitter != defaults.retry_jitter:
-            retry_fields.append(f"jitter={self.retry_jitter:g}")
+            retry_fields.append(f"jitter={fmt(self.retry_jitter)}")
         if self.retry_timeout is not None:
-            retry_fields.append(f"timeout={self.retry_timeout:g}")
+            retry_fields.append(f"timeout={fmt(self.retry_timeout)}")
         if retry_fields:
             clauses.append("retry," + ",".join(retry_fields))
         if self.watchdog is not None:
-            clauses.append(f"watchdog,timeout={self.watchdog:g}")
+            clauses.append(f"watchdog,timeout={fmt(self.watchdog)}")
         return ";".join(clauses)
 
     @staticmethod

@@ -1,0 +1,118 @@
+"""JobSpec canonicalization and config-hash determinism."""
+
+import dataclasses
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.serve import JobSpec, canonical_coll, canonical_fault_spec
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+REFERENCE_KWARGS = {
+    "app": "cg", "backend": "gpuccl", "ranks": 8, "size": 256, "iters": 12,
+    "seed": 3, "fault_spec": "crash,rank=1,at=1e-4;watchdog,timeout=5e-3",
+    "fault_seed": 11, "coll": "auto", "obs": "metrics",
+}
+
+
+def _subprocess_hash() -> str:
+    code = (
+        "import json, sys\n"
+        "from repro.serve import JobSpec\n"
+        f"kwargs = json.loads({json.dumps(json.dumps(REFERENCE_KWARGS))})\n"
+        "print(JobSpec(**kwargs).config_hash())\n"
+    )
+    out = subprocess.run([sys.executable, "-c", code], capture_output=True,
+                         text=True, check=True, env={"PYTHONPATH": SRC,
+                                                     "PATH": "/usr/bin:/bin"})
+    return out.stdout.strip()
+
+
+def test_hash_stable_across_processes():
+    """The same spec hashes identically in two fresh interpreters and
+    in-process — no per-process state (hash seeds, config) leaks in."""
+    local = JobSpec(**REFERENCE_KWARGS).config_hash()
+    first, second = _subprocess_hash(), _subprocess_hash()
+    assert first == second == local
+    assert len(local) == 64 and int(local, 16) >= 0
+
+
+def test_hash_ignores_kwarg_and_dict_order():
+    a = JobSpec(app="jacobi", backend="mpi", size=128, iters=4)
+    b = JobSpec(iters=4, size=128, backend="mpi", app="jacobi")
+    assert a == b and a.config_hash() == b.config_hash()
+
+    d = a.to_dict()
+    reordered = dict(reversed(list(d.items())))
+    assert JobSpec.from_dict(reordered).config_hash() == a.config_hash()
+
+
+def test_every_field_change_changes_hash():
+    base = JobSpec(**REFERENCE_KWARGS)
+    changed = {
+        "app": "jacobi", "backend": "mpi", "mode": "PureDevice",
+        "machine": "lumi", "ranks": 4, "size": 64, "iters": 8, "seed": 0,
+        "fault_spec": "crash,rank=2,at=1e-4;watchdog,timeout=5e-3",
+        "fault_seed": 0, "coll": None, "capture": "auto", "sanitize": True,
+        "obs": "spans", "collect": True,
+    }
+    assert set(changed) == {f.name for f in dataclasses.fields(JobSpec)}
+    for name, value in changed.items():
+        other = dataclasses.replace(base, **{name: value})
+        assert other.config_hash() != base.config_hash(), \
+            f"changing {name} did not change the hash"
+
+
+def test_fault_spec_spellings_hash_identically():
+    a = JobSpec(fault_spec="crash, rank=1, at=0.0001")
+    b = JobSpec(fault_spec="crash,rank=1,at=1e-4")
+    assert a.fault_spec == b.fault_spec
+    assert a.config_hash() == b.config_hash()
+    # Clause order is canonicalized too.
+    c = JobSpec(fault_spec="watchdog,timeout=5e-3;crash,rank=1,at=1e-4")
+    d = JobSpec(fault_spec="crash,rank=1,at=0.0001;watchdog,timeout=0.005")
+    assert c.config_hash() == d.config_hash()
+
+
+def test_coll_spellings_hash_identically():
+    assert JobSpec(coll="ring/1").config_hash() == JobSpec(coll="ring").config_hash()
+    assert JobSpec(coll="tuned").coll == "auto"
+    assert JobSpec(coll=None).coll is None
+    assert JobSpec(coll="off").coll is None
+
+
+def test_canonical_helpers():
+    assert canonical_fault_spec(None) is None
+    assert canonical_fault_spec("crash,rank=1,at=0.0001") == \
+        canonical_fault_spec("crash, rank=1, at=1e-4")
+    assert canonical_coll("auto") == "auto"
+    with pytest.raises(ValueError):
+        canonical_coll({"not": "hashable"})
+    with pytest.raises(ValueError):
+        canonical_coll("no-such-algorithm")
+
+
+def test_validation_and_round_trip():
+    with pytest.raises(ValueError):
+        JobSpec(app="nope")
+    with pytest.raises(ValueError):
+        JobSpec(mode="Turbo")
+    with pytest.raises(ValueError):
+        JobSpec(ranks=0)
+    with pytest.raises(ValueError):
+        JobSpec.from_dict({"app": "jacobi", "workers": 4})
+    spec = JobSpec(**REFERENCE_KWARGS)
+    assert JobSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+
+def test_variant_resolution():
+    assert JobSpec(app="jacobi", backend="mpi").variant() == "uniconn:mpi"
+    assert JobSpec(app="jacobi", backend="gpuccl",
+                   mode="PureDevice").variant() == "uniconn:gpuccl:PureDevice"
+    assert JobSpec(app="cg", backend="elastic:mpi").variant() == "elastic:mpi"
+    assert JobSpec(app="latency", backend="mpi-native").variant() == "mpi-native"
+    assert JobSpec(app="bandwidth", backend="gpuccl").variant() == "uniconn:gpuccl"

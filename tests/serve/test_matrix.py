@@ -1,0 +1,49 @@
+"""Deterministic sweep-matrix expansion shared by benchmarks and the CLI."""
+
+import pytest
+
+from repro.serve import expand_matrix, parse_sweep
+
+
+def test_cross_product_order_first_axis_outermost():
+    points = expand_matrix({"a": [1, 2], "b": ["x", "y", "z"]})
+    assert points == [
+        {"a": 1, "b": "x"}, {"a": 1, "b": "y"}, {"a": 1, "b": "z"},
+        {"a": 2, "b": "x"}, {"a": 2, "b": "y"}, {"a": 2, "b": "z"},
+    ]
+
+
+def test_scalars_wrap_and_empty_axis_rejected():
+    assert expand_matrix({"a": 1, "b": [2, 3]}) == \
+        [{"a": 1, "b": 2}, {"a": 1, "b": 3}]
+    assert expand_matrix({}) == [{}]
+    with pytest.raises(ValueError):
+        expand_matrix({"a": []})
+
+
+def test_parse_sweep_coercion():
+    axes = parse_sweep(["app=jacobi,cg", "size=32,64", "p=0.5",
+                       "sanitize=true,false", "fault_spec=none"])
+    assert axes["app"] == ["jacobi", "cg"]
+    assert axes["size"] == [32, 64]
+    assert axes["p"] == [0.5]
+    assert axes["sanitize"] == [True, False]
+    assert axes["fault_spec"] == [None]
+
+
+def test_parse_sweep_rejects_duplicates_and_bad_tokens():
+    with pytest.raises(ValueError):
+        parse_sweep(["a=1", "a=2"])
+    with pytest.raises(ValueError):
+        parse_sweep(["no-equals-sign"])
+
+
+def test_benchmarks_reexport_matches():
+    import sys
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+    try:
+        from benchmarks._common import expand_matrix as bench_expand
+    finally:
+        sys.path.pop(0)
+    assert bench_expand is expand_matrix

@@ -1,0 +1,86 @@
+"""WorkerPool: parallel execution, crash isolation, timeouts, retry."""
+
+import os
+import time
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import JobOutcome, WorkerPool
+
+
+def _square(payload):
+    return payload * payload
+
+
+def _maybe_die(payload):
+    if payload == "die":
+        os._exit(17)  # hard kill: no exception, no cleanup
+    return payload
+
+
+def _maybe_hang(payload):
+    if payload == "hang":
+        time.sleep(60.0)
+    return payload
+
+
+def _always_raise(payload):
+    raise ValueError(f"bad payload {payload!r}")
+
+
+def test_results_in_submission_order():
+    pool = WorkerPool(_square, jobs=4, retries=0)
+    outcomes = pool.run(list(range(10)))
+    assert [o.result for o in outcomes] == [n * n for n in range(10)]
+    assert all(o.ok and o.status == "done" and o.attempts == 1
+               for o in outcomes)
+
+
+def test_crash_isolated_and_worker_respawned():
+    metrics = MetricsRegistry()
+    pool = WorkerPool(_maybe_die, jobs=2, retries=0, metrics=metrics)
+    outcomes = pool.run(["a", "die", "b", "c"])
+    by_id = {o.job_id: o for o in outcomes}
+    assert by_id[1].status == "failed" and by_id[1].kind == "crash"
+    assert "exitcode=17" in by_id[1].error
+    # Every other job still completed — the pool was not poisoned.
+    assert [by_id[i].result for i in (0, 2, 3)] == ["a", "b", "c"]
+    assert metrics.counter("serve_worker_respawns_total") == 1
+
+
+def test_timeout_kills_job_not_pool():
+    pool = WorkerPool(_maybe_hang, jobs=2, timeout=1.0, retries=0)
+    t0 = time.monotonic()
+    outcomes = pool.run(["x", "hang", "y", "z"])
+    assert time.monotonic() - t0 < 30.0  # nowhere near the 60s sleep
+    by_id = {o.job_id: o for o in outcomes}
+    assert by_id[1].status == "failed" and by_id[1].kind == "timeout"
+    assert [by_id[i].result for i in (0, 2, 3)] == ["x", "y", "z"]
+
+
+def test_bounded_retry_counts_attempts():
+    metrics = MetricsRegistry()
+    events = []
+    pool = WorkerPool(_always_raise, jobs=1, retries=2, metrics=metrics,
+                      events=events.append)
+    (outcome,) = pool.run(["p"])
+    assert outcome.status == "failed" and outcome.kind == "error"
+    assert outcome.attempts == 3  # initial try + 2 retries
+    assert "bad payload" in outcome.error
+    assert metrics.counter("serve_retries_total", kind="error") == 2
+    assert [e["event"] for e in events].count("retry") == 2
+
+
+def test_exceptions_do_not_kill_worker():
+    """A raising job fails alone; the same worker keeps serving."""
+    metrics = MetricsRegistry()
+    pool = WorkerPool(_maybe_die, jobs=1, retries=0, metrics=metrics)
+    outcomes = pool.run(["ok1", "ok2", "ok3"])
+    assert all(o.ok for o in outcomes)
+    assert metrics.counter("serve_worker_respawns_total") == 0
+
+
+def test_empty_queue_and_outcome_shape():
+    assert WorkerPool(_square, jobs=2).run([]) == []
+    (o,) = WorkerPool(_square, jobs=1).run([3], job_ids=["three"])
+    assert isinstance(o, JobOutcome) and o.job_id == "three" and o.result == 9
+    assert o.wall_s >= 0.0

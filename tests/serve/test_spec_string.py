@@ -1,0 +1,54 @@
+"""Canonical spec strings for fault plans and collective selections."""
+
+from repro.coll import CollSelection
+from repro.sim.faults import FaultPlan
+
+
+def canon(spec: str) -> str:
+    return FaultPlan.parse(spec).spec_string()
+
+
+def test_fault_float_formats_normalize():
+    assert canon("crash,rank=1,at=0.0001") == canon("crash,rank=1,at=1e-4")
+    assert canon("straggler,gpu=2,factor=6") == \
+        canon("straggler, gpu=2, factor=6.0")
+
+
+def test_fault_clause_order_normalizes():
+    a = canon("crash,rank=3,at=2.5e-4;crash,rank=1,at=1e-4")
+    b = canon("crash,rank=1,at=1e-4;crash,rank=3,at=2.5e-4")
+    assert a == b
+
+
+def test_fault_spec_string_idempotent():
+    specs = [
+        "crash,rank=1,at=1e-4;watchdog,timeout=5e-3",
+        "drop,p=0.8,start=5e-5,end=2.5e-4;retry,base=2e-5,max=3",
+        "corrupt,p=0.6,start=5e-5,end=2.5e-4",
+        "down,link=nvlink[1->2],start=5e-5,end=4e-3",
+        "straggler,gpu=2,factor=6",
+    ]
+    for spec in specs:
+        once = canon(spec)
+        assert canon(once) == once  # parse(spec_string) is a fixed point
+
+
+def test_fault_spec_string_round_trips_semantics():
+    spec = "drop,src=0,dst=1,p=0.3,start=1e-5,end=2e-3;watchdog,timeout=5e-3"
+    plan = FaultPlan.parse(spec)
+    again = FaultPlan.parse(plan.spec_string())
+    assert again.spec_string() == plan.spec_string()
+    assert len(again.message_faults) == len(plan.message_faults)
+
+
+def test_empty_plan_is_empty_string():
+    assert FaultPlan.parse("").spec_string() == ""
+
+
+def test_coll_selection_spec_string():
+    assert CollSelection.parse("ring/1").spec_string() == \
+        CollSelection.parse("ring").spec_string()
+    sel = CollSelection.parse("ring+LL/2")
+    assert sel.spec_string() == sel.describe()
+    assert CollSelection.parse(sel.spec_string()).spec_string() == \
+        sel.spec_string()

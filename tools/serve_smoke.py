@@ -1,0 +1,83 @@
+"""CI gate for the repro.serve job service (make serve-smoke).
+
+Three contracts, checked end to end through the real CLI:
+
+1. a small sweep submitted twice is 100% cache hits the second time;
+2. the cached pass is at least 2x faster than the cold pass;
+3. a job killed by the per-job timeout fails alone — the rest of the
+   batch completes and the run exits nonzero without hanging the pool.
+"""
+
+import io
+import re
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+def run(argv):
+    out = io.StringIO()
+    t0 = time.monotonic()
+    code = main(argv, out=out)
+    return code, out.getvalue(), time.monotonic() - t0
+
+
+def summary_counts(text):
+    m = re.search(r"(\d+) job\(s\): (\d+(?:\.\d+)?) executed, "
+                  r"(\d+(?:\.\d+)?) cache hit\(s\), (\d+(?:\.\d+)?) failed", text)
+    assert m, f"no service summary in output:\n{text}"
+    return tuple(float(g) for g in m.groups())
+
+
+def check(cond, label):
+    print(f"  {'ok' if cond else 'FAIL'}: {label}")
+    if not cond:
+        raise SystemExit(f"serve-smoke FAILED: {label}")
+
+
+def main_smoke() -> int:
+    store = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    sweep = ["submit", "--store", store, "--jobs", "4", "--quiet",
+             "--gpus", "4", "--iters", "6",
+             "--sweep", "app=jacobi,cg", "backend=mpi,gpuccl", "size=32,48"]
+
+    print("serve-smoke: cold pass (8-point sweep, --jobs 4)")
+    code, text, cold_s = run(sweep)
+    total, executed, hits, failed = summary_counts(text)
+    check(code == 0 and failed == 0, f"cold pass clean ({cold_s:.2f}s)")
+    check(executed == total == 8, f"all {total:g} jobs executed fresh")
+
+    print("serve-smoke: warm pass (same sweep resubmitted)")
+    code, text, warm_s = run(sweep)
+    total, executed, hits, failed = summary_counts(text)
+    check(code == 0 and failed == 0, f"warm pass clean ({warm_s:.2f}s)")
+    check(hits == total == 8 and executed == 0, "second pass 100% cache hits")
+    check(warm_s * 2.0 <= cold_s,
+          f"cached pass >= 2x faster ({cold_s:.2f}s -> {warm_s:.2f}s)")
+
+    print("serve-smoke: timeout isolation (one oversized job, 0.2s budget)")
+    code, text, _ = run(["submit", "--store", store, "--jobs", "2", "--quiet",
+                         "--timeout", "0.2", "--retries", "0",
+                         "--gpus", "4", "--size", "512", "--iters", "2000",
+                         "--sweep", "app=jacobi"])
+    total, executed, hits, failed = summary_counts(text)
+    check(code == 1 and failed == 1, "timeout surfaced as a failed job")
+    check("timeout" in text, "failure labeled with kind=timeout")
+
+    # The pool must still be fully serviceable: the warm sweep again.
+    code, text, _ = run(sweep)
+    total, executed, hits, failed = summary_counts(text)
+    check(code == 0 and hits == 8 and failed == 0,
+          "pool healthy after the kill (sweep still 100% hits)")
+
+    print("serve-smoke PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_smoke())
